@@ -1,0 +1,28 @@
+# Convenience targets for the repro library.
+
+.PHONY: install test bench artifacts examples all clean
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Regenerate the paper's three artifacts on stdout.
+artifacts:
+	python -m repro.analysis
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		python $$script || exit 1; \
+	done
+
+all: install test bench artifacts
+
+clean:
+	rm -rf build src/repro.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

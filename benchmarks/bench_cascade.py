@@ -1,0 +1,126 @@
+"""Cascade-cipher ablation (ArchiveSafeLT's mechanism).
+
+Measures the two sides of the paper's assessment:
+
+- the combiner guarantee: confidentiality as a function of how many layers
+  have broken (holds while >= 1 layer stands);
+- the response cost: wrapping after a break moves the same bytes as full
+  re-encryption ("this runs into the same I/O issues"), while the key
+  history grows per layer.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.crypto.aes import AesCtrCipher
+from repro.crypto.cascade import CascadeCipher, CascadeLayer
+from repro.crypto.chacha20 import ChaCha20Cipher
+from repro.crypto.drbg import DeterministicRandom
+from repro.crypto.registry import BreakTimeline
+from repro.storage.node import make_node_fleet
+from repro.systems import ArchiveSafeLT
+
+
+def test_combiner_survival_artifact(run_once, emit_artifact):
+    cascade = CascadeCipher(
+        [
+            CascadeLayer(AesCtrCipher(), b"\x01" * 12),
+            CascadeLayer(ChaCha20Cipher(), b"\x02" * 12),
+            CascadeLayer(AesCtrCipher(16), b"\x03" * 12),
+        ]
+    )
+    timeline = BreakTimeline()
+    timeline.schedule_break("aes-256-ctr", 10)
+    timeline.schedule_break("chacha20", 20)
+    timeline.schedule_break("aes-128-ctr", 30)
+    rows = []
+    expectations = []
+    for epoch in (5, 15, 25, 35):
+        unbroken = cascade.unbroken_layers(timeline, epoch)
+        confidential = cascade.confidential_against(timeline, epoch)
+        rows.append((epoch, len(unbroken), "yes" if confidential else "NO"))
+        expectations.append((epoch, confidential))
+    table = render_table(
+        headers=["Epoch", "Unbroken layers", "Confidential"],
+        rows=rows,
+        title="Cascade combiner: secure while any layer holds",
+    )
+    emit_artifact("cascade_survival", table)
+    run_once(lambda: cascade.confidential_against(timeline, 35))
+    assert [c for _, c in expectations] == [True, True, True, False]
+
+
+def test_wrap_io_equals_reencryption_io_artifact(run_once, emit_artifact):
+    """Wrapping avoids decryption but not the read+write byte traffic."""
+    rng = DeterministicRandom(0)
+    system = ArchiveSafeLT(make_node_fleet(2, providers=["org"]), rng)
+    object_size = 1 << 16
+    object_count = 8
+    for i in range(object_count):
+        system.store(f"doc-{i}", rng.bytes(object_size))
+    timeline = BreakTimeline()
+    timeline.schedule_break("aes-256-ctr", 10)
+    report = system.respond_to_break(timeline, epoch=10)
+    total_plain = object_size * object_count
+    table = render_table(
+        headers=["Metric", "Bytes", "vs plaintext"],
+        rows=[
+            ("wrap read", f"{report.bytes_read:,}", f"{report.bytes_read / total_plain:.2f}x"),
+            ("wrap write", f"{report.bytes_written:,}", f"{report.bytes_written / total_plain:.2f}x"),
+            ("full re-encrypt read+write", f"{2 * total_plain:,}", "2.00x"),
+        ],
+        title="ArchiveSafeLT wrap campaign I/O (8 x 64 KiB objects)",
+    )
+    emit_artifact("cascade_wrap_io", table)
+    run_once(lambda: system.retrieve("doc-0"))
+    assert report.bytes_read == total_plain
+    assert report.bytes_written == total_plain
+
+
+def test_key_history_growth_artifact(run_once, emit_artifact):
+    rng = DeterministicRandom(1)
+    system = ArchiveSafeLT(make_node_fleet(2, providers=["org"]), rng)
+    system.store("doc", rng.bytes(4096))
+    timeline = BreakTimeline()
+    rows = [(0, len(system._key_history["doc"]))]
+    # Break the newest layer every decade; the system re-wraps each time.
+    epochs_and_breaks = [(10, "aes-256-ctr"), (20, "chacha20")]
+    for epoch, cipher in epochs_and_breaks:
+        timeline.schedule_break(cipher, epoch)
+        system.respond_to_break(timeline, epoch)
+        rows.append((epoch, len(system._key_history["doc"])))
+    table = render_table(
+        headers=["Epoch", "Keys retained per object"],
+        rows=rows,
+        title="The 'growing history of encryption keys'",
+    )
+    emit_artifact("cascade_key_history", table)
+    run_once(lambda: system.retrieve("doc"))
+    assert rows[-1][1] > rows[0][1]
+    assert system.retrieve("doc") is not None
+
+
+def test_bench_cascade_encrypt_depth(benchmark):
+    data = DeterministicRandom(2).bytes(1 << 18)
+    cascade = CascadeCipher(
+        [
+            CascadeLayer(AesCtrCipher(), b"\x01" * 12),
+            CascadeLayer(ChaCha20Cipher(), b"\x02" * 12),
+        ]
+    )
+    keys = [b"\xaa" * 32, b"\xbb" * 32]
+    ct = benchmark(cascade.encrypt, keys, data)
+    assert len(ct) == len(data)
+
+
+def test_bench_wrap_campaign(benchmark):
+    def wrap_once():
+        rng = DeterministicRandom(3)
+        system = ArchiveSafeLT(make_node_fleet(2, providers=["org"]), rng)
+        system.store("doc", rng.bytes(1 << 16))
+        timeline = BreakTimeline()
+        timeline.schedule_break("aes-256-ctr", 1)
+        return system.respond_to_break(timeline, epoch=1)
+
+    report = benchmark.pedantic(wrap_once, rounds=3, iterations=1)
+    assert report.objects_wrapped == 1

@@ -1,0 +1,106 @@
+"""Archival media trade-off (paper Section 4).
+
+Reproduces the qualitative orderings behind the paper's media discussion:
+DNA densest but synthesis-cost-dominated; glass dense, millennia-durable,
+minimal upkeep, and the century-scale TCO winner; tape the incumbent; HDD
+excluded on cost/security grounds.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.storage.media import MEDIA_CATALOG, rank_media_by_tco
+
+
+def test_media_catalog_artifact(run_once, emit_artifact):
+    rows = []
+    for key, spec in sorted(MEDIA_CATALOG.items()):
+        rows.append(
+            (
+                spec.name,
+                f"{spec.density_tb_per_cc:g}",
+                f"{spec.cost_usd_per_tb:g}",
+                f"{spec.lifetime_years:g}",
+                "offline" if spec.offline else "online",
+            )
+        )
+    table = render_table(
+        headers=["Medium", "TB/cc", "$/TB", "Lifetime (y)", "Attack surface"],
+        rows=rows,
+        title="Archival media parameters (Section 4 sources)",
+    )
+    emit_artifact("media_catalog", table)
+    run_once(lambda: rank_media_by_tco(100))
+    # Paper's density claim: DNA ~8 orders of magnitude denser than tape.
+    assert (
+        MEDIA_CATALOG["dna"].density_tb_per_cc
+        / MEDIA_CATALOG["tape"].density_tb_per_cc
+        >= 1e6
+    )
+
+
+def test_century_tco_artifact(run_once, emit_artifact):
+    rows = []
+    rankings = {}
+    for horizon in (10, 100, 500):
+        ranked = rank_media_by_tco(horizon)
+        rankings[horizon] = [name for name, _ in ranked]
+        rows.extend(
+            (horizon, name, f"{cost:,.0f}") for name, cost in ranked
+        )
+    table = render_table(
+        headers=["Horizon (years)", "Medium", "Total $/TB"],
+        rows=rows,
+        title="Total cost of ownership per TB by horizon",
+    )
+    emit_artifact("media_tco", table)
+    run_once(lambda: rank_media_by_tco(500))
+    # Short horizons favor tape; century-scale favors glass (no refresh).
+    assert rankings[10][0] == "tape"
+    assert rankings[100][0] == "glass"
+    assert rankings[500][0] == "glass"
+    # DNA remains synthesis-cost-bound at every horizon.
+    assert rankings[100][-1] == "dna"
+
+
+def test_exabyte_volume_artifact(run_once, emit_artifact):
+    """The paper's '1 EB per cubic millimeter' framing, made concrete."""
+    capacity_tb = 1_000_000  # 1 EB
+    rows = []
+    for key in ("tape", "hdd", "glass", "dna", "film"):
+        spec = MEDIA_CATALOG[key]
+        liters = spec.volume_liters_for(capacity_tb)
+        rows.append((spec.name, f"{liters:,.1f}"))
+    table = render_table(
+        headers=["Medium", "Volume for 1 EB (liters)"],
+        rows=rows,
+        title="Physical volume of a 1 EB archive",
+    )
+    emit_artifact("media_volume", table)
+    run_once(lambda: MEDIA_CATALOG["dna"].volume_liters_for(capacity_tb))
+    assert MEDIA_CATALOG["dna"].volume_liters_for(capacity_tb) < 0.01
+
+
+def test_throughput_wall_artifact(run_once, emit_artifact):
+    """Media read throughput interacts with the Section 3.2 argument: a 10
+    PB archive's full read time per medium at 100 parallel readers."""
+    capacity_tb = 10_000
+    rows = []
+    for key, spec in sorted(MEDIA_CATALOG.items()):
+        days = spec.read_time_days(capacity_tb, drives=100)
+        rows.append((spec.name, f"{days:,.1f}"))
+    table = render_table(
+        headers=["Medium", "Days to read 10 PB (100 readers)"],
+        rows=rows,
+        title="Full-archive read time by medium",
+    )
+    emit_artifact("media_read_time", table)
+    run_once(lambda: MEDIA_CATALOG["tape"].read_time_days(capacity_tb, drives=100))
+    dna_days = MEDIA_CATALOG["dna"].read_time_days(capacity_tb, drives=100)
+    tape_days = MEDIA_CATALOG["tape"].read_time_days(capacity_tb, drives=100)
+    assert dna_days > 1000 * tape_days  # sequencing is the wall
+
+
+def test_bench_tco_ranking(benchmark):
+    ranked = benchmark(rank_media_by_tco, 100)
+    assert len(ranked) == len(MEDIA_CATALOG)

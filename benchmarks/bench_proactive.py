@@ -1,0 +1,145 @@
+"""Proactive share renewal vs. the mobile adversary, with its O(n^2) cost.
+
+Two halves of the paper's Section 3.2 argument:
+
+1. renewal defeats a mobile adversary whose per-epoch budget is below the
+   threshold (and fails when the cadence is slower than the accumulation
+   window) -- the compromise sweep;
+2. "share renewal requires every shareholder to send a share to each
+   shareholder.  This incurs high communication costs" -- the cost sweep,
+   which shows messages growing as n^2 and bytes as n^2 x object size.
+"""
+
+import pytest
+
+from repro.adversary.mobile import MobileAdversary, run_mobile_campaign
+from repro.analysis.report import render_table
+from repro.crypto.drbg import DeterministicRandom
+from repro.secretsharing.proactive import ProactiveShareGroup
+from repro.secretsharing.shamir import ShamirSecretSharing
+
+SECRET = DeterministicRandom(b"mobile-secret").bytes(1024)
+
+
+def campaign(n, t, budget, cadence, epochs=20):
+    scheme = ShamirSecretSharing(n, t)
+    group = ProactiveShareGroup(scheme, scheme.split(SECRET, DeterministicRandom(0)))
+    adversary = MobileAdversary(budget=budget, rng=DeterministicRandom(1))
+    return run_mobile_campaign(
+        group, adversary, epochs=epochs, renew_every=cadence,
+        rng=DeterministicRandom(2),
+    )
+
+
+def test_compromise_sweep_artifact(benchmark, emit_artifact):
+    def sweep():
+        rows = []
+        checks = []
+        for budget in (1, 2, 3):
+            for cadence in (None, 4, 1):
+                outcome = campaign(n=5, t=3, budget=budget, cadence=cadence)
+                rows.append(
+                    (
+                        budget,
+                        "never" if cadence is None else f"every {cadence}",
+                        "COMPROMISED @ epoch " + str(outcome.compromise_epoch)
+                        if outcome.compromised
+                        else "survived 20 epochs",
+                    )
+                )
+                checks.append((budget, cadence, outcome.compromised))
+        return rows, checks
+
+    rows, checks = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = render_table(
+        headers=["Adversary budget/epoch", "Renewal cadence", "Outcome (t=3, n=5)"],
+        rows=rows,
+        title="Mobile adversary vs proactive renewal",
+    )
+    emit_artifact("proactive_compromise", table)
+    # The paper's qualitative claims:
+    for budget, cadence, compromised in checks:
+        if cadence is None:
+            assert compromised, "without renewal the mobile adversary always wins"
+        elif cadence == 1 and budget < 3:
+            assert not compromised, "per-epoch renewal defeats sub-threshold budgets"
+        elif budget >= 3:
+            assert compromised, "threshold-sized budgets win regardless"
+
+
+def test_renewal_cost_sweep_artifact(benchmark, emit_artifact):
+    object_size = 4096
+    secret = DeterministicRandom(b"cost").bytes(object_size)
+
+    def sweep():
+        rows = []
+        costs = {}
+        for n in (3, 5, 9, 17):
+            t = (n + 1) // 2
+            scheme = ShamirSecretSharing(n, t)
+            group = ProactiveShareGroup(
+                scheme, scheme.split(secret, DeterministicRandom(3))
+            )
+            report = group.renew(DeterministicRandom(4))
+            costs[n] = report
+            rows.append(
+                (n, t, report.messages, f"{report.bytes_sent:,}",
+                 f"{report.bytes_sent / object_size:.1f}x object")
+            )
+        return rows, costs
+
+    rows, costs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = render_table(
+        headers=["n", "t", "Messages", "Bytes sent", "Traffic amplification"],
+        rows=rows,
+        title="Herzberg renewal cost per object per epoch (4 KiB object)",
+    )
+    emit_artifact("proactive_cost", table)
+    # O(n^2) messages: quadrupling-ish when n doubles.
+    assert costs[9].messages == 81 and costs[3].messages == 9
+    ratio = costs[9].bytes_sent / costs[3].bytes_sent
+    assert 7.0 < ratio < 11.0  # ~9x for 3x the shareholders
+
+
+def test_renewal_at_archive_scale_artifact(benchmark, emit_artifact):
+    """The paper: renewing many objects in a short window 'may become
+    impractical for the same reasons as re-encryption' -- price it."""
+    n, t = 5, 3
+    object_size = 1 << 20  # 1 MiB
+    per_object_bytes = n * n * (object_size + 32)
+
+    def sweep():
+        rows = []
+        for object_count, label in ((1_000, "1k objects (1 GB archive)"),
+                                    (1_000_000, "1M objects (1 TB archive)"),
+                                    (80_000_000_000, "80B objects (80 PB archive)")):
+            total = per_object_bytes * object_count
+            days_at_1gbps = total / (125_000_000 * 86_400)
+            rows.append((label, f"{total / 1e12:,.1f} TB", f"{days_at_1gbps:,.1f}"))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = render_table(
+        headers=["Archive", "Renewal traffic per epoch", "Days at 1 Gb/s"],
+        rows=rows,
+        title=f"Proactive renewal traffic, (n={n}, t={t}), 1 MiB objects",
+    )
+    emit_artifact("proactive_scale", table)
+
+
+def test_bench_renewal_round(benchmark):
+    scheme = ShamirSecretSharing(5, 3)
+    group = ProactiveShareGroup(
+        scheme, scheme.split(DeterministicRandom(5).bytes(1 << 16), DeterministicRandom(6))
+    )
+    rng = DeterministicRandom(7)
+    report = benchmark.pedantic(lambda: group.renew(rng), rounds=5, iterations=1)
+    assert report.messages == 25
+
+
+def test_bench_mobile_campaign(benchmark):
+    outcome = benchmark.pedantic(
+        campaign, kwargs={"n": 5, "t": 3, "budget": 1, "cadence": 1, "epochs": 10},
+        rounds=3, iterations=1,
+    )
+    assert not outcome.compromised

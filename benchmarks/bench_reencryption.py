@@ -1,0 +1,77 @@
+"""Section 3.2: whole-archive re-encryption feasibility.
+
+Reproduces the paper's in-text numbers (Oak Ridge 6.75 mo, ECMWF 10.35 mo,
+CERN EOS 8.3 mo, Pergamum 0.76 mo read times; x2 write; x2 reserve; 'many
+years' at exabyte scale), with the day-stepped simulator as a cross-check,
+plus the vulnerability-window curve the text describes qualitatively.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.analysis.reencryption_table import generate_reencryption_table
+from repro.storage.archive_model import PAPER_ARCHIVES, EB, exabyte_extrapolation
+from repro.storage.simulator import simulate_reencryption
+
+
+def test_reencryption_artifact(benchmark, emit_artifact):
+    table = benchmark.pedantic(generate_reencryption_table, rounds=1, iterations=1)
+    emit_artifact("reencryption_table", table.render())
+    assert table.shape_holds
+
+
+def test_vulnerability_window_artifact(benchmark, emit_artifact):
+    """The 'not-yet-encrypted data remains vulnerable' curve for CERN EOS."""
+    archive = PAPER_ARCHIVES[2]
+    sim = benchmark.pedantic(
+        simulate_reencryption, args=(archive,), kwargs={"record_every": 60},
+        rounds=1, iterations=1,
+    )
+    rows = [
+        (day.day, f"{day.converted_tb:,.0f}", f"{100 * day.vulnerable_fraction:.1f}%")
+        for day in sim.timeline
+    ]
+    text = render_table(
+        headers=["Day", "Converted (TB)", "Still vulnerable"],
+        rows=rows,
+        title=f"Vulnerability window during re-encryption of {archive.name}",
+    )
+    emit_artifact("vulnerability_window", text)
+    assert sim.timeline[0].vulnerable_fraction > 0.9
+    assert sim.timeline[-1].vulnerable_fraction == pytest.approx(0.0, abs=1e-9)
+
+
+def test_extrapolation_artifact(benchmark, emit_artifact):
+    def sweep():
+        rows = []
+        for capacity, label in ((1 * EB, "1 EB"), (10 * EB, "10 EB"), (100 * EB, "100 EB")):
+            for scaling in (1.0, 0.75, 0.5):
+                est = exabyte_extrapolation(
+                    PAPER_ARCHIVES[0], capacity, throughput_scaling=scaling
+                )
+                rows.append((label, f"{scaling:.2f}", f"{est.total_years:.1f}"))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = render_table(
+        headers=["Capacity", "Throughput scaling", "Campaign (years)"],
+        rows=rows,
+        title="Exabyte-scale extrapolation ('many years')",
+    )
+    emit_artifact("reencryption_extrapolation", text)
+
+
+def test_bench_simulator(benchmark):
+    result = benchmark.pedantic(
+        simulate_reencryption,
+        args=(PAPER_ARCHIVES[2],),
+        kwargs={"record_every": 30},
+        rounds=3,
+        iterations=1,
+    )
+    assert result.days > 0
+
+
+def test_bench_analytic_table(benchmark):
+    result = benchmark.pedantic(generate_reencryption_table, rounds=3, iterations=1)
+    assert result.shape_holds

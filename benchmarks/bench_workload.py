@@ -1,0 +1,91 @@
+"""End-to-end system throughput under a realistic archival workload.
+
+Drives every Table 1 system (plus the ELSA extension) with the same
+generated workload -- heavy-tailed object sizes, write-once ingest,
+recency-skewed rare reads -- and reports ingest volume, read volume, and
+measured storage expansion.  The replay verifies every read, so this is
+also the broadest integration test in the repository.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.crypto.drbg import DeterministicRandom
+from repro.storage.node import make_node_fleet
+from repro.storage.workload import WorkloadSpec, generate_workload, replay
+from repro.systems import (
+    AontRsArchive,
+    ArchiveSafeLT,
+    CloudProviderArchive,
+    ElsaStyleArchive,
+    HasDpss,
+    Lincos,
+    Potshards,
+    VsrArchive,
+)
+
+SPEC = WorkloadSpec(
+    objects_per_epoch=6,
+    epochs=3,
+    median_object_bytes=2048,
+    read_fraction=0.2,
+)
+
+
+def build_systems():
+    return [
+        CloudProviderArchive(make_node_fleet(2, providers=["aws"]), DeterministicRandom(1)),
+        ArchiveSafeLT(make_node_fleet(2, providers=["org"]), DeterministicRandom(2)),
+        AontRsArchive(make_node_fleet(6), DeterministicRandom(3)),
+        ElsaStyleArchive(make_node_fleet(6), DeterministicRandom(4)),
+        Potshards(make_node_fleet(8), DeterministicRandom(5)),
+        Lincos(make_node_fleet(5), DeterministicRandom(6)),
+        VsrArchive(make_node_fleet(8), DeterministicRandom(7)),
+        HasDpss(make_node_fleet(8), DeterministicRandom(8)),
+    ]
+
+
+def test_workload_replay_artifact(run_once, emit_artifact):
+    def sweep():
+        workload = generate_workload(SPEC, seed=2024)
+        rows = []
+        for system in build_systems():
+            stats = replay(workload, system)
+            rows.append(
+                (
+                    system.name,
+                    stats["objects"],
+                    f"{stats['bytes_ingested']:,}",
+                    stats["reads"],
+                    f"{stats['stored_bytes'] / stats['bytes_ingested']:.2f}x",
+                )
+            )
+        return rows
+
+    rows = run_once(sweep)
+    table = render_table(
+        headers=["System", "Objects", "Ingested (B)", "Reads verified", "Expansion"],
+        rows=rows,
+        title="Common workload replay across all systems (18 objects, 3 epochs)",
+    )
+    emit_artifact("workload_replay", table)
+    expansion = {row[0]: float(row[4][:-1]) for row in rows}
+    # The Table 1 cost ordering must survive a realistic workload too.
+    assert expansion["POTSHARDS"] > expansion["LINCOS"] > expansion["AONT-RS"]
+    assert expansion["ELSA-style"] < 2.5
+
+
+def test_bench_replay_single_system(benchmark):
+    def run():
+        workload = generate_workload(SPEC, seed=7)
+        system = AontRsArchive(make_node_fleet(6), DeterministicRandom(9))
+        return replay(workload, system)
+
+    stats = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert stats["objects"] == SPEC.objects_per_epoch * SPEC.epochs
+
+
+def test_bench_workload_generation(benchmark):
+    big = WorkloadSpec(objects_per_epoch=200, epochs=10, read_fraction=0.1)
+    workload = benchmark(generate_workload, big, 1)
+    assert len(workload.objects) == 2000

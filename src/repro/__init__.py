@@ -1,0 +1,31 @@
+"""repro -- a crypto-agile secure archival library.
+
+A full reproduction of *"Secure Archival is Hard... Really Hard"*
+(HotStorage '24): every technique the paper surveys -- secret sharing and
+its proactive/verifiable/leakage-resilient/packed variants, AONT-RS,
+cascade ciphers, timestamp chains with Pedersen commitments, QKD and
+Bounded-Storage-Model channels, the mobile and harvest-now-decrypt-later
+adversaries, and the re-encryption feasibility model -- implemented from
+scratch and wired into working archival systems.
+
+Start with :class:`repro.core.SecureArchive` (see ``examples/quickstart.py``)
+or regenerate the paper's artifacts via :mod:`repro.analysis`.
+"""
+
+from repro.core.archive import SecureArchive
+from repro.core.policy import ArchivePolicy, ConfidentialityTarget
+from repro.crypto.drbg import DeterministicRandom
+from repro.crypto.registry import BreakTimeline
+from repro.storage.node import make_node_fleet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SecureArchive",
+    "ArchivePolicy",
+    "ConfidentialityTarget",
+    "DeterministicRandom",
+    "BreakTimeline",
+    "make_node_fleet",
+    "__version__",
+]

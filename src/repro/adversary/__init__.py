@@ -1,0 +1,37 @@
+"""Adversary models and attack harnesses.
+
+The paper's Section 2 lays out a spectrum of adversaries; this package makes
+each executable:
+
+- ``model`` -- the taxonomy: PPT, unbounded, time-indexed, rate-bounded
+  computational power; static vs mobile corruption.
+- ``mobile`` -- the Ostrovsky-Yung mobile adversary walking a node fleet
+  epoch by epoch, against which proactive renewal is the defense.
+- ``harvest`` -- the Harvest Now, Decrypt Later harness: record ciphertext
+  today, advance the break timeline, decrypt tomorrow.
+
+Cryptanalytic obsolescence itself is modeled by
+:class:`repro.crypto.registry.BreakTimeline`.
+"""
+
+from repro.adversary.model import AdversaryModel, ComputePower, STANDARD_MODELS
+from repro.adversary.mobile import MobileAdversary, MobileAttackOutcome
+from repro.adversary.harvest import HarvestingAdversary, HarvestOutcome
+from repro.adversary.computation import (
+    ComputeBudget,
+    bits_needed_for_horizon,
+    derive_timeline,
+)
+
+__all__ = [
+    "AdversaryModel",
+    "ComputePower",
+    "STANDARD_MODELS",
+    "MobileAdversary",
+    "MobileAttackOutcome",
+    "HarvestingAdversary",
+    "HarvestOutcome",
+    "ComputeBudget",
+    "bits_needed_for_horizon",
+    "derive_timeline",
+]

@@ -1,0 +1,99 @@
+"""Harvest Now, Decrypt Later (HNDL).
+
+Paper, Section 1: re-encryption "fails to address the threat of adversaries
+who steal encrypted data now with the hopes of extracting useful information
+years down the line; this is called a 'Harvest Now, Decrypt Later' attack --
+a threat being taken seriously by industry and government alike".
+
+The harness is deliberately literal.  At harvest time the adversary stores
+an *attempt closure* around whatever it stole (wire bytes, at-rest shares);
+at any later epoch it replays every closure against the break timeline.
+Closures must raise (:class:`ChannelError`, :class:`CipherBrokenError`,
+:class:`DecodingError`...) while the defenses hold and return plaintext once
+they fall -- so a system's HNDL resistance is measured, not asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.crypto.registry import BreakTimeline
+from repro.errors import ReproError
+
+#: An attempt closure: (timeline, epoch) -> recovered plaintext, or raise.
+AttemptFn = Callable[[BreakTimeline, int], bytes]
+
+
+@dataclass
+class HarvestedItem:
+    label: str
+    harvested_epoch: int
+    attempt: AttemptFn
+
+
+@dataclass
+class HarvestOutcome:
+    """One (item, epoch) decryption attempt."""
+
+    label: str
+    harvested_epoch: int
+    attempt_epoch: int
+    recovered: bytes | None
+    failure_reason: str | None
+
+    @property
+    def success(self) -> bool:
+        return self.recovered is not None
+
+
+@dataclass
+class HarvestingAdversary:
+    """Stores ciphertext today, retries decryption as epochs pass."""
+
+    timeline: BreakTimeline
+    items: list[HarvestedItem] = field(default_factory=list)
+
+    def harvest(self, label: str, epoch: int, attempt: AttemptFn) -> None:
+        """Record stolen material together with its decryption procedure."""
+        self.items.append(
+            HarvestedItem(label=label, harvested_epoch=epoch, attempt=attempt)
+        )
+
+    def attempt_all(self, epoch: int) -> list[HarvestOutcome]:
+        """Replay every harvested item against the timeline at *epoch*."""
+        outcomes = []
+        for item in self.items:
+            try:
+                recovered = item.attempt(self.timeline, epoch)
+                outcome = HarvestOutcome(
+                    label=item.label,
+                    harvested_epoch=item.harvested_epoch,
+                    attempt_epoch=epoch,
+                    recovered=recovered,
+                    failure_reason=None,
+                )
+            except ReproError as exc:
+                outcome = HarvestOutcome(
+                    label=item.label,
+                    harvested_epoch=item.harvested_epoch,
+                    attempt_epoch=epoch,
+                    recovered=None,
+                    failure_reason=f"{type(exc).__name__}: {exc}",
+                )
+            outcomes.append(outcome)
+        return outcomes
+
+    def successes(self, epoch: int) -> list[HarvestOutcome]:
+        return [o for o in self.attempt_all(epoch) if o.success]
+
+    def first_success_epoch(
+        self, label: str, horizon: int, step: int = 1
+    ) -> int | None:
+        """Scan epochs 0..horizon for the first successful decryption of
+        *label* -- 'years down the line', located exactly."""
+        for epoch in range(0, horizon + 1, step):
+            for outcome in self.attempt_all(epoch):
+                if outcome.label == label and outcome.success:
+                    return epoch
+        return None

@@ -1,0 +1,110 @@
+"""The Ostrovsky-Yung mobile adversary, walking a shared object's holders.
+
+Paper, Section 3.2: "given enough time, we must entertain the possibility
+that a mobile adversary eventually steals a threshold number of shares"; and
+proactive renewal is the countermeasure because it "re-randomizes shares",
+"rendering stolen shares obsolete".
+
+:class:`MobileAdversary` corrupts up to *budget* shareholders per epoch
+(choosing targets it has not yet visited this refresh period first), records
+every share it sees tagged with its epoch, and wins if it ever holds >= t
+shares *from the same epoch*.  Running the same walk with and without
+renewal between epochs is the proactive-sharing benchmark's core sweep: the
+paper's qualitative claim is that without renewal compromise is inevitable
+(after ceil(t/budget) epochs), while with per-epoch renewal the adversary
+never accumulates a same-epoch threshold as long as budget < t.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.drbg import DeterministicRandom
+from repro.errors import AdversaryError
+from repro.secretsharing.proactive import EpochShare, ProactiveShareGroup
+
+
+@dataclass
+class MobileAttackOutcome:
+    """Result of a mobile-adversary campaign against one shared object."""
+
+    compromised: bool
+    compromise_epoch: int | None
+    epochs_run: int
+    shares_stolen: int
+    recovered_secret: bytes | None = None
+
+
+@dataclass
+class MobileAdversary:
+    """Corrupts up to *budget* shareholders per epoch."""
+
+    budget: int
+    rng: DeterministicRandom
+    stolen: list[EpochShare] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.budget < 0:
+            raise AdversaryError("corruption budget must be >= 0")
+
+    def corrupt_epoch(self, group: ProactiveShareGroup) -> list[EpochShare]:
+        """One epoch's corruption: visit *budget* holders, copy their shares."""
+        holders = sorted(range(1, group.n + 1))
+        # Prefer holders whose current-epoch share we don't have yet.
+        have_now = {
+            es.share.index for es in self.stolen if es.epoch == group.epoch
+        }
+        fresh = [h for h in holders if h not in have_now]
+        targets = (fresh + [h for h in holders if h in have_now])[: self.budget]
+        grabbed = [group.share_of(t) for t in targets]
+        self.stolen.extend(grabbed)
+        return grabbed
+
+    def same_epoch_haul(self) -> dict[int, set[int]]:
+        """Epoch -> set of share indices held from that epoch."""
+        haul: dict[int, set[int]] = {}
+        for es in self.stolen:
+            haul.setdefault(es.epoch, set()).add(es.share.index)
+        return haul
+
+    def try_win(self, group: ProactiveShareGroup) -> bytes | None:
+        """Attempt reconstruction from any same-epoch haul of size >= t."""
+        for epoch, indices in self.same_epoch_haul().items():
+            if len(indices) >= group.scheme.t:
+                shares = [
+                    es.share
+                    for es in self.stolen
+                    if es.epoch == epoch and es.share.index in indices
+                ]
+                return group.scheme.reconstruct(shares)[: group.original_length]
+        return None
+
+
+def run_mobile_campaign(
+    group: ProactiveShareGroup,
+    adversary: MobileAdversary,
+    epochs: int,
+    renew_every: int | None,
+    rng: DeterministicRandom,
+) -> MobileAttackOutcome:
+    """Walk *epochs* epochs; renew shares every *renew_every* epochs
+    (None = never, the no-defense baseline)."""
+    for epoch_number in range(1, epochs + 1):
+        adversary.corrupt_epoch(group)
+        recovered = adversary.try_win(group)
+        if recovered is not None:
+            return MobileAttackOutcome(
+                compromised=True,
+                compromise_epoch=epoch_number,
+                epochs_run=epoch_number,
+                shares_stolen=len(adversary.stolen),
+                recovered_secret=recovered,
+            )
+        if renew_every and epoch_number % renew_every == 0:
+            group.renew(rng)
+    return MobileAttackOutcome(
+        compromised=False,
+        compromise_epoch=None,
+        epochs_run=epochs,
+        shares_stolen=len(adversary.stolen),
+    )

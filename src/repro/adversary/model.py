@@ -1,0 +1,91 @@
+"""Adversary taxonomy (paper Section 2, "Threat Modeling").
+
+"Typically, adversaries are viewed as Turing machines with either
+probabilistic polynomial runtime (PPT) or completely unbounded runtime, but
+some works make more nuanced computational assumptions" -- rate-bounded
+real-time adversaries (Canetti et al.) and time-indexed sequences of
+increasingly powerful adversaries (Buldas et al.).  "In this work we
+consider a mobile adversary with computational power bounded in this more
+nuanced manner."
+
+:class:`AdversaryModel` couples a compute-power class with corruption
+parameters; :meth:`AdversaryModel.can_defeat` answers whether a given
+primitive falls to this adversary at a given epoch, which is the predicate
+all the attack harnesses and the security classifier share.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.crypto.registry import BreakTimeline, PrimitiveInfo
+from repro.errors import ParameterError
+from repro.security import SecurityNotion
+
+
+class ComputePower(enum.Enum):
+    """Computational power classes from the paper's Section 2."""
+
+    #: Probabilistic polynomial time: breaks nothing until cryptanalysis
+    #: (the break timeline) hands it an attack.
+    PPT = "ppt"
+    #: Unbounded: instantly breaks everything computational.  "Unbounded
+    #: computing machines do not exist in the real world" (Landauer), but
+    #: the class is instructive -- ITS schemes shrug it off.
+    UNBOUNDED = "unbounded"
+    #: A sequence of adversaries indexed by time, each drawn from a more
+    #: powerful class (Buldas-Geihs-Buchmann): concretely, the adversary at
+    #: epoch e defeats exactly what the timeline says is broken by e.
+    TIME_INDEXED = "time-indexed"
+    #: Rate-bounded real time (Canetti et al.): like TIME_INDEXED, plus a
+    #: bound on how much it can corrupt per epoch (enforced by the mobile
+    #: harness, not here).
+    RATE_BOUNDED = "rate-bounded"
+
+
+@dataclass(frozen=True)
+class AdversaryModel:
+    """One fully specified adversary."""
+
+    name: str
+    power: ComputePower
+    #: Maximum nodes corrupted simultaneously (the mobile threshold b).
+    corruption_budget: int = 1
+    #: Whether corruption can move between nodes across epochs (mobile).
+    mobile: bool = True
+
+    def __post_init__(self) -> None:
+        if self.corruption_budget < 0:
+            raise ParameterError("corruption budget must be >= 0")
+
+    def can_defeat(
+        self, primitive: PrimitiveInfo, timeline: BreakTimeline, epoch: int
+    ) -> bool:
+        """Does this adversary defeat *primitive* at *epoch*?"""
+        if primitive.notion is SecurityNotion.INFORMATION_THEORETIC:
+            return False  # regardless of compute power -- the paper's point
+        if self.power is ComputePower.UNBOUNDED:
+            return True
+        # PPT / time-indexed / rate-bounded: defer to the break timeline.
+        return timeline.is_broken(primitive.name, epoch)
+
+
+#: The named adversaries used across tests and benchmarks.
+STANDARD_MODELS: dict[str, AdversaryModel] = {
+    "ppt-static": AdversaryModel(
+        name="ppt-static", power=ComputePower.PPT, corruption_budget=1, mobile=False
+    ),
+    "ppt-mobile": AdversaryModel(
+        name="ppt-mobile", power=ComputePower.PPT, corruption_budget=1, mobile=True
+    ),
+    "time-indexed-mobile": AdversaryModel(
+        name="time-indexed-mobile",
+        power=ComputePower.TIME_INDEXED,
+        corruption_budget=1,
+        mobile=True,
+    ),
+    "unbounded": AdversaryModel(
+        name="unbounded", power=ComputePower.UNBOUNDED, corruption_budget=1, mobile=True
+    ),
+}

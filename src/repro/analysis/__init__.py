@@ -1,0 +1,20 @@
+"""Artifact generators: one module per figure/table in the paper.
+
+- ``figure1`` -- the storage-cost vs security-level quadrant, measured;
+- ``table1`` -- the systems-summary table, measured end to end;
+- ``reencryption_table`` -- the Section 3.2 re-encryption feasibility
+  numbers (Oak Ridge / ECMWF / CERN / Pergamum), analytic + simulated;
+- ``report`` -- plain-text table rendering shared by the benchmarks.
+"""
+
+from repro.analysis.figure1 import generate_figure1
+from repro.analysis.table1 import generate_table1
+from repro.analysis.reencryption_table import generate_reencryption_table
+from repro.analysis.report import render_table
+
+__all__ = [
+    "generate_figure1",
+    "generate_table1",
+    "generate_reencryption_table",
+    "render_table",
+]

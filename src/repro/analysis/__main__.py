@@ -1,0 +1,63 @@
+"""Regenerate every paper artifact from the command line.
+
+    python -m repro.analysis            # all three artifacts
+    python -m repro.analysis figure1    # just one
+
+Prints the measured Figure 1, Table 1, and Section 3.2 re-encryption table,
+each followed by its shape verdict.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.figure1 import generate_figure1
+from repro.analysis.reencryption_table import generate_reencryption_table
+from repro.analysis.table1 import generate_table1
+
+
+def _figure1() -> bool:
+    result = generate_figure1()
+    print(result.render())
+    print(f"\n=> Figure 1 shape {'HOLDS' if result.shape_holds else 'BROKEN'}\n")
+    return result.shape_holds
+
+
+def _table1() -> bool:
+    result = generate_table1()
+    print(result.render())
+    verdict = "8/8 rows match" if result.all_match else f"mismatches: {result.matches}"
+    print(f"\n=> Table 1: {verdict}\n")
+    return result.all_match
+
+
+def _reencryption() -> bool:
+    result = generate_reencryption_table()
+    print(result.render())
+    print(f"\n=> Section 3.2 shape {'HOLDS' if result.shape_holds else 'BROKEN'}\n")
+    return result.shape_holds
+
+
+_ARTIFACTS = {
+    "figure1": _figure1,
+    "table1": _table1,
+    "reencryption": _reencryption,
+}
+
+
+def main(argv: list[str]) -> int:
+    requested = argv or list(_ARTIFACTS)
+    unknown = [name for name in requested if name not in _ARTIFACTS]
+    if unknown:
+        print(f"unknown artifact(s): {', '.join(unknown)}; "
+              f"choose from {', '.join(_ARTIFACTS)}")
+        return 2
+    ok = True
+    for name in requested:
+        print(f"{'=' * 72}\n{name}\n{'=' * 72}")
+        ok = _ARTIFACTS[name]() and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

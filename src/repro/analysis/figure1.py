@@ -1,0 +1,100 @@
+"""Figure 1 generator: measured storage cost vs classified security level.
+
+Regenerates the paper's qualitative quadrant graph from the implemented
+encodings.  :func:`generate_figure1` returns the points plus the paper's
+qualitative assertions evaluated against the measurements, so both the
+benchmark and the tests share one source of truth about "does our Figure 1
+have the paper's shape?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import render_table
+from repro.core.tradeoff import EncodingPoint, TradeoffAnalyzer
+from repro.security import SecurityLevel
+
+
+@dataclass
+class Figure1Result:
+    points: list[EncodingPoint]
+    assertions: dict[str, bool]
+
+    @property
+    def shape_holds(self) -> bool:
+        return all(self.assertions.values())
+
+    def render(self) -> str:
+        table = render_table(
+            headers=["Encoding", "Security level", "Overhead (x)", "Note"],
+            rows=[
+                (p.label, p.security_level.name, p.storage_overhead, p.note)
+                for p in sorted(self.points, key=lambda p: p.coordinates)
+            ],
+            title="Figure 1 (measured): storage cost vs security level",
+        )
+        quadrant = TradeoffAnalyzer.render_quadrant(self.points)
+        checks = "\n".join(
+            f"  [{'ok' if ok else 'FAIL'}] {name}" for name, ok in self.assertions.items()
+        )
+        return f"{table}\n\n{quadrant}\n\nPaper-shape assertions:\n{checks}"
+
+
+def generate_figure1(
+    n: int = 5, t: int = 3, object_size: int = 1 << 16
+) -> Figure1Result:
+    analyzer = TradeoffAnalyzer(n=n, t=t)
+    points = analyzer.analyze(object_size=object_size)
+    by_name = {p.name: p for p in points}
+
+    assertions = {
+        # Left column of Figure 1: replication and erasure coding give no
+        # confidentiality; erasure coding is the cheaper of the two.
+        "replication and erasure coding provide no confidentiality": (
+            by_name["replication"].security_level is SecurityLevel.NONE
+            and by_name["erasure"].security_level is SecurityLevel.NONE
+        ),
+        "erasure coding is cheaper than replication": (
+            by_name["erasure"].storage_overhead
+            < by_name["replication"].storage_overhead
+        ),
+        # Bottom: traditional encryption is cheap but only computational.
+        "traditional encryption is low-cost": (
+            by_name["traditional-encryption"].storage_overhead < 1.5
+        ),
+        "traditional encryption is computational": (
+            by_name["traditional-encryption"].security_level
+            is SecurityLevel.COMPUTATIONAL
+        ),
+        # Right column: the sharing family is information-theoretic.
+        "secret sharing is information-theoretic": (
+            by_name["shamir"].security_level is SecurityLevel.ITS_PERFECT
+        ),
+        # Orderings within the ITS family.
+        "packed sharing is cheaper than Shamir": (
+            by_name["packed"].storage_overhead < by_name["shamir"].storage_overhead
+        ),
+        "LRSS costs at least as much as Shamir": (
+            by_name["lrss"].storage_overhead >= by_name["shamir"].storage_overhead
+        ),
+        # Shamir's cost matches replication (the Beimel bound).
+        "Shamir costs ~ replication": (
+            abs(
+                by_name["shamir"].storage_overhead
+                - by_name["replication"].storage_overhead
+            )
+            < 0.2
+        ),
+        # The odd duck: entropic encryption is cheap and conditionally ITS.
+        "entropic encryption is low-cost conditional ITS": (
+            by_name["entropic"].storage_overhead < 1.5
+            and by_name["entropic"].security_level is SecurityLevel.ITS_CONDITIONAL
+        ),
+        # The smiley-face corner stays empty: nothing unconditional is cheap.
+        "no unconditional ITS encoding is low-cost": not any(
+            p.security_level is SecurityLevel.ITS_PERFECT and p.storage_overhead < 2.5
+            for p in points
+        ),
+    }
+    return Figure1Result(points=points, assertions=assertions)

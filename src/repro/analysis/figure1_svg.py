@@ -1,0 +1,124 @@
+"""SVG rendering of the measured Figure 1 (no plotting dependencies).
+
+The paper's Figure 1 is a drawing; this module regenerates it as a real
+scatter plot from the measured :class:`repro.core.tradeoff.EncodingPoint`
+list -- security level on the x-axis (ordinal), storage overhead on the
+y-axis (log scale), quadrant shading, and the smiley-face corner the paper
+wants systems to reach.
+"""
+
+from __future__ import annotations
+
+import math
+from xml.sax.saxutils import escape
+
+from repro.core.tradeoff import EncodingPoint
+from repro.errors import ParameterError
+from repro.security import SecurityLevel
+
+_WIDTH = 860
+_HEIGHT = 560
+_MARGIN_LEFT = 90
+_MARGIN_RIGHT = 40
+_MARGIN_TOP = 70
+_MARGIN_BOTTOM = 80
+
+_PLOT_W = _WIDTH - _MARGIN_LEFT - _MARGIN_RIGHT
+_PLOT_H = _HEIGHT - _MARGIN_TOP - _MARGIN_BOTTOM
+
+#: x positions per security rank (0..5), evenly spread.
+_MAX_RANK = SecurityLevel.ITS_PERFECT.rank
+
+
+def _x(rank: int) -> float:
+    return _MARGIN_LEFT + _PLOT_W * rank / _MAX_RANK
+
+
+def _y(overhead: float, max_overhead: float) -> float:
+    # Log scale from 1x to max; 1x sits at the bottom axis.
+    span = math.log10(max(max_overhead, 1.01))
+    fraction = math.log10(max(overhead, 1.0)) / span if span else 0.0
+    return _MARGIN_TOP + _PLOT_H * (1 - fraction)
+
+
+def render_figure1_svg(points: list[EncodingPoint]) -> str:
+    """Render the measured points as a self-contained SVG document."""
+    if not points:
+        raise ParameterError("no points to plot")
+    max_overhead = max(p.storage_overhead for p in points) * 1.3
+    mid_x = _MARGIN_LEFT + _PLOT_W * (SecurityLevel.ITS_CONDITIONAL.rank - 0.5) / _MAX_RANK
+    mid_y = _y(2.5, max_overhead)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" height="{_HEIGHT}" '
+        f'viewBox="0 0 {_WIDTH} {_HEIGHT}" font-family="sans-serif">',
+        f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>',
+        '<text x="430" y="32" text-anchor="middle" font-size="18" font-weight="bold">'
+        "Figure 1 (measured): storage cost vs. security level</text>",
+        # Quadrant shading: the desirable corner (low cost, high security).
+        f'<rect x="{mid_x}" y="{mid_y}" width="{_MARGIN_LEFT + _PLOT_W - mid_x}" '
+        f'height="{_MARGIN_TOP + _PLOT_H - mid_y}" fill="#e8f7e8"/>',
+        # Axes.
+        f'<line x1="{_MARGIN_LEFT}" y1="{_MARGIN_TOP + _PLOT_H}" '
+        f'x2="{_MARGIN_LEFT + _PLOT_W}" y2="{_MARGIN_TOP + _PLOT_H}" stroke="black"/>',
+        f'<line x1="{_MARGIN_LEFT}" y1="{_MARGIN_TOP}" '
+        f'x2="{_MARGIN_LEFT}" y2="{_MARGIN_TOP + _PLOT_H}" stroke="black"/>',
+        f'<text x="{_MARGIN_LEFT + _PLOT_W / 2}" y="{_HEIGHT - 18}" '
+        'text-anchor="middle" font-size="14">Security level &#8594;</text>',
+        f'<text x="24" y="{_MARGIN_TOP + _PLOT_H / 2}" font-size="14" '
+        f'transform="rotate(-90 24 {_MARGIN_TOP + _PLOT_H / 2})" '
+        'text-anchor="middle">Storage cost (x plaintext, log) &#8594;</text>',
+        # Quadrant divider lines.
+        f'<line x1="{mid_x}" y1="{_MARGIN_TOP}" x2="{mid_x}" '
+        f'y2="{_MARGIN_TOP + _PLOT_H}" stroke="#999" stroke-dasharray="6,4"/>',
+        f'<line x1="{_MARGIN_LEFT}" y1="{mid_y}" x2="{_MARGIN_LEFT + _PLOT_W}" '
+        f'y2="{mid_y}" stroke="#999" stroke-dasharray="6,4"/>',
+        # The smiley face in the empty desirable corner.
+        _smiley(_MARGIN_LEFT + _PLOT_W - 60, _MARGIN_TOP + _PLOT_H - 55),
+    ]
+
+    # x-axis tick labels per security level.
+    for level in SecurityLevel:
+        parts.append(
+            f'<text x="{_x(level.rank)}" y="{_MARGIN_TOP + _PLOT_H + 20}" '
+            f'text-anchor="middle" font-size="10">{escape(level.name)}</text>'
+        )
+    # y-axis reference ticks.
+    for tick in (1, 2, 5, 10):
+        if tick <= max_overhead:
+            y = _y(tick, max_overhead)
+            parts.append(
+                f'<line x1="{_MARGIN_LEFT - 5}" y1="{y}" x2="{_MARGIN_LEFT}" '
+                f'y2="{y}" stroke="black"/>'
+                f'<text x="{_MARGIN_LEFT - 10}" y="{y + 4}" text-anchor="end" '
+                f'font-size="11">{tick}x</text>'
+            )
+
+    # Points, with collision-avoiding label stacking per (x, rounded-y).
+    seen: dict[tuple[int, int], int] = {}
+    for point in sorted(points, key=lambda p: p.coordinates):
+        x = _x(point.security_level.rank)
+        y = _y(point.storage_overhead, max_overhead)
+        slot = seen.setdefault((point.security_level.rank, int(y // 24)), 0)
+        seen[(point.security_level.rank, int(y // 24))] += 1
+        label_y = y - 10 - slot * 14
+        color = "#2c7fb8" if point.security_level >= SecurityLevel.ITS_CONDITIONAL else "#d95f0e"
+        parts.append(f'<circle cx="{x}" cy="{y}" r="6" fill="{color}"/>')
+        parts.append(
+            f'<text x="{x}" y="{label_y}" text-anchor="middle" font-size="11">'
+            f"{escape(point.label)} ({point.storage_overhead:.1f}x)</text>"
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _smiley(cx: float, cy: float) -> str:
+    return (
+        f'<g stroke="#2a8f2a" fill="none" stroke-width="2">'
+        f'<circle cx="{cx}" cy="{cy}" r="18"/>'
+        f'<circle cx="{cx - 6}" cy="{cy - 5}" r="2" fill="#2a8f2a"/>'
+        f'<circle cx="{cx + 6}" cy="{cy - 5}" r="2" fill="#2a8f2a"/>'
+        f'<path d="M {cx - 8} {cy + 5} Q {cx} {cy + 13} {cx + 8} {cy + 5}"/>'
+        "</g>"
+    )

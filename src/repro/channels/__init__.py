@@ -1,0 +1,33 @@
+"""Communication channels with explicit security classification.
+
+Paper, Section 3.2: "an adversary may find it more fruitful to steal data in
+transit rather than data at rest, since TLS encryption is only
+computationally secure.  This motivates a desire for information-
+theoretically secure communication channels."
+
+Three channels, one per position in that argument:
+
+- ``tls`` -- a TLS-like channel (ephemeral key exchange + symmetric
+  encryption), computationally secure, and *harvestable*: every transmission
+  yields wire bytes an adversary can store and decrypt after a break.
+- ``qkd`` -- a simulated Quantum Key Distribution link delivering one-time
+  pads (LINCOS's channel), information-theoretically secure but rate- and
+  infrastructure-limited.
+- ``bsm`` -- Bounded Storage Model key agreement (Maurer), the paper's
+  proposed QKD alternative, "overdue for a practical evaluation" -- which
+  ``benchmarks/bench_bsm.py`` performs.
+"""
+
+from repro.channels.base import Transmission, EavesdropRecord
+from repro.channels.tls import TlsLikeChannel
+from repro.channels.qkd import QkdLink
+from repro.channels.bsm import BoundedStorageChannel, BsmAdversary
+
+__all__ = [
+    "Transmission",
+    "EavesdropRecord",
+    "TlsLikeChannel",
+    "QkdLink",
+    "BoundedStorageChannel",
+    "BsmAdversary",
+]

@@ -1,0 +1,80 @@
+"""A TLS-like channel: computationally secure, harvestable.
+
+Models the structure of a TLS 1.3-style session without pretending to be
+one: an ephemeral Diffie-Hellman exchange in the library's Schnorr group
+establishes a session secret, HKDF derives per-message keys, and ChaCha20
+encrypts the payload.  The security classification is the point:
+confidentiality rests on the DLP assumption plus the cipher, so a harvesting
+adversary who records the handshake and the ciphertext decrypts everything
+once either falls -- the scenario the paper's Section 3.2 closes with.
+"""
+
+from __future__ import annotations
+
+from repro.channels.base import SecureChannelBase, Transmission
+from repro.crypto.chacha20 import chacha20_xor
+from repro.crypto.drbg import DeterministicRandom
+from repro.crypto.kdf import hkdf
+from repro.crypto.registry import PrimitiveKind, register_primitive
+from repro.errors import ChannelError
+from repro.gmath.primes import SchnorrGroup, default_group
+from repro.security import SecurityNotion
+
+_ZERO_NONCE = b"\x00" * 12
+
+
+class TlsLikeChannel(SecureChannelBase):
+    """Ephemeral-DH + ChaCha20 channel between two simulated endpoints."""
+
+    name = "tls-like"
+    notion = SecurityNotion.COMPUTATIONAL
+    relies_on = ("toy-dh", "chacha20")
+
+    def __init__(self, rng: DeterministicRandom, group: SchnorrGroup | None = None):
+        super().__init__()
+        self.group = group or default_group()
+        # Ephemeral handshake: both exponents live only here.
+        client_secret = rng.randrange(1, self.group.q)
+        server_secret = rng.randrange(1, self.group.q)
+        self.client_public = self.group.exp_g(client_secret)
+        self.server_public = self.group.exp_g(server_secret)
+        shared_point = pow(self.server_public, client_secret, self.group.p)
+        self._session_secret = hkdf(
+            shared_point.to_bytes((self.group.p.bit_length() + 7) // 8, "big"),
+            32,
+            info=b"tls-like session",
+        )
+
+    def send(self, plaintext: bytes) -> Transmission:
+        sequence = self._next_sequence()
+        key = hkdf(self._session_secret, 32, info=f"msg-{sequence}".encode())
+        wire = chacha20_xor(key, _ZERO_NONCE, plaintext)
+        self.bytes_sent += len(wire)
+        return Transmission(
+            channel=self.name,
+            sequence=sequence,
+            wire=wire,
+            # What breaking DLP/ChaCha20 would yield: the session secret.
+            _escrow=self._session_secret,
+        )
+
+    def receive(self, transmission: Transmission) -> bytes:
+        if transmission.channel != self.name:
+            raise ChannelError(f"transmission is not from a {self.name} channel")
+        key = hkdf(
+            self._session_secret, 32, info=f"msg-{transmission.sequence}".encode()
+        )
+        return chacha20_xor(key, _ZERO_NONCE, transmission.wire)
+
+    def _decrypt_with_escrow(self, transmission: Transmission) -> bytes:
+        session_secret = transmission._escrow
+        key = hkdf(session_secret, 32, info=f"msg-{transmission.sequence}".encode())
+        return chacha20_xor(key, _ZERO_NONCE, transmission.wire)
+
+
+register_primitive(
+    name="toy-dh",
+    kind=PrimitiveKind.KEY_AGREEMENT,
+    description="Ephemeral Diffie-Hellman in the library's Schnorr group",
+    hardness_assumption="hardness of the discrete logarithm problem",
+)

@@ -1,0 +1,44 @@
+"""Core: the crypto-agile secure-archive framework and its analyses.
+
+This package is the paper's contribution made executable:
+
+- ``classifier`` -- derives each system's Table 1 row (transit/at-rest
+  notions, storage band) from its actual components and measurements;
+- ``tradeoff`` -- the Figure 1 engine: measured storage cost x classified
+  security level for every data encoding;
+- ``keymgmt`` -- key manager with rotation history (the "growing history of
+  encryption keys" cascade systems carry);
+- ``scheduler`` -- epoch clock tying break timelines, share-renewal
+  cadences, and timestamp-chain renewals together;
+- ``reencryption`` -- the planner that turns "cipher X just broke" into a
+  costed response (re-encrypt vs wrap vs nothing-needed-ITS);
+- ``archive`` / ``policy`` -- the SecureArchive facade: pick a policy point
+  on the efficiency/security trade-off, get a working archive.
+"""
+
+from repro.core.classifier import SecurityClassifier, SystemClassification
+from repro.core.tradeoff import TradeoffAnalyzer, EncodingPoint
+from repro.core.keymgmt import KeyManager, ManagedKey
+from repro.core.scheduler import EpochScheduler
+from repro.core.reencryption import ReencryptionPlanner, ResponsePlan
+from repro.core.policy import ArchivePolicy, ConfidentialityTarget
+from repro.core.archive import SecureArchive
+from repro.core.advisor import Recommendation, Requirements, recommend
+
+__all__ = [
+    "SecurityClassifier",
+    "SystemClassification",
+    "TradeoffAnalyzer",
+    "EncodingPoint",
+    "KeyManager",
+    "ManagedKey",
+    "EpochScheduler",
+    "ReencryptionPlanner",
+    "ResponsePlan",
+    "ArchivePolicy",
+    "ConfidentialityTarget",
+    "SecureArchive",
+    "Recommendation",
+    "Requirements",
+    "recommend",
+]

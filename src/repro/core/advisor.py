@@ -1,0 +1,185 @@
+"""The policy advisor: "no one size fits all", made navigable.
+
+The paper closes where PASIS did two decades earlier: the designer must
+choose a point on the efficiency/security trade-off per dataset.  The
+advisor takes the requirements an archive owner can actually articulate --
+how long the data must stay confidential, how much storage expansion is
+affordable, how many provider losses must be survivable, whether
+side-channel leakage is in scope -- and returns the policy that satisfies
+them, or an explicit statement of which requirements conflict (which, per
+the paper, they often do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.policy import ArchivePolicy, ConfidentialityTarget
+from repro.errors import ParameterError
+
+#: Confidentiality horizons (years) beyond which computational schemes are
+#: imprudent per the paper's obsolescence argument.  30 is the usual
+#: cryptoperiod guidance ceiling; anything beyond it gets ITS advice.
+COMPUTATIONAL_HORIZON_YEARS = 30
+
+
+@dataclass(frozen=True)
+class Requirements:
+    """What the archive owner knows about their data."""
+
+    confidentiality_years: float
+    #: Maximum affordable stored-bytes per plaintext byte.
+    max_storage_overhead: float
+    #: Provider losses the archive must survive.
+    min_loss_tolerance: int = 1
+    #: Dispersal width available (independent providers).
+    providers: int = 6
+    #: Side-channel leakage in the threat model?
+    leakage_resilience: bool = False
+
+    def __post_init__(self) -> None:
+        if self.confidentiality_years <= 0:
+            raise ParameterError("confidentiality horizon must be positive")
+        if self.max_storage_overhead < 1:
+            raise ParameterError("storage overhead budget must be >= 1x")
+        if self.providers < 2:
+            raise ParameterError("need at least two providers to disperse")
+        if not 0 <= self.min_loss_tolerance < self.providers:
+            raise ParameterError("loss tolerance must be < provider count")
+
+
+@dataclass
+class Recommendation:
+    """The advisor's answer: a policy or an explained impossibility."""
+
+    policy: ArchivePolicy | None
+    rationale: list[str] = field(default_factory=list)
+    conflicts: list[str] = field(default_factory=list)
+
+    @property
+    def feasible(self) -> bool:
+        return self.policy is not None
+
+    def explain(self) -> str:
+        lines = list(self.rationale)
+        if self.conflicts:
+            lines.append("unmet requirements:")
+            lines.extend(f"  - {c}" for c in self.conflicts)
+        return "\n".join(lines)
+
+
+def recommend(requirements: Requirements) -> Recommendation:
+    """Map requirements to a policy, honestly reporting dead ends."""
+    r = requirements
+    rationale: list[str] = []
+    needs_its = r.confidentiality_years > COMPUTATIONAL_HORIZON_YEARS
+    if needs_its:
+        rationale.append(
+            f"{r.confidentiality_years:.0f}-year confidentiality exceeds the "
+            f"{COMPUTATIONAL_HORIZON_YEARS}-year computational prudence "
+            "horizon: information-theoretic encoding required "
+            "(cryptographic obsolescence, paper Section 3.1)"
+        )
+    else:
+        rationale.append(
+            f"{r.confidentiality_years:.0f}-year horizon: computational "
+            "encoding acceptable (monitor the break timeline regardless)"
+        )
+
+    n = r.providers
+
+    if not needs_its:
+        # AONT-RS: k chosen to meet loss tolerance; overhead n/k.
+        k = n - r.min_loss_tolerance
+        if k < 1:
+            return Recommendation(
+                policy=None,
+                rationale=rationale,
+                conflicts=["loss tolerance consumes every provider"],
+            )
+        overhead = n / k
+        if overhead > r.max_storage_overhead:
+            return Recommendation(
+                policy=None,
+                rationale=rationale,
+                conflicts=[
+                    f"AONT-RS at n={n}, k={k} needs {overhead:.2f}x "
+                    f"> budget {r.max_storage_overhead:.2f}x"
+                ],
+            )
+        rationale.append(
+            f"AONT-RS (n={n}, k={k}): {overhead:.2f}x storage, "
+            f"tolerates {r.min_loss_tolerance} losses, no key management"
+        )
+        return Recommendation(
+            policy=ArchivePolicy(
+                target=ConfidentialityTarget.COMPUTATIONAL,
+                n=n,
+                t=k,
+                renew_every_epochs=None,
+            ),
+            rationale=rationale,
+        )
+
+    # ITS path.  Privacy threshold: majority, but leave the loss budget.
+    t = max(1, min(n - r.min_loss_tolerance, (n + 1) // 2))
+    if r.leakage_resilience:
+        overhead = float(n) + 1  # LRSS ~ n x (|m| + pad) + public part
+        if overhead > r.max_storage_overhead:
+            return Recommendation(
+                policy=None,
+                rationale=rationale,
+                conflicts=[
+                    f"LRSS needs ~{overhead:.1f}x > budget "
+                    f"{r.max_storage_overhead:.2f}x; no cheaper "
+                    "leakage-resilient ITS encoding exists (paper Section 4)"
+                ],
+            )
+        rationale.append(
+            f"LRSS (n={n}, t={t}): leakage-bounded ITS at ~{overhead:.1f}x"
+        )
+        return Recommendation(
+            policy=ArchivePolicy(
+                target=ConfidentialityTarget.LONG_TERM_LEAKAGE_HARDENED, n=n, t=t
+            ),
+            rationale=rationale,
+        )
+
+    # Prefer packed sharing when the budget forces it and the loss budget
+    # allows the t+k reconstruction threshold.
+    if float(n) <= r.max_storage_overhead:
+        rationale.append(f"Shamir (n={n}, t={t}): perfect secrecy at {n:.1f}x")
+        return Recommendation(
+            policy=ArchivePolicy(target=ConfidentialityTarget.LONG_TERM, n=n, t=t),
+            rationale=rationale,
+        )
+    for pack_width in range(2, n):
+        if t + pack_width > n:
+            break
+        loss_tolerance = n - t - pack_width
+        overhead = n / pack_width
+        if overhead <= r.max_storage_overhead and loss_tolerance >= r.min_loss_tolerance:
+            rationale.append(
+                f"packed sharing (n={n}, t={t}, k={pack_width}): perfect "
+                f"secrecy at {overhead:.2f}x, tolerates {loss_tolerance} losses "
+                "(the availability discount is the price -- paper Figure 1)"
+            )
+            return Recommendation(
+                policy=ArchivePolicy(
+                    target=ConfidentialityTarget.LONG_TERM_ECONOMY,
+                    n=n,
+                    t=t,
+                    pack_width=pack_width,
+                ),
+                rationale=rationale,
+            )
+    return Recommendation(
+        policy=None,
+        rationale=rationale,
+        conflicts=[
+            f"no information-theoretic encoding fits {r.max_storage_overhead:.2f}x "
+            f"with loss tolerance {r.min_loss_tolerance} at n={n}: the "
+            "perfect-secrecy storage bound (Beimel) is in the way -- this is "
+            "the paper's 'seemingly intractable trade-off', hit exactly"
+        ],
+    )

@@ -1,0 +1,305 @@
+"""SecureArchive: the policy-driven facade over the whole library.
+
+This is the public entry point a downstream user starts with (see
+``examples/quickstart.py``): pick an :class:`repro.core.policy.ArchivePolicy`
+and a node fleet, then store/retrieve; the facade wires up the encoding the
+policy implies, disperses shares across independent providers, timestamps
+every object onto an integrity chain, and runs the long-term maintenance
+(proactive share renewal, chain re-signing) when the epoch clock advances.
+
+The archive *is* an :class:`repro.systems.base.ArchivalSystem`, so all
+adversary harnesses (HNDL, mobile) and the classifier work on it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.policy import ArchivePolicy, ConfidentialityTarget
+from repro.crypto.commitments import PedersenCommitment
+from repro.crypto.registry import BreakTimeline
+from repro.errors import (
+    DecodingError,
+    ObjectNotFoundError,
+    ParameterError,
+    RetentionLockedError,
+)
+from repro.integrity.timestamp import (
+    MerkleChainSigner,
+    TimestampAuthority,
+    TimestampChain,
+)
+from repro.secretsharing.aontrs import AontRsDispersal
+from repro.secretsharing.base import Share
+from repro.secretsharing.leakage import LeakageResilientSharing
+from repro.secretsharing.packed import PackedSecretSharing
+from repro.secretsharing.shamir import ShamirSecretSharing
+from repro.systems.base import ArchivalSystem, StoreReceipt
+
+
+@dataclass
+class MaintenanceReport:
+    """What one epoch of maintenance did and what it cost."""
+
+    epoch: int
+    objects_renewed: int = 0
+    renewal_bytes: int = 0
+    chain_renewed: bool = False
+    notes: list[str] = field(default_factory=list)
+
+
+class SecureArchive(ArchivalSystem):
+    """Policy-driven secure archive."""
+
+    name = "SecureArchive"
+    citation = "(this work)"
+
+    def __init__(self, policy: ArchivePolicy, nodes, rng):
+        self.policy = policy
+        self._scheme = self._build_scheme(policy)
+        super().__init__(nodes, rng)
+        self.chain = TimestampChain()
+        self.authority = TimestampAuthority(MerkleChainSigner(rng, height=8))
+        #: Every signer the archive has ever used, for auditors: hash-based
+        #: signatures are finite-use, so long-lived chains rotate signers.
+        self.signer_history = [self.authority.signer]
+        self.commitments = PedersenCommitment()
+        self._manifests: dict[str, dict] = {}
+        self._retention: dict[str, int] = {}
+
+    # The base class uses a class attribute; the facade's value depends on
+    # the instance's policy, so it is a property here.
+    @property
+    def at_rest_relies_on(self) -> tuple[str, ...]:  # type: ignore[override]
+        if self.policy.target is ConfidentialityTarget.COMPUTATIONAL:
+            return ("aes-256-ctr", "sha256")
+        return ()
+
+    @staticmethod
+    def _build_scheme(policy: ArchivePolicy):
+        if policy.target is ConfidentialityTarget.COMPUTATIONAL:
+            return AontRsDispersal(policy.n, policy.t)
+        if policy.target is ConfidentialityTarget.LONG_TERM:
+            return ShamirSecretSharing(policy.n, policy.t)
+        if policy.target is ConfidentialityTarget.LONG_TERM_ECONOMY:
+            return PackedSecretSharing(policy.n, policy.t, policy.pack_width)
+        if policy.target is ConfidentialityTarget.LONG_TERM_LEAKAGE_HARDENED:
+            return LeakageResilientSharing(
+                policy.n, policy.t, policy.leakage_budget_bits
+            )
+        raise ParameterError(f"unhandled target {policy.target}")
+
+    # -- store / retrieve --------------------------------------------------------------
+
+    def store(self, object_id: str, data: bytes) -> StoreReceipt:
+        split = self._scheme.split(data, self.rng)
+        payloads = {share.index: share.payload for share in split.shares}
+        placement = self._store_shares(object_id, payloads)
+        link, opening = self.authority.timestamp_document(
+            self.chain,
+            data,
+            epoch=self.epoch,
+            reference_kind="pedersen" if self.policy.information_theoretic else "hash",
+            pedersen=self.commitments if self.policy.information_theoretic else None,
+            rng=self.rng if self.policy.information_theoretic else None,
+        )
+        receipt = StoreReceipt(
+            object_id=object_id,
+            original_length=len(data),
+            placement=placement,
+            metadata={
+                "scheme": split.scheme,
+                "threshold": split.threshold,
+                "public": dict(split.public),
+                "chain_index": link.index,
+            },
+            escrow=(
+                {"plaintext": bytes(data), "commitment_opening": opening}
+                if self.policy.target is ConfidentialityTarget.COMPUTATIONAL
+                else {"commitment_opening": opening}
+            ),
+        )
+        return self._record(receipt)
+
+    def retrieve(self, object_id: str) -> bytes:
+        receipt = self.receipt(object_id)
+        fetched = self._fetch_shares(receipt)
+        return self._decode(receipt, fetched)
+
+    def _decode(self, receipt: StoreReceipt, fetched: dict[int, bytes]) -> bytes:
+        scheme = self._scheme
+        shares = [
+            Share(scheme=receipt.metadata["scheme"], index=i, payload=p)
+            for i, p in fetched.items()
+        ]
+        if len(shares) < receipt.metadata["threshold"]:
+            raise DecodingError(
+                f"{len(shares)} shares held, {receipt.metadata['threshold']} needed"
+            )
+        if isinstance(scheme, ShamirSecretSharing):
+            return scheme.reconstruct(shares)[: receipt.original_length]
+        if isinstance(scheme, PackedSecretSharing):
+            return scheme.reconstruct(shares, original_length=receipt.original_length)
+        if isinstance(scheme, LeakageResilientSharing):
+            return scheme.reconstruct(
+                shares, masked_message=receipt.metadata["public"]["masked_message"]
+            )
+        return scheme.reconstruct(shares, original_length=receipt.original_length)
+
+    # -- large objects: segmented storage --------------------------------------------------
+
+    #: Default segment size for store_large (1 MiB keeps share buffers and
+    #: renewal messages bounded regardless of object size).
+    SEGMENT_BYTES = 1 << 20
+
+    def store_large(
+        self, object_id: str, data: bytes, segment_bytes: int | None = None
+    ) -> list[StoreReceipt]:
+        """Store *data* as independently encoded segments.
+
+        Archival objects are often far larger than a sensible share/renewal
+        unit; segmenting bounds memory, lets maintenance and repair work
+        per-segment, and is how every real system in Table 1 ingests bulk
+        data.  Segments share the object id namespace
+        (``<id>/seg-<k>``) and a manifest records the layout.
+        """
+        if segment_bytes is None:
+            segment_bytes = self.SEGMENT_BYTES
+        if segment_bytes < 1:
+            raise ParameterError("segment size must be positive")
+        receipts = []
+        count = max(1, -(-len(data) // segment_bytes))
+        for k in range(count):
+            segment = data[k * segment_bytes : (k + 1) * segment_bytes]
+            receipts.append(self.store(f"{object_id}/seg-{k}", segment))
+        self._manifests[object_id] = {
+            "segments": count,
+            "segment_bytes": segment_bytes,
+            "total_length": len(data),
+        }
+        return receipts
+
+    def retrieve_large(self, object_id: str) -> bytes:
+        try:
+            manifest = self._manifests[object_id]
+        except KeyError:
+            raise ObjectNotFoundError(f"no large object {object_id!r}") from None
+        parts = [
+            self.retrieve(f"{object_id}/seg-{k}")
+            for k in range(manifest["segments"])
+        ]
+        data = b"".join(parts)
+        if len(data) != manifest["total_length"]:
+            raise DecodingError(
+                f"{object_id}: reassembled {len(data)} bytes, "
+                f"manifest says {manifest['total_length']}"
+            )
+        return data
+
+    # -- retention locks ---------------------------------------------------------------------
+
+    def set_retention(self, object_id: str, until_epoch: int) -> None:
+        """Forbid deletion of *object_id* before *until_epoch*.
+
+        Archives "accumulate data that is rarely deleted"; when law or
+        policy mandates retention, accidental (or adversarial) deletion
+        must fail closed.
+        """
+        self.receipt(object_id)  # must exist
+        if until_epoch < self.epoch:
+            raise ParameterError("retention cannot end in the past")
+        current = self._retention.get(object_id, -1)
+        self._retention[object_id] = max(current, until_epoch)
+
+    def delete(self, object_id: str) -> None:
+        """Remove an object -- unless a retention lock forbids it."""
+        receipt = self.receipt(object_id)
+        held_until = self._retention.get(object_id)
+        if held_until is not None and self.epoch < held_until:
+            raise RetentionLockedError(
+                f"{object_id} is retained until epoch {held_until} "
+                f"(now {self.epoch})"
+            )
+        self.placement_policy.delete(receipt.placement)
+        del self._receipts[object_id]
+        self._plaintext_bytes -= receipt.original_length
+        self._retention.pop(object_id, None)
+
+    # -- maintenance ---------------------------------------------------------------------
+
+    def _rollover_signer_if_needed(self, report: MaintenanceReport) -> None:
+        """Hash-based signers are one-time-key machines: before the current
+        signer runs out, mint a fresh one and chain it in with a renewal
+        link signed by the OLD signer (establishing the succession while
+        the old key set is still trusted)."""
+        signer = self.authority.signer
+        # Keep headroom: one key for the succession link itself, plus at
+        # least one spare for any store() landing before the next epoch.
+        if signer._scheme.remaining >= 3:
+            return
+        self.authority.renew_chain(self.chain, self.epoch)  # old signer's last act
+        new_signer = MerkleChainSigner(self.rng, height=8)
+        self.authority = TimestampAuthority(new_signer)
+        self.signer_history.append(new_signer)
+        report.notes.append(f"signer rolled over (now {len(self.signer_history)})")
+
+    def advance_epoch(self) -> MaintenanceReport:
+        """Advance the archive clock one epoch and run due maintenance."""
+        self.epoch += 1
+        report = MaintenanceReport(epoch=self.epoch)
+        self._rollover_signer_if_needed(report)
+        cadence = self.policy.renew_every_epochs
+        if (
+            self.policy.information_theoretic
+            and cadence is not None
+            and self.epoch % cadence == 0
+        ):
+            for object_id in list(self._receipts):
+                report.renewal_bytes += self._renew_object(object_id)
+                report.objects_renewed += 1
+        # Chain renewal every epoch keeps the head signature fresh.
+        self.authority.renew_chain(self.chain, self.epoch)
+        report.chain_renewed = True
+        return report
+
+    def _renew_object(self, object_id: str) -> int:
+        """Client-driven share refresh: re-split and replace.
+
+        For Shamir this is security-equivalent to Herzberg renewal (fresh
+        uniform polynomial through the same secret); the in-place n^2
+        protocol -- used when holders must not see the secret -- lives in
+        :mod:`repro.secretsharing.proactive` and is exercised by the
+        proactive benchmark.  Packed and LRSS targets refresh the same way.
+        """
+        receipt = self.receipt(object_id)
+        data = self.retrieve(object_id)
+        self.placement_policy.delete(receipt.placement)
+        split = self._scheme.split(data, self.rng)
+        payloads = {share.index: share.payload for share in split.shares}
+        receipt.placement = self._store_shares(object_id, payloads)
+        receipt.metadata["public"] = dict(split.public)
+        return sum(len(p) for p in payloads.values())
+
+    # -- adversary -------------------------------------------------------------------------
+
+    def attempt_recovery(
+        self,
+        object_id: str,
+        stolen: dict[int, bytes],
+        timeline: BreakTimeline,
+        epoch: int,
+    ) -> bytes:
+        receipt = self.receipt(object_id)
+        threshold = receipt.metadata["threshold"]
+        if self.policy.target is ConfidentialityTarget.COMPUTATIONAL:
+            if len(stolen) >= threshold:
+                return self._decode(receipt, stolen)
+            if not stolen:
+                raise DecodingError("adversary holds no shares")
+            self._require_at_rest_broken(timeline, epoch)
+            return receipt.escrow["plaintext"]
+        # Information-theoretic targets: share counting only.  Note that
+        # shares stolen in different epochs belong to different polynomials;
+        # the facade's refresh replaces node contents, so `stolen` here is
+        # by construction a same-epoch haul.
+        return self._decode(receipt, stolen)

@@ -1,0 +1,107 @@
+"""Security classification engine.
+
+Derives, for any :class:`repro.systems.base.ArchivalSystem`, the three
+columns of the paper's Table 1 -- confidentiality in transit, confidentiality
+at rest, storage cost -- from the system's actual components and measured
+behavior, rather than from declarations:
+
+- *transit* comes from the live channel object's security notion;
+- *at rest* comes from whether the at-rest encoding names computational
+  primitives it relies on (empty = information-theoretic), with the PASIS
+  per-object override honored;
+- *storage cost* is measured: stored bytes / plaintext bytes, bucketed by
+  :meth:`repro.security.StorageCostBand.classify_overhead`.
+
+The classifier also exposes encoding-level classification for Figure 1 (an
+ordinal :class:`repro.security.SecurityLevel` per scheme).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.registry import global_registry
+from repro.security import SecurityLevel, SecurityNotion, StorageCostBand
+from repro.systems.base import ArchivalSystem
+
+
+@dataclass(frozen=True)
+class SystemClassification:
+    """One measured Table 1 row."""
+
+    system: str
+    citation: str
+    transit: SecurityNotion
+    at_rest: SecurityNotion
+    storage_overhead: float
+    storage_band: StorageCostBand
+    at_rest_note: str = ""
+
+    def as_row(self) -> tuple[str, str, str, str]:
+        at_rest_label = self.at_rest.label
+        if self.at_rest_note:
+            at_rest_label = f"{at_rest_label} ({self.at_rest_note})"
+        return (
+            self.system,
+            self.transit.label,
+            at_rest_label,
+            self.storage_band.value,
+        )
+
+
+class SecurityClassifier:
+    """Derives classifications from components and measurements."""
+
+    def classify_system(
+        self,
+        system: ArchivalSystem,
+        storage_band_override: StorageCostBand | None = None,
+        at_rest_note: str = "",
+    ) -> SystemClassification:
+        overhead = system.storage_overhead()
+        band = storage_band_override or StorageCostBand.classify_overhead(overhead)
+        return SystemClassification(
+            system=system.name,
+            citation=system.citation,
+            transit=system.transit_security,
+            at_rest=system.at_rest_security,
+            storage_overhead=overhead,
+            storage_band=band,
+            at_rest_note=at_rest_note,
+        )
+
+    # -- encoding-level (Figure 1) -----------------------------------------------------
+
+    def classify_encoding_level(
+        self, scheme_name: str, declared_level: SecurityLevel | None = None
+    ) -> SecurityLevel:
+        """Ordinal security level for a registered scheme.
+
+        If the scheme object declares a level (all library schemes do), the
+        declaration is checked against the registry's notion for
+        consistency; otherwise the level is inferred from the registry.
+        """
+        registry = global_registry()
+        if scheme_name in registry:
+            info = registry.get(scheme_name)
+            inferred = (
+                SecurityLevel.ITS_PERFECT
+                if info.notion is SecurityNotion.INFORMATION_THEORETIC
+                else SecurityLevel.COMPUTATIONAL
+            )
+            if info.historically_broken:
+                inferred = SecurityLevel.BROKEN
+        else:
+            inferred = SecurityLevel.NONE
+        if declared_level is not None:
+            # Declarations may refine within the same notion (e.g. ITS_PERFECT
+            # vs ITS_CONDITIONAL) but must not jump notions upward.
+            if declared_level.notion.value != inferred.notion.value and (
+                declared_level > inferred
+            ):
+                raise ValueError(
+                    f"{scheme_name}: declared level {declared_level.name} exceeds "
+                    f"registry notion {inferred.name}"
+                )
+            return declared_level
+        return inferred

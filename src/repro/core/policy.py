@@ -1,0 +1,72 @@
+"""Archive policies: named points on the efficiency/security trade-off.
+
+The paper concludes there is "no one size fits all" -- so the facade makes
+the choice explicit.  A policy states the confidentiality target and the
+dispersal parameters; :class:`repro.core.archive.SecureArchive` maps it to
+an encoding:
+
+- ``COMPUTATIONAL`` -> AONT-RS (the paper's practical/commercial point:
+  low cost, no key management, HNDL-vulnerable);
+- ``LONG_TERM`` -> Shamir + proactive renewal (the POTSHARDS/LINCOS point:
+  n-times cost, immune to cryptographic obsolescence);
+- ``LONG_TERM_ECONOMY`` -> packed sharing (same notion, n/k cost, weaker
+  loss tolerance);
+- ``LONG_TERM_LEAKAGE_HARDENED`` -> LRSS (highest cost, survives bounded
+  side-channel leakage).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+
+class ConfidentialityTarget(enum.Enum):
+    COMPUTATIONAL = "computational"
+    LONG_TERM = "long-term"  # information-theoretic
+    LONG_TERM_ECONOMY = "long-term-economy"  # packed ITS
+    LONG_TERM_LEAKAGE_HARDENED = "long-term-leakage-hardened"  # LRSS
+
+
+@dataclass(frozen=True)
+class ArchivePolicy:
+    """What the archive owner wants, in their terms."""
+
+    target: ConfidentialityTarget
+    #: Dispersal width (number of providers used per object).
+    n: int = 5
+    #: Reconstruction threshold (privacy threshold for ITS targets).
+    t: int = 3
+    #: Packing width for LONG_TERM_ECONOMY.
+    pack_width: int = 2
+    #: Leakage budget (bits) for LONG_TERM_LEAKAGE_HARDENED.
+    leakage_budget_bits: int = 128
+    #: Proactive renewal cadence in epochs (None disables renewal).
+    renew_every_epochs: int | None = 1
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.t <= self.n:
+            raise ParameterError(f"need 1 <= t <= n, got n={self.n} t={self.t}")
+        if self.target is ConfidentialityTarget.LONG_TERM_ECONOMY:
+            if self.n < self.t + self.pack_width:
+                raise ParameterError(
+                    "packed sharing needs n >= t + pack_width to reconstruct"
+                )
+        if self.renew_every_epochs is not None and self.renew_every_epochs < 1:
+            raise ParameterError("renewal cadence must be >= 1 epoch")
+
+    @property
+    def information_theoretic(self) -> bool:
+        return self.target is not ConfidentialityTarget.COMPUTATIONAL
+
+
+#: Ready-made policies for the examples and docs.
+PRACTICAL_COMPUTATIONAL = ArchivePolicy(
+    target=ConfidentialityTarget.COMPUTATIONAL, n=6, t=4, renew_every_epochs=None
+)
+CENTURY_SAFE = ArchivePolicy(target=ConfidentialityTarget.LONG_TERM, n=5, t=3)
+CENTURY_SAFE_ECONOMY = ArchivePolicy(
+    target=ConfidentialityTarget.LONG_TERM_ECONOMY, n=7, t=3, pack_width=3
+)

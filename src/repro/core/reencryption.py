@@ -1,0 +1,112 @@
+"""The re-encryption planner: "cipher X broke -- now what, and how long?"
+
+Turns a break event into a costed response plan using the Section 3.2 I/O
+model.  The planner encodes the paper's comparison:
+
+- **Information-theoretic at rest**: no campaign needed -- the break is
+  irrelevant (this is the payoff the high storage cost bought).
+- **Cascade/wrapped systems**: a wrap campaign -- same read+write I/O as
+  re-encryption (the paper's critique of ArchiveSafeLT's emergency path),
+  but no decrypt and no user-key involvement.
+- **Plain encrypted systems**: a full re-encryption campaign; the plan
+  includes the vulnerability window during which not-yet-converted data
+  sits under the broken cipher, and the HNDL caveat that *already
+  harvested* ciphertext is beyond saving either way.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.storage.archive_model import (
+    ArchiveProfile,
+    ReencryptionEstimate,
+    reencryption_estimate,
+)
+
+
+class ResponseKind(enum.Enum):
+    NONE_NEEDED = "no response needed (information-theoretic at rest)"
+    WRAP = "wrap in a new layer (cascade)"
+    REENCRYPT = "full re-encryption"
+
+
+@dataclass(frozen=True)
+class ResponsePlan:
+    kind: ResponseKind
+    archive: ArchiveProfile
+    estimate: ReencryptionEstimate | None
+    #: Fraction of the archive exposed if an adversary harvested everything
+    #: before the break (HNDL): conversion cannot help that copy.
+    harvested_data_recoverable_by_adversary: bool
+
+    @property
+    def campaign_months(self) -> float:
+        if self.estimate is None:
+            return 0.0
+        return self.estimate.total_months
+
+    def summary(self) -> str:
+        if self.kind is ResponseKind.NONE_NEEDED:
+            return f"{self.archive.name}: {self.kind.value}"
+        return (
+            f"{self.archive.name}: {self.kind.value}, "
+            f"{self.campaign_months:.1f} months; harvested copies "
+            f"{'RECOVERABLE by adversary' if self.harvested_data_recoverable_by_adversary else 'safe'}"
+        )
+
+
+class ReencryptionPlanner:
+    """Plans the response to a cipher break for a given archive profile."""
+
+    def __init__(
+        self,
+        archive: ArchiveProfile,
+        write_factor: float = 2.0,
+        reserve_factor: float = 2.0,
+    ):
+        self.archive = archive
+        self.write_factor = write_factor
+        self.reserve_factor = reserve_factor
+
+    def plan(
+        self,
+        at_rest_information_theoretic: bool,
+        cascade_layers_remaining: int = 0,
+    ) -> ResponsePlan:
+        """Build the response plan.
+
+        ``cascade_layers_remaining`` is how many *unbroken* layers protect
+        the data (0 for single-cipher systems after their cipher falls).
+        """
+        if cascade_layers_remaining < 0:
+            raise ParameterError("layer count cannot be negative")
+        if at_rest_information_theoretic:
+            return ResponsePlan(
+                kind=ResponseKind.NONE_NEEDED,
+                archive=self.archive,
+                estimate=None,
+                harvested_data_recoverable_by_adversary=False,
+            )
+        estimate = reencryption_estimate(
+            self.archive, self.write_factor, self.reserve_factor
+        )
+        if cascade_layers_remaining > 0:
+            # Layers still hold: wrapping is proactive, and harvested copies
+            # are still protected by the surviving layers.
+            return ResponsePlan(
+                kind=ResponseKind.WRAP,
+                archive=self.archive,
+                estimate=estimate,
+                harvested_data_recoverable_by_adversary=False,
+            )
+        return ResponsePlan(
+            kind=ResponseKind.REENCRYPT,
+            archive=self.archive,
+            estimate=estimate,
+            # The defining HNDL failure: conversion does not reach copies
+            # already exfiltrated under the broken cipher.
+            harvested_data_recoverable_by_adversary=True,
+        )

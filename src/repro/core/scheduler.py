@@ -1,0 +1,81 @@
+"""The epoch scheduler: the archive's long-term clock.
+
+Archival security is a race between maintenance cadences and adversarial
+timelines: timestamp chains must renew before their signature scheme breaks,
+shares must refresh faster than the mobile adversary accumulates them, and
+break events must trigger re-encryption or wrapping campaigns.  The
+scheduler ties those cadences to one epoch counter (an epoch is a year by
+default) and fires registered actions in deterministic order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.crypto.registry import BreakTimeline
+from repro.errors import ParameterError
+
+#: An action: called with the epoch number when due.
+ScheduledAction = Callable[[int], None]
+
+
+@dataclass
+class _Recurring:
+    name: str
+    every: int
+    action: ScheduledAction
+    start: int
+
+
+@dataclass
+class EpochScheduler:
+    """Deterministic epoch clock with recurring actions and break hooks."""
+
+    timeline: BreakTimeline
+    years_per_epoch: float = 1.0
+    epoch: int = 0
+    _recurring: list[_Recurring] = field(default_factory=list)
+    _break_hooks: list[Callable[[int, list[str]], None]] = field(default_factory=list)
+    _fired_breaks: set[str] = field(default_factory=set)
+    log: list[str] = field(default_factory=list)
+
+    def every(self, epochs: int, name: str, action: ScheduledAction) -> None:
+        """Run *action* every *epochs* epochs (first run after one period)."""
+        if epochs < 1:
+            raise ParameterError("cadence must be >= 1 epoch")
+        self._recurring.append(
+            _Recurring(name=name, every=epochs, action=action, start=self.epoch)
+        )
+
+    def on_break(self, hook: Callable[[int, list[str]], None]) -> None:
+        """Call *hook(epoch, newly_broken_names)* when primitives fall."""
+        self._break_hooks.append(hook)
+
+    def advance(self, epochs: int = 1) -> None:
+        """Step the clock, firing recurring actions and break hooks."""
+        if epochs < 1:
+            raise ParameterError("advance by at least one epoch")
+        for _ in range(epochs):
+            self.epoch += 1
+            newly_broken = [
+                name
+                for name in self.timeline.broken_primitives(self.epoch)
+                if name not in self._fired_breaks
+            ]
+            if newly_broken:
+                self._fired_breaks.update(newly_broken)
+                self.log.append(
+                    f"epoch {self.epoch}: broken {', '.join(newly_broken)}"
+                )
+                for hook in self._break_hooks:
+                    hook(self.epoch, newly_broken)
+            for recurring in self._recurring:
+                elapsed = self.epoch - recurring.start
+                if elapsed > 0 and elapsed % recurring.every == 0:
+                    self.log.append(f"epoch {self.epoch}: run {recurring.name}")
+                    recurring.action(self.epoch)
+
+    @property
+    def years(self) -> float:
+        return self.epoch * self.years_per_epoch

@@ -1,0 +1,223 @@
+"""The Figure 1 engine: storage cost vs. security level, measured.
+
+The paper's Figure 1 is a qualitative quadrant plot of data encodings:
+
+    y-axis: storage cost          x-axis: security level
+    - Replication (high cost, no confidentiality)
+    - Erasure coding (low cost, no confidentiality)
+    - Traditional encryption (low cost, computational)
+    - Entropically secure encryption (low cost, conditional ITS)
+    - Packed secret sharing (mid cost, ITS)
+    - Secret sharing (high cost, ITS)
+    - Leakage-resilient secret sharing (highest cost, ITS under leakage)
+    - the smiley face: low cost + ITS, where nothing sits
+
+:class:`TradeoffAnalyzer` regenerates the plot from *measurements*: each
+encoding is run over a corpus, its stored-bytes/plaintext-bytes ratio is
+measured, and its security level is classified.  The benchmark then asserts
+the paper's qualitative orderings (who is above/right of whom).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.classifier import SecurityClassifier
+from repro.crypto.aes import AesCtrCipher
+from repro.crypto.drbg import DeterministicRandom
+from repro.crypto.entropic import EntropicEncryption
+from repro.errors import ParameterError
+from repro.gmath.reedsolomon import ReedSolomonCode
+from repro.secretsharing.aontrs import AontRsDispersal
+from repro.secretsharing.leakage import LeakageResilientSharing
+from repro.secretsharing.packed import PackedSecretSharing
+from repro.secretsharing.shamir import ShamirSecretSharing
+from repro.security import SecurityLevel
+
+
+@dataclass(frozen=True)
+class EncodingPoint:
+    """One encoding's measured position in the Figure 1 plane."""
+
+    name: str
+    label: str
+    security_level: SecurityLevel
+    storage_overhead: float
+    note: str = ""
+
+    @property
+    def coordinates(self) -> tuple[int, float]:
+        """(x = security rank, y = storage overhead)."""
+        return (self.security_level.rank, self.storage_overhead)
+
+
+class TradeoffAnalyzer:
+    """Measures every Figure 1 encoding over a common corpus."""
+
+    def __init__(self, n: int = 5, t: int = 3, pack_width: int = 2):
+        if pack_width < 1:
+            raise ParameterError("pack width must be >= 1")
+        self.n = n
+        self.t = t
+        self.pack_width = pack_width
+        self.classifier = SecurityClassifier()
+
+    def analyze(
+        self, object_size: int = 1 << 16, objects: int = 4, seed: int = 2024
+    ) -> list[EncodingPoint]:
+        rng = DeterministicRandom(seed)
+        corpus = [rng.bytes(object_size) for _ in range(objects)]
+        total_plain = sum(len(c) for c in corpus)
+        points: list[EncodingPoint] = []
+
+        # Replication: n full copies (availability-matched with sharing).
+        points.append(
+            EncodingPoint(
+                name="replication",
+                label="Replication",
+                security_level=SecurityLevel.NONE,
+                storage_overhead=float(self.n),
+                note="n full plaintext copies",
+            )
+        )
+
+        # Erasure coding: [n, t] systematic RS.
+        code = ReedSolomonCode(self.n, self.t)
+        stored = sum(
+            sum(len(s.data) for s in code.encode(c)) for c in corpus
+        )
+        points.append(
+            EncodingPoint(
+                name="erasure",
+                label="Erasure Coding",
+                security_level=SecurityLevel.NONE,
+                storage_overhead=stored / total_plain,
+                note="systematic shards are plaintext",
+            )
+        )
+
+        # Traditional encryption: AES-256-CTR, one stored ciphertext.
+        cipher = AesCtrCipher()
+        stored = sum(
+            len(cipher.encrypt(rng.bytes(32), rng.bytes(12), c)) + 32
+            for c in corpus
+        )
+        points.append(
+            EncodingPoint(
+                name="traditional-encryption",
+                label="Traditional Encryption",
+                security_level=self.classifier.classify_encoding_level("aes-256-ctr"),
+                storage_overhead=stored / total_plain,
+                note="all computationally secure encryption",
+            )
+        )
+
+        # AONT-RS sits with traditional encryption on the security axis but
+        # adds erasure-coded availability.
+        aont = AontRsDispersal(self.n, self.t)
+        stored = sum(aont.split(c, rng).stored_bytes for c in corpus)
+        points.append(
+            EncodingPoint(
+                name="aont-rs",
+                label="AONT-RS",
+                security_level=self.classifier.classify_encoding_level(
+                    "aont-rs", SecurityLevel.COMPUTATIONAL
+                ),
+                storage_overhead=stored / total_plain,
+                note="computational; no key management",
+            )
+        )
+
+        # Entropically secure encryption: conditional ITS at ~1x cost.
+        entropic = EntropicEncryption()
+        stored = sum(
+            len(entropic.encrypt(entropic.generate_key(rng), c, rng).masked) + 16
+            for c in corpus
+        )
+        points.append(
+            EncodingPoint(
+                name="entropic",
+                label="Entropically Secure Encryption",
+                security_level=self.classifier.classify_encoding_level(
+                    "entropic", SecurityLevel.ITS_CONDITIONAL
+                ),
+                storage_overhead=stored / total_plain,
+                note="ITS only for high-min-entropy messages",
+            )
+        )
+
+        # Packed secret sharing.
+        packed = PackedSecretSharing(self.n + self.pack_width, self.t, self.pack_width)
+        stored = sum(packed.split(c, rng).stored_bytes for c in corpus)
+        points.append(
+            EncodingPoint(
+                name="packed",
+                label="Packed Secret Sharing",
+                security_level=self.classifier.classify_encoding_level(
+                    "packed", SecurityLevel.ITS_PERFECT
+                ),
+                storage_overhead=stored / total_plain,
+                note=f"k={self.pack_width} secrets per polynomial",
+            )
+        )
+
+        # Shamir secret sharing.
+        shamir = ShamirSecretSharing(self.n, self.t)
+        stored = sum(shamir.split(c, rng).stored_bytes for c in corpus)
+        points.append(
+            EncodingPoint(
+                name="shamir",
+                label="Secret Sharing",
+                security_level=self.classifier.classify_encoding_level(
+                    "shamir", SecurityLevel.ITS_PERFECT
+                ),
+                storage_overhead=stored / total_plain,
+                note="perfect secrecy; overhead = n",
+            )
+        )
+
+        # Leakage-resilient secret sharing: strictly above Shamir in cost.
+        lrss = LeakageResilientSharing(self.n, self.t, leakage_budget_bits=256)
+        stored = sum(lrss.split(c, rng).stored_bytes for c in corpus)
+        points.append(
+            EncodingPoint(
+                name="lrss",
+                label="Leakage Resilient Secret Sharing",
+                security_level=self.classifier.classify_encoding_level(
+                    "lrss", SecurityLevel.ITS_CONDITIONAL
+                ),
+                storage_overhead=stored / total_plain,
+                note="ITS under bounded local leakage",
+            )
+        )
+
+        return points
+
+    # -- rendering ---------------------------------------------------------------------
+
+    @staticmethod
+    def render_quadrant(points: list[EncodingPoint], cost_split: float = 2.5) -> str:
+        """ASCII rendition of Figure 1's quadrants."""
+        high_cost = [p for p in points if p.storage_overhead >= cost_split]
+        low_cost = [p for p in points if p.storage_overhead < cost_split]
+
+        def half(subset: list[EncodingPoint]) -> tuple[str, str]:
+            weak = ", ".join(
+                p.label for p in subset if p.security_level < SecurityLevel.ITS_CONDITIONAL
+            )
+            strong = ", ".join(
+                p.label for p in subset if p.security_level >= SecurityLevel.ITS_CONDITIONAL
+            )
+            return weak or "-", strong or "-"
+
+        top_left, top_right = half(sorted(high_cost, key=lambda p: p.coordinates))
+        bottom_left, bottom_right = half(sorted(low_cost, key=lambda p: p.coordinates))
+        lines = [
+            "Storage Cost ^",
+            f"  HIGH | {top_left:<50} | {top_right}",
+            "       |" + "-" * 60,
+            f"   LOW | {bottom_left:<50} | {bottom_right}  <-- :)",
+            "       +" + "-" * 30 + "> Security Level",
+            "         (left: none/computational, right: information-theoretic)",
+        ]
+        return "\n".join(lines)

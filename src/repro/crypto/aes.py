@@ -1,0 +1,217 @@
+"""AES-128/256 from scratch, with a numpy-vectorized CTR mode.
+
+The block cipher follows FIPS 197 exactly (S-box derived from the GF(2^8)
+inverse plus the affine map, standard key schedule); correctness is pinned to
+the FIPS 197 appendix vectors in the tests.  The performance trick is the
+same as elsewhere in the library: the cipher state for *all* blocks of a
+message is a single ``(n_blocks, 16)`` uint8 array, so SubBytes is one fancy
+index, ShiftRows is one column permutation, and MixColumns is a handful of
+xtime-table lookups -- per message, not per block.
+
+AES here is the stand-in for "traditional encryption" in Figure 1 and the
+at-rest cipher of the commercial-cloud baseline in Table 1.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.crypto.registry import PrimitiveKind, register_primitive
+from repro.errors import ParameterError
+from repro.gmath.gf256 import GF256
+
+BLOCK_SIZE = 16
+
+# -- S-box construction -------------------------------------------------------
+
+
+def _build_sbox() -> tuple[np.ndarray, np.ndarray]:
+    """S-box = GF(2^8) inverse followed by the FIPS 197 affine map."""
+    sbox = np.zeros(256, dtype=np.uint8)
+    for x in range(256):
+        inv = GF256.inv(x) if x else 0
+        affine = inv
+        for shift in (1, 2, 3, 4):
+            affine ^= ((inv << shift) | (inv >> (8 - shift))) & 0xFF
+        sbox[x] = affine ^ 0x63
+    inv_sbox = np.zeros(256, dtype=np.uint8)
+    inv_sbox[sbox] = np.arange(256, dtype=np.uint8)
+    return sbox, inv_sbox
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+
+# xtime multiplication tables used by (Inv)MixColumns.
+_XT = {}
+for factor in (2, 3, 9, 11, 13, 14):
+    _XT[factor] = np.array([GF256.mul(factor, x) for x in range(256)], dtype=np.uint8)
+
+# ShiftRows permutation on the 16-byte state in column-major (FIPS) order:
+# byte index = 4*col + row; row r rotates left by r columns.
+_SHIFT_ROWS = np.array(
+    [4 * ((c + r) % 4) + r for c in range(4) for r in range(4)], dtype=np.intp
+)
+_INV_SHIFT_ROWS = np.argsort(_SHIFT_ROWS)
+
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36, 0x6C, 0xD8)
+
+
+def _expand_key(key: bytes) -> np.ndarray:
+    """FIPS 197 key schedule; returns (rounds+1, 16) uint8 round keys."""
+    if len(key) == 16:
+        n_k, rounds = 4, 10
+    elif len(key) == 32:
+        n_k, rounds = 8, 14
+    else:
+        raise ParameterError("AES key must be 16 or 32 bytes")
+
+    words = [list(key[4 * i : 4 * i + 4]) for i in range(n_k)]
+    total_words = 4 * (rounds + 1)
+    for i in range(n_k, total_words):
+        temp = list(words[i - 1])
+        if i % n_k == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [int(_SBOX[b]) for b in temp]
+            temp[0] ^= _RCON[i // n_k - 1]
+        elif n_k > 6 and i % n_k == 4:
+            temp = [int(_SBOX[b]) for b in temp]
+        words.append([a ^ b for a, b in zip(words[i - n_k], temp)])
+
+    flat = np.array(words, dtype=np.uint8).reshape(rounds + 1, 16)
+    return flat
+
+
+def _mix_columns(state: np.ndarray) -> np.ndarray:
+    """MixColumns on (n, 16) state; columns are byte groups of 4."""
+    s = state.reshape(-1, 4, 4)  # (n, col, row)
+    a0, a1, a2, a3 = s[:, :, 0], s[:, :, 1], s[:, :, 2], s[:, :, 3]
+    t2, t3 = _XT[2], _XT[3]
+    out = np.empty_like(s)
+    out[:, :, 0] = t2[a0] ^ t3[a1] ^ a2 ^ a3
+    out[:, :, 1] = a0 ^ t2[a1] ^ t3[a2] ^ a3
+    out[:, :, 2] = a0 ^ a1 ^ t2[a2] ^ t3[a3]
+    out[:, :, 3] = t3[a0] ^ a1 ^ a2 ^ t2[a3]
+    return out.reshape(-1, 16)
+
+
+def _inv_mix_columns(state: np.ndarray) -> np.ndarray:
+    s = state.reshape(-1, 4, 4)
+    a0, a1, a2, a3 = s[:, :, 0], s[:, :, 1], s[:, :, 2], s[:, :, 3]
+    t9, t11, t13, t14 = _XT[9], _XT[11], _XT[13], _XT[14]
+    out = np.empty_like(s)
+    out[:, :, 0] = t14[a0] ^ t11[a1] ^ t13[a2] ^ t9[a3]
+    out[:, :, 1] = t9[a0] ^ t14[a1] ^ t11[a2] ^ t13[a3]
+    out[:, :, 2] = t13[a0] ^ t9[a1] ^ t14[a2] ^ t11[a3]
+    out[:, :, 3] = t11[a0] ^ t13[a1] ^ t9[a2] ^ t14[a3]
+    return out.reshape(-1, 16)
+
+
+def aes_encrypt_blocks(key: bytes, blocks: np.ndarray) -> np.ndarray:
+    """Encrypt an (n, 16) uint8 array of blocks under *key*."""
+    round_keys = _expand_key(key)
+    rounds = round_keys.shape[0] - 1
+    state = blocks ^ round_keys[0]
+    for rnd in range(1, rounds):
+        state = _SBOX[state]
+        state = state[:, _SHIFT_ROWS]
+        state = _mix_columns(state)
+        state ^= round_keys[rnd]
+    state = _SBOX[state]
+    state = state[:, _SHIFT_ROWS]
+    return state ^ round_keys[rounds]
+
+
+def aes_decrypt_blocks(key: bytes, blocks: np.ndarray) -> np.ndarray:
+    """Decrypt an (n, 16) uint8 array of blocks under *key*."""
+    round_keys = _expand_key(key)
+    rounds = round_keys.shape[0] - 1
+    state = blocks ^ round_keys[rounds]
+    state = state[:, _INV_SHIFT_ROWS]
+    state = _INV_SBOX[state]
+    for rnd in range(rounds - 1, 0, -1):
+        state ^= round_keys[rnd]
+        state = _inv_mix_columns(state)
+        state = state[:, _INV_SHIFT_ROWS]
+        state = _INV_SBOX[state]
+    return state ^ round_keys[0]
+
+
+def aes_encrypt_block(key: bytes, block: bytes) -> bytes:
+    """Single-block convenience wrapper (used by tests and the AONT)."""
+    if len(block) != BLOCK_SIZE:
+        raise ParameterError("AES block must be 16 bytes")
+    arr = np.frombuffer(block, dtype=np.uint8).reshape(1, 16)
+    return aes_encrypt_blocks(key, arr).tobytes()
+
+
+def aes_decrypt_block(key: bytes, block: bytes) -> bytes:
+    if len(block) != BLOCK_SIZE:
+        raise ParameterError("AES block must be 16 bytes")
+    arr = np.frombuffer(block, dtype=np.uint8).reshape(1, 16)
+    return aes_decrypt_blocks(key, arr).tobytes()
+
+
+def aes_ctr_keystream(key: bytes, nonce: bytes, length: int, initial_counter: int = 0) -> bytes:
+    """CTR keystream: 12-byte nonce || 32-bit big-endian block counter."""
+    if len(nonce) != 12:
+        raise ParameterError("AES-CTR nonce must be 12 bytes")
+    if length <= 0:
+        return b""
+    n_blocks = -(-length // BLOCK_SIZE)
+    if initial_counter + n_blocks > 1 << 32:
+        raise ParameterError("AES-CTR counter would overflow")
+    counters = np.arange(initial_counter, initial_counter + n_blocks, dtype=">u4")
+    blocks = np.empty((n_blocks, 16), dtype=np.uint8)
+    blocks[:, :12] = np.frombuffer(nonce, dtype=np.uint8)
+    blocks[:, 12:] = counters.view(np.uint8).reshape(n_blocks, 4)
+    return aes_encrypt_blocks(key, blocks).tobytes()[:length]
+
+
+def aes_ctr_xor(key: bytes, nonce: bytes, data: bytes, initial_counter: int = 0) -> bytes:
+    """Encrypt/decrypt *data* in CTR mode (its own inverse)."""
+    stream = np.frombuffer(
+        aes_ctr_keystream(key, nonce, len(data), initial_counter), dtype=np.uint8
+    )
+    return (np.frombuffer(data, dtype=np.uint8) ^ stream).tobytes()
+
+
+class AesCtrCipher:
+    """Cipher-interface wrapper: AES-256 in CTR mode by default."""
+
+    nonce_size = 12
+
+    def __init__(self, key_size: int = 32):
+        if key_size not in (16, 32):
+            raise ParameterError("AES key size must be 16 or 32 bytes")
+        self.key_size = key_size
+        self.name = "aes-128-ctr" if key_size == 16 else "aes-256-ctr"
+
+    def encrypt(self, key: bytes, nonce: bytes, plaintext: bytes) -> bytes:
+        self._check_key(key)
+        return aes_ctr_xor(key, nonce, plaintext)
+
+    def decrypt(self, key: bytes, nonce: bytes, ciphertext: bytes) -> bytes:
+        self._check_key(key)
+        return aes_ctr_xor(key, nonce, ciphertext)
+
+    def _check_key(self, key: bytes) -> None:
+        if len(key) != self.key_size:
+            raise ParameterError(
+                f"{self.name} requires a {self.key_size}-byte key, got {len(key)}"
+            )
+
+
+register_primitive(
+    name="aes-128-ctr",
+    kind=PrimitiveKind.CIPHER,
+    description="AES-128 in counter mode (FIPS 197)",
+    hardness_assumption="AES is a PRP (two decades of failed cryptanalysis)",
+)
+register_primitive(
+    name="aes-256-ctr",
+    kind=PrimitiveKind.CIPHER,
+    description="AES-256 in counter mode (FIPS 197)",
+    hardness_assumption="AES is a PRP (two decades of failed cryptanalysis)",
+)

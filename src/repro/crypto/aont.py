@@ -1,0 +1,123 @@
+"""All-or-nothing transform (AONT), in the AONT-RS formulation.
+
+Paper, Section 3.2 (describing Resch-Plank AONT-RS as deployed in
+Cleversafe):
+
+    "The AONT-RS scheme begins by splitting the data to be encrypted into
+    equal-sized blocks m_1, ..., m_s.  Then, for each i the scheme computes
+    ciphertext blocks c_i = m_i XOR Enc_k(i + 1), and a final ciphertext
+    block c_{s+1} = k XOR h(c_1, ..., c_s)."
+
+Properties this module makes testable:
+
+- A PPT attacker holding *all* of the package inverts it with no key
+  management at all (the key is inside, masked by the digest).
+- An attacker missing any single byte range learns nothing -- assuming Enc
+  and h are unbroken.  If either breaks, "an attacker trivially 'knows the
+  key' and can recover plaintext from even a single share"; the
+  :func:`aont_break_open` attack implements exactly that failure mode using
+  the weak legacy cipher.
+
+The dispersal half (erasure-coding the package across nodes) lives in
+:mod:`repro.secretsharing.aontrs`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto.aes import aes_ctr_keystream
+from repro.crypto.feistel import LegacyFeistelCipher
+from repro.crypto.registry import PrimitiveKind, register_primitive
+from repro.crypto.sha256 import sha256
+from repro.errors import IntegrityError, ParameterError
+from repro.crypto.drbg import DeterministicRandom
+
+KEY_SIZE = 32
+_ZERO_NONCE = b"\x00" * 12
+#: Mask stream starts at counter 1, matching the paper's Enc_k(i + 1).
+_COUNTER_BASE = 1
+
+
+def _mask(key: bytes, length: int) -> bytes:
+    """Enc_k(1), Enc_k(2), ... concatenated -- the per-block masks."""
+    return aes_ctr_keystream(key, _ZERO_NONCE, length, initial_counter=_COUNTER_BASE)
+
+
+def aont_package(data: bytes, rng: DeterministicRandom) -> bytes:
+    """Apply the all-or-nothing transform.
+
+    Returns ``c_1..c_s || c_{s+1}`` where the final 32-byte block is
+    ``k XOR h(c_1..c_s)``.  The package is exactly ``len(data) + 32`` bytes:
+    the AONT itself adds only the embedded key (storage-efficient; the real
+    overhead of AONT-RS comes from the later erasure coding).
+    """
+    key = rng.bytes(KEY_SIZE)
+    body = _xor(data, _mask(key, len(data)))
+    digest = sha256(body)
+    final_block = bytes(k ^ d for k, d in zip(key, digest))
+    return body + final_block
+
+
+def aont_unpackage(package: bytes) -> bytes:
+    """Invert the transform given the *complete* package."""
+    if len(package) < KEY_SIZE:
+        raise ParameterError("AONT package shorter than its final block")
+    body, final_block = package[:-KEY_SIZE], package[-KEY_SIZE:]
+    digest = sha256(body)
+    key = bytes(c ^ d for c, d in zip(final_block, digest))
+    return _xor(body, _mask(key, len(body)))
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return (
+        np.frombuffer(a, dtype=np.uint8) ^ np.frombuffer(b[: len(a)], dtype=np.uint8)
+    ).tobytes()
+
+
+# -- the post-break attack -------------------------------------------------------
+
+
+def aont_package_weak(data: bytes, rng: DeterministicRandom) -> bytes:
+    """AONT built on the broken legacy cipher (for obsolescence experiments).
+
+    Same structure as :func:`aont_package`, but the mask stream comes from
+    :class:`LegacyFeistelCipher`, whose effective keyspace is brute-forceable.
+    """
+    cipher = LegacyFeistelCipher()
+    key = rng.bytes(16)
+    mask = cipher.encrypt(key, _ZERO_NONCE, b"\x00" * len(data))
+    body = _xor(data, mask)
+    digest = sha256(body)
+    final_block = bytes(k ^ d for k, d in zip(key, digest[:16]))
+    return body + final_block
+
+
+def aont_break_open(package: bytes, known_prefix: bytes) -> bytes:
+    """Recover plaintext from a weak-cipher package *without* the final block.
+
+    Models the paper's observation: once the underlying cipher is broken, an
+    attacker "trivially knows the key" -- here by brute-forcing the legacy
+    cipher's keyspace against a known plaintext prefix.  Only the body
+    (c_1..c_s) is required; the embedded-key block is not used.
+    """
+    cipher = LegacyFeistelCipher()
+    body = package[:-16] if len(package) >= 16 else package
+    if len(known_prefix) < 8:
+        raise ParameterError("need at least one 8-byte block of known plaintext")
+    target_mask = _xor(body[:8], known_prefix[:8])
+    # Mask block 0 is E_k(nonce_prefix || counter=0).
+    probe_block = _ZERO_NONCE[:4] + b"\x00\x00\x00\x00"
+    key = cipher.recover_key_by_brute_force(probe_block, target_mask)
+    if key is None:
+        raise IntegrityError("brute force failed: cipher not actually weak enough")
+    mask = cipher.encrypt(key, _ZERO_NONCE, b"\x00" * len(body))
+    return _xor(body, mask)
+
+
+register_primitive(
+    name="aont",
+    kind=PrimitiveKind.CIPHER,
+    description="All-or-nothing transform (Resch-Plank formulation)",
+    hardness_assumption="AES is a PRP and SHA-256 is preimage-resistant",
+)

@@ -1,0 +1,114 @@
+"""ChaCha20 stream cipher (RFC 8439 variant, 32-bit block counter).
+
+The implementation is numpy-vectorized across blocks: all 64-byte blocks of
+the keystream are computed simultaneously with uint32 array arithmetic, which
+is what makes a pure-Python archival simulation able to encrypt megabytes per
+second.  Correctness is pinned to the RFC 8439 test vector in the test suite.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.crypto.registry import PrimitiveKind, register_primitive
+from repro.errors import ParameterError
+
+KEY_SIZE = 32
+NONCE_SIZE = 12
+BLOCK_SIZE = 64
+
+_CONSTANTS = np.frombuffer(b"expand 32-byte k", dtype="<u4").copy()
+
+
+def _rotl32(x: np.ndarray, n: int) -> np.ndarray:
+    return (x << np.uint32(n)) | (x >> np.uint32(32 - n))
+
+
+def _quarter_round(state: np.ndarray, a: int, b: int, c: int, d: int) -> None:
+    """In-place quarter round on column vectors of the batched state."""
+    state[a] += state[b]
+    state[d] = _rotl32(state[d] ^ state[a], 16)
+    state[c] += state[d]
+    state[b] = _rotl32(state[b] ^ state[c], 12)
+    state[a] += state[b]
+    state[d] = _rotl32(state[d] ^ state[a], 8)
+    state[c] += state[d]
+    state[b] = _rotl32(state[b] ^ state[c], 7)
+
+
+def chacha20_keystream(key: bytes, nonce: bytes, length: int, counter: int = 0) -> bytes:
+    """Generate *length* keystream bytes for (key, nonce) starting at block
+    *counter*."""
+    if len(key) != KEY_SIZE:
+        raise ParameterError(f"ChaCha20 key must be {KEY_SIZE} bytes")
+    if len(nonce) != NONCE_SIZE:
+        raise ParameterError(f"ChaCha20 nonce must be {NONCE_SIZE} bytes")
+    if length <= 0:
+        return b""
+
+    n_blocks = -(-length // BLOCK_SIZE)
+    if counter + n_blocks > 1 << 32:
+        raise ParameterError("ChaCha20 block counter would overflow")
+
+    key_words = np.frombuffer(key, dtype="<u4")
+    nonce_words = np.frombuffer(nonce, dtype="<u4")
+
+    # Batched state: shape (16, n_blocks); row 12 is the per-block counter.
+    state = np.empty((16, n_blocks), dtype=np.uint32)
+    state[0:4] = _CONSTANTS[:, None]
+    state[4:12] = key_words[:, None]
+    state[12] = np.arange(counter, counter + n_blocks, dtype=np.uint64).astype(np.uint32)
+    state[13:16] = nonce_words[:, None]
+
+    working = state.copy()
+    with np.errstate(over="ignore"):
+        for _ in range(10):  # 20 rounds = 10 double-rounds
+            _quarter_round(working, 0, 4, 8, 12)
+            _quarter_round(working, 1, 5, 9, 13)
+            _quarter_round(working, 2, 6, 10, 14)
+            _quarter_round(working, 3, 7, 11, 15)
+            _quarter_round(working, 0, 5, 10, 15)
+            _quarter_round(working, 1, 6, 11, 12)
+            _quarter_round(working, 2, 7, 8, 13)
+            _quarter_round(working, 3, 4, 9, 14)
+        working += state
+
+    # Serialize: block-major, word-minor, little-endian.
+    stream = working.T.astype("<u4").tobytes()
+    return stream[:length]
+
+
+def chacha20_xor(key: bytes, nonce: bytes, data: bytes, counter: int = 0) -> bytes:
+    """Encrypt/decrypt *data* (the operation is its own inverse)."""
+    stream = np.frombuffer(
+        chacha20_keystream(key, nonce, len(data), counter), dtype=np.uint8
+    )
+    return (np.frombuffer(data, dtype=np.uint8) ^ stream).tobytes()
+
+
+class ChaCha20Cipher:
+    """Cipher-interface wrapper around ChaCha20 (see ``registry`` docs).
+
+    Stateless: key and nonce are per call.  ``nonce_size`` and ``key_size``
+    let generic archival code allocate material without special cases.
+    """
+
+    name = "chacha20"
+    key_size = KEY_SIZE
+    nonce_size = NONCE_SIZE
+
+    def encrypt(self, key: bytes, nonce: bytes, plaintext: bytes) -> bytes:
+        return chacha20_xor(key, nonce, plaintext)
+
+    def decrypt(self, key: bytes, nonce: bytes, ciphertext: bytes) -> bytes:
+        return chacha20_xor(key, nonce, ciphertext)
+
+
+register_primitive(
+    name="chacha20",
+    kind=PrimitiveKind.CIPHER,
+    description="ChaCha20 stream cipher (RFC 8439), 256-bit key",
+    hardness_assumption="ARX permutation is a PRF",
+)

@@ -1,0 +1,83 @@
+"""Robust combiners for hash functions.
+
+The cascade cipher (:mod:`repro.crypto.cascade`) is the encryption-side
+combiner the paper discusses via ArchiveSafeLT; this module supplies the
+hash-side counterpart used by long-lived integrity structures: the
+*concatenation combiner* ``C(m) = H1(m) || H2(m)`` is collision-resistant
+as long as EITHER member is (a collision for C is simultaneously a
+collision for both).
+
+To have a second, independently breakable hash without importing one, the
+library includes :func:`chacha_dm_hash`: a Merkle-Damgard construction with
+a Davies-Meyer compression function built from the ChaCha permutation.  It
+is registered separately so the break timeline can fell SHA-256 and the
+ChaCha hash independently -- which is precisely what the combiner
+experiments need.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.crypto.chacha20 import chacha20_keystream
+from repro.crypto.registry import BreakTimeline, PrimitiveKind, register_primitive
+from repro.crypto.sha256 import sha256
+
+_BLOCK = 32
+_IV = bytes.fromhex(
+    "9e3779b97f4a7c15f39cc0605cedc8341082276bf3a27251f86c6a11d0c18e95"
+)
+
+
+def chacha_dm_hash(data: bytes) -> bytes:
+    """32-byte Merkle-Damgard hash with a ChaCha-based Davies-Meyer step.
+
+    Compression: ``h' = E_block(h) XOR h`` where E keys ChaCha with the
+    message block and 'encrypts' the chaining value as keystream offset.
+    Strengthened with standard length padding.
+    """
+    padded = data + b"\x80"
+    padded += b"\x00" * ((_BLOCK - 8 - len(padded) % _BLOCK) % _BLOCK)
+    padded += struct.pack(">Q", len(data) * 8)
+
+    state = np.frombuffer(_IV, dtype=np.uint8).copy()
+    for offset in range(0, len(padded), _BLOCK):
+        block = padded[offset : offset + _BLOCK]
+        stream = np.frombuffer(
+            chacha20_keystream(block, state[:12].tobytes(), _BLOCK), dtype=np.uint8
+        )
+        state = stream ^ state  # Davies-Meyer feed-forward
+    return state.tobytes()
+
+
+class CombinedHash:
+    """Concatenation combiner over SHA-256 and the ChaCha-DM hash."""
+
+    name = "combined-hash"
+    digest_size = 64
+    members = ("sha256", "chacha-dm")
+
+    @staticmethod
+    def digest(data: bytes) -> bytes:
+        return sha256(data) + chacha_dm_hash(data)
+
+    @classmethod
+    def collision_resistant_at(cls, timeline: BreakTimeline, epoch: int) -> bool:
+        """The combiner property: holds while ANY member holds."""
+        return any(not timeline.is_broken(m, epoch) for m in cls.members)
+
+
+register_primitive(
+    name="chacha-dm",
+    kind=PrimitiveKind.HASH,
+    description="Merkle-Damgard hash with a ChaCha Davies-Meyer compression",
+    hardness_assumption="ChaCha permutation behaves as an ideal cipher",
+)
+register_primitive(
+    name="combined-hash",
+    kind=PrimitiveKind.HASH,
+    description="Concatenation combiner: SHA-256 || ChaCha-DM",
+    hardness_assumption="at least one member hash remains collision-resistant",
+)

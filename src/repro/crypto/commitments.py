@@ -1,0 +1,137 @@
+"""Commitment schemes.
+
+LINCOS's key observation (paper Section 3.3): timestamp chains built from
+computationally secure *hashes* leak -- an unbounded adversary can invert or
+enumerate them, compromising the information-theoretic confidentiality of the
+committed data.  Swapping hashes for *information-theoretically hiding*
+commitments (Pedersen) preserves ITS confidentiality while keeping integrity
+computationally sound.
+
+Two schemes, deliberately dual:
+
+- :class:`PedersenCommitment` -- perfectly hiding (an unbounded adversary
+  learns nothing about the value), computationally binding (opening two ways
+  requires log_g h).
+- :class:`HashCommitment` -- perfectly binding in practice, only
+  computationally hiding (a ciphertext-harvesting adversary can grind small
+  value spaces once the hash falls).
+
+Pedersen commitments are also additively homomorphic, which is what
+verifiable secret sharing exploits: commit(a) * commit(b) = commit(a + b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.drbg import DeterministicRandom
+from repro.crypto.registry import PrimitiveKind, register_primitive
+from repro.crypto.sha256 import sha256
+from repro.errors import ParameterError, VerificationError
+from repro.gmath.primes import SchnorrGroup, default_group
+
+
+@dataclass(frozen=True)
+class PedersenOpening:
+    """What the committer reveals to open: the value and the blinding."""
+
+    value: int
+    blinding: int
+
+
+class PedersenCommitment:
+    """Pedersen commitments in a Schnorr group: C = g^v * h^r mod p."""
+
+    name = "pedersen"
+
+    def __init__(self, group: SchnorrGroup | None = None):
+        self.group = group or default_group()
+
+    def commit(self, value: int, rng: DeterministicRandom) -> tuple[int, PedersenOpening]:
+        """Commit to *value* (reduced mod q); returns (commitment, opening)."""
+        blinding = rng.randrange(self.group.q)
+        return self.commit_with_blinding(value, blinding), PedersenOpening(
+            value % self.group.q, blinding
+        )
+
+    def commit_with_blinding(self, value: int, blinding: int) -> int:
+        g_part = self.group.exp_g(value)
+        h_part = self.group.exp_h(blinding)
+        return self.group.mul(g_part, h_part)
+
+    def verify(self, commitment: int, opening: PedersenOpening) -> bool:
+        return commitment == self.commit_with_blinding(opening.value, opening.blinding)
+
+    def require_valid(self, commitment: int, opening: PedersenOpening) -> None:
+        if not self.verify(commitment, opening):
+            raise VerificationError("Pedersen opening does not match commitment")
+
+    # -- homomorphism -----------------------------------------------------------
+
+    def combine(self, commitments: list[int]) -> int:
+        """Product of commitments = commitment to the sum of values."""
+        if not commitments:
+            raise ParameterError("cannot combine zero commitments")
+        acc = 1
+        for c in commitments:
+            acc = self.group.mul(acc, c)
+        return acc
+
+    def combine_openings(self, openings: list[PedersenOpening]) -> PedersenOpening:
+        q = self.group.q
+        return PedersenOpening(
+            value=sum(o.value for o in openings) % q,
+            blinding=sum(o.blinding for o in openings) % q,
+        )
+
+    def scale(self, commitment: int, scalar: int) -> int:
+        """C^s = commitment to s * value (used by VSS share checks)."""
+        return pow(commitment, scalar % self.group.q, self.group.p)
+
+
+@dataclass(frozen=True)
+class HashOpening:
+    value: bytes
+    nonce: bytes
+
+
+class HashCommitment:
+    """Hash commitment: C = H(nonce || value).
+
+    Binding even against unbounded adversaries (up to collisions), but only
+    *computationally* hiding -- the property LINCOS rejects for long-term
+    confidentiality, reproduced here so the comparison is executable.
+    """
+
+    name = "hash-commitment"
+    NONCE_SIZE = 32
+
+    def commit(self, value: bytes, rng: DeterministicRandom) -> tuple[bytes, HashOpening]:
+        nonce = rng.bytes(self.NONCE_SIZE)
+        return sha256(nonce + value), HashOpening(value=value, nonce=nonce)
+
+    def verify(self, commitment: bytes, opening: HashOpening) -> bool:
+        return commitment == sha256(opening.nonce + opening.value)
+
+    @staticmethod
+    def grind_small_space(commitment: bytes, candidates: list[bytes], nonce: bytes) -> bytes | None:
+        """The harvesting adversary's move once it learns the nonce (or when
+        no nonce is used): enumerate a small value space against the hash."""
+        for candidate in candidates:
+            if sha256(nonce + candidate) == commitment:
+                return candidate
+        return None
+
+
+register_primitive(
+    name="pedersen",
+    kind=PrimitiveKind.COMMITMENT,
+    description="Pedersen commitment: perfectly hiding, computationally binding",
+    hardness_assumption=None,  # the *hiding* property is information-theoretic
+)
+register_primitive(
+    name="hash-commitment",
+    kind=PrimitiveKind.COMMITMENT,
+    description="Hash commitment: binding, only computationally hiding",
+    hardness_assumption="preimage resistance of SHA-256",
+)

@@ -1,0 +1,133 @@
+"""LegacyFeistel: a deliberately weak 64-bit-block cipher.
+
+The paper (Section 3.1) lists DES among the schemes "believed to be secure at
+one point in time [and] broken in the future".  Shipping real DES would add
+bulk without insight; instead ``LegacyFeistelCipher`` is a 16-round Feistel
+network with a 64-bit block, a 16-byte key, and an intentionally shallow
+round function.  It is registered as *historically broken*, so every
+obsolescence simulation treats it the way the present treats DES: an attacker
+at any epoch can strip it.
+
+``recover_key_by_brute_force`` demonstrates a practical attack on a reduced
+key schedule, used by the harvest-now-decrypt-later benchmark to show actual
+plaintext recovery rather than asserted recovery.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.crypto.registry import PrimitiveKind, register_primitive
+from repro.errors import ParameterError
+
+BLOCK_SIZE = 8
+ROUNDS = 16
+_MASK32 = 0xFFFFFFFF
+
+
+def _round_keys(key: bytes, effective_key_bits: int) -> list[int]:
+    """Derive 32-bit round keys from at most *effective_key_bits* of key.
+
+    Truncating the effective key is how the cipher models a design whose
+    keyspace cryptanalysis has collapsed (cf. DES's 56 bits brute-forced in
+    1998): the interface takes 16 bytes, the security comes from far fewer.
+    """
+    if len(key) != 16:
+        raise ParameterError("LegacyFeistel key must be 16 bytes")
+    usable = int.from_bytes(key, "big") & ((1 << effective_key_bits) - 1)
+    keys = []
+    state = usable ^ 0x9E3779B97F4A7C15
+    for round_index in range(ROUNDS):
+        state = (state * 6364136223846793005 + round_index) & (1 << 64) - 1
+        keys.append((state >> 16) & _MASK32)
+    return keys
+
+
+def _round_function(half: int, round_key: int) -> int:
+    """Shallow ARX round function (weak on purpose)."""
+    mixed = (half + round_key) & _MASK32
+    mixed ^= ((mixed << 7) | (mixed >> 25)) & _MASK32
+    mixed = (mixed * 0x85EBCA6B) & _MASK32
+    return mixed ^ (mixed >> 13)
+
+
+class LegacyFeistelCipher:
+    """16-round Feistel cipher with a configurable *effective* key size.
+
+    ``effective_key_bits`` defaults to 16: small enough that the brute-force
+    attack below finishes in about a second of pure Python, which is exactly
+    the property the obsolescence experiments need.
+    """
+
+    name = "legacy-feistel"
+    key_size = 16
+    nonce_size = 12
+
+    def __init__(self, effective_key_bits: int = 16):
+        if not 8 <= effective_key_bits <= 64:
+            raise ParameterError("effective_key_bits must be in [8, 64]")
+        self.effective_key_bits = effective_key_bits
+
+    # -- block primitives -----------------------------------------------------
+
+    def encrypt_block(self, key: bytes, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise ParameterError("LegacyFeistel block must be 8 bytes")
+        left, right = struct.unpack(">II", block)
+        for round_key in _round_keys(key, self.effective_key_bits):
+            left, right = right, left ^ _round_function(right, round_key)
+        return struct.pack(">II", right, left)
+
+    def decrypt_block(self, key: bytes, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise ParameterError("LegacyFeistel block must be 8 bytes")
+        right, left = struct.unpack(">II", block)
+        for round_key in reversed(_round_keys(key, self.effective_key_bits)):
+            left, right = right ^ _round_function(left, round_key), left
+        return struct.pack(">II", left, right)
+
+    # -- stream interface (CTR construction over the weak block) ---------------
+
+    def encrypt(self, key: bytes, nonce: bytes, plaintext: bytes) -> bytes:
+        stream = self._keystream(key, nonce, len(plaintext))
+        return (np.frombuffer(plaintext, dtype=np.uint8) ^ stream).tobytes()
+
+    def decrypt(self, key: bytes, nonce: bytes, ciphertext: bytes) -> bytes:
+        return self.encrypt(key, nonce, ciphertext)
+
+    def _keystream(self, key: bytes, nonce: bytes, length: int) -> np.ndarray:
+        if len(nonce) != self.nonce_size:
+            raise ParameterError("LegacyFeistel nonce must be 12 bytes")
+        n_blocks = -(-length // BLOCK_SIZE)
+        prefix = nonce[:4]
+        out = bytearray()
+        for counter in range(n_blocks):
+            out += self.encrypt_block(key, prefix + struct.pack(">I", counter))
+        return np.frombuffer(bytes(out[:length]), dtype=np.uint8)
+
+    # -- the attack -------------------------------------------------------------
+
+    def recover_key_by_brute_force(
+        self, known_plaintext_block: bytes, ciphertext_block: bytes
+    ) -> bytes | None:
+        """Exhaust the effective keyspace; return a working 16-byte key.
+
+        Models the post-break world: once a cipher's effective strength falls
+        inside an adversary's budget, one known-plaintext pair yields the key.
+        """
+        for candidate in range(1 << self.effective_key_bits):
+            key = candidate.to_bytes(16, "big")
+            if self.encrypt_block(key, known_plaintext_block) == ciphertext_block:
+                return key
+        return None
+
+
+register_primitive(
+    name="legacy-feistel",
+    kind=PrimitiveKind.CIPHER,
+    description="Weak 64-bit Feistel cipher (DES-era stand-in)",
+    hardness_assumption="small effective keyspace (falsified by design)",
+    historically_broken=True,
+)

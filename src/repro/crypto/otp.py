@@ -1,0 +1,80 @@
+"""The one-time pad: the paper's baseline for perfect secrecy.
+
+Section 3.2: "the simplest example of information-theoretically secure
+encryption is the One-Time Pad ... achieving 'perfect secrecy' (i.e., let
+epsilon = 0 in Definition 2.1)."  The pad is what QKD and BSM channels
+ultimately deliver keys for, and its |key| = |message| cost is the storage
+trade-off the whole paper revolves around.
+
+``OneTimePad`` enforces single use per key object, because pad reuse silently
+downgrades perfect secrecy to nothing -- the classic two-time-pad failure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto.registry import PrimitiveKind, register_primitive
+from repro.errors import KeyManagementError, ParameterError
+
+
+def otp_xor(key: bytes, data: bytes) -> bytes:
+    """Stateless XOR; caller is responsible for never reusing *key*."""
+    if len(key) < len(data):
+        raise ParameterError(
+            f"one-time pad key too short: {len(key)} < {len(data)} bytes"
+        )
+    key_arr = np.frombuffer(key[: len(data)], dtype=np.uint8)
+    return (np.frombuffer(data, dtype=np.uint8) ^ key_arr).tobytes()
+
+
+class PadKey:
+    """A consumable pad: bytes can be taken once and never again."""
+
+    def __init__(self, material: bytes):
+        self._material = material
+        self._offset = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._material) - self._offset
+
+    def take(self, length: int) -> bytes:
+        if length > self.remaining:
+            raise KeyManagementError(
+                f"pad exhausted: need {length} bytes, {self.remaining} remain"
+            )
+        chunk = self._material[self._offset : self._offset + length]
+        self._offset += length
+        return chunk
+
+
+class OneTimePad:
+    """Cipher-interface wrapper whose 'key' is a consumable pad."""
+
+    name = "one-time-pad"
+    nonce_size = 0
+
+    def encrypt_with_pad(self, pad: PadKey, plaintext: bytes) -> bytes:
+        return otp_xor(pad.take(len(plaintext)), plaintext)
+
+    def decrypt_with_pad(self, pad: PadKey, ciphertext: bytes) -> bytes:
+        return otp_xor(pad.take(len(ciphertext)), ciphertext)
+
+    # Raw-key forms for callers that manage single-use themselves (e.g. the
+    # QKD channel, which derives one fresh pad per message).
+    def encrypt(self, key: bytes, nonce: bytes, plaintext: bytes) -> bytes:
+        del nonce  # perfect secrecy needs no nonce; parameter kept for interface
+        return otp_xor(key, plaintext)
+
+    def decrypt(self, key: bytes, nonce: bytes, ciphertext: bytes) -> bytes:
+        del nonce
+        return otp_xor(key, ciphertext)
+
+
+register_primitive(
+    name="one-time-pad",
+    kind=PrimitiveKind.CIPHER,
+    description="One-time pad (perfect secrecy, |key| = |message|)",
+    hardness_assumption=None,
+)

@@ -1,0 +1,181 @@
+"""Proxy re-encryption, including the delegated-re-encryption path.
+
+Paper, Section 3.2: "This re-encryption could be delegated to the storage
+system (without giving the system access to user keys) using more
+sophisticated techniques like Universal Proxy Re-Encryption (UPRE)."
+
+Two layers, mirroring how such a delegation actually decomposes:
+
+- **KEM-level PRE** (:class:`ProxyReEncryption`, BBS98-style ElGamal):
+  ciphertexts are (symmetric body, KEM capsule ``pk^r``); a re-encryption
+  key ``rk = b/a`` lets the *proxy* transform a capsule under Alice's key
+  into one under Bob's key without learning the data key or plaintexts.
+  This is cheap -- O(1) per object -- and handles *key* rotation.
+
+- **DEM-level migration** (:func:`keystream_migration_pad`): moving the
+  *body* from a broken cipher to a new one without exposing plaintext.
+  The delegator hands the proxy a migration pad (old keystream XOR new
+  keystream); XOring the stored ciphertext with the pad re-encrypts it.
+  The pad is independent of the plaintext, so the proxy learns nothing --
+  but it is as large as the data, and applying it reads and rewrites every
+  byte.  That is the paper's punchline, preserved by construction: even
+  perfectly delegated re-encryption cannot dodge the Section 3.2 I/O bill,
+  and it does nothing for ciphertext already harvested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crypto.chacha20 import chacha20_keystream
+from repro.crypto.drbg import DeterministicRandom
+from repro.crypto.registry import PrimitiveKind, register_primitive
+from repro.crypto.sha256 import sha256
+from repro.errors import KeyManagementError, ParameterError
+from repro.gmath.primes import SchnorrGroup, default_group
+
+_ZERO_NONCE = b"\x00" * 12
+
+
+@dataclass(frozen=True)
+class PreKeyPair:
+    """An ElGamal key pair in the PRE group."""
+
+    secret: int
+    public: int
+
+
+@dataclass(frozen=True)
+class PreCiphertext:
+    """Hybrid ciphertext: symmetric body + KEM capsule.
+
+    ``capsule = pk^r``; the data key is ``H(g^r)``, recoverable only by the
+    capsule owner's secret (or after a re-encryption hop, the delegatee's).
+    ``hops`` counts re-encryptions, since single-hop schemes must refuse
+    a second transform.
+    """
+
+    body: bytes
+    capsule: int
+    hops: int = 0
+
+
+@dataclass(frozen=True)
+class ReEncryptionKey:
+    """rk_{a->b} = b / a (mod q).  Held by the proxy; reveals neither key."""
+
+    value: int
+    source_public: int
+    target_public: int
+
+
+class ProxyReEncryption:
+    """BBS98-style unidirectional-use ElGamal PRE (single hop)."""
+
+    name = "proxy-reencryption"
+
+    def __init__(self, group: SchnorrGroup | None = None):
+        self.group = group or default_group()
+
+    def generate_keypair(self, rng: DeterministicRandom) -> PreKeyPair:
+        secret = rng.randrange(1, self.group.q)
+        return PreKeyPair(secret=secret, public=self.group.exp_g(secret))
+
+    # -- encrypt / decrypt ----------------------------------------------------------
+
+    def _data_key(self, shared_point: int) -> bytes:
+        size = (self.group.p.bit_length() + 7) // 8
+        return sha256(b"pre-kem:" + shared_point.to_bytes(size, "big"))
+
+    def encrypt(self, public: int, plaintext: bytes, rng: DeterministicRandom) -> PreCiphertext:
+        r = rng.randrange(1, self.group.q)
+        ephemeral = self.group.exp_g(r)  # g^r: never stored, only hashed
+        capsule = pow(public, r, self.group.p)  # pk^r = g^{ar}
+        key = self._data_key(ephemeral)
+        stream = np.frombuffer(
+            chacha20_keystream(key, _ZERO_NONCE, max(1, len(plaintext))), dtype=np.uint8
+        )
+        body = (np.frombuffer(plaintext, dtype=np.uint8) ^ stream[: len(plaintext)]).tobytes()
+        return PreCiphertext(body=body, capsule=capsule)
+
+    def decrypt(self, keys: PreKeyPair, ciphertext: PreCiphertext) -> bytes:
+        # g^r = capsule^{1/a}.
+        inverse = pow(keys.secret, -1, self.group.q)
+        ephemeral = pow(ciphertext.capsule, inverse, self.group.p)
+        key = self._data_key(ephemeral)
+        stream = np.frombuffer(
+            chacha20_keystream(key, _ZERO_NONCE, max(1, len(ciphertext.body))),
+            dtype=np.uint8,
+        )
+        return (
+            np.frombuffer(ciphertext.body, dtype=np.uint8) ^ stream[: len(ciphertext.body)]
+        ).tobytes()
+
+    # -- delegation -------------------------------------------------------------------
+
+    def rekey(self, delegator: PreKeyPair, delegatee: PreKeyPair) -> ReEncryptionKey:
+        """rk = b/a.  Note the BBS98 trust model the paper inherits: making
+        the re-key requires the delegator's secret (it never goes to the
+        proxy) and, in this classic scheme, the delegatee's too; key-private
+        variants relax this but the archival-system behavior is the same."""
+        value = (delegatee.secret * pow(delegator.secret, -1, self.group.q)) % self.group.q
+        return ReEncryptionKey(
+            value=value,
+            source_public=delegator.public,
+            target_public=delegatee.public,
+        )
+
+    def reencrypt(self, rekey: ReEncryptionKey, ciphertext: PreCiphertext) -> PreCiphertext:
+        """The proxy's move: capsule^rk = g^{ar·b/a} = g^{br}.
+
+        O(1) work, no plaintext, no data key: exactly what lets a storage
+        system rotate *ownership* of millions of objects without touching
+        their bodies."""
+        if ciphertext.hops >= 1:
+            raise KeyManagementError("single-hop PRE: ciphertext already re-encrypted")
+        new_capsule = pow(ciphertext.capsule, rekey.value, self.group.p)
+        return PreCiphertext(body=ciphertext.body, capsule=new_capsule, hops=ciphertext.hops + 1)
+
+
+# -- DEM migration: the part that cannot dodge the I/O ------------------------------
+
+
+def keystream_migration_pad(
+    old_key: bytes, new_key: bytes, length: int, old_nonce: bytes = _ZERO_NONCE,
+    new_nonce: bytes = _ZERO_NONCE,
+) -> bytes:
+    """Pad P = KS_old XOR KS_new, computed by the *delegator* (key owner).
+
+    Applying P to a stored ciphertext re-encrypts it under ``new_key``
+    without the proxy ever holding a key or plaintext.  The pad is as long
+    as the data: delegation removes the trust problem, not the byte count.
+    """
+    if length < 0:
+        raise ParameterError("length must be >= 0")
+    old_stream = np.frombuffer(
+        chacha20_keystream(old_key, old_nonce, max(1, length)), dtype=np.uint8
+    )
+    new_stream = np.frombuffer(
+        chacha20_keystream(new_key, new_nonce, max(1, length)), dtype=np.uint8
+    )
+    return (old_stream[:length] ^ new_stream[:length]).tobytes()
+
+
+def apply_migration_pad(ciphertext: bytes, pad: bytes) -> bytes:
+    """The proxy's side: one XOR pass over the stored bytes."""
+    if len(pad) < len(ciphertext):
+        raise ParameterError("migration pad shorter than ciphertext")
+    return (
+        np.frombuffer(ciphertext, dtype=np.uint8)
+        ^ np.frombuffer(pad[: len(ciphertext)], dtype=np.uint8)
+    ).tobytes()
+
+
+register_primitive(
+    name="proxy-reencryption",
+    kind=PrimitiveKind.CIPHER,
+    description="BBS98-style ElGamal proxy re-encryption (KEM level)",
+    hardness_assumption="DDH in the Schnorr group",
+)

@@ -1,0 +1,215 @@
+"""Primitive registry and the cryptographic break timeline.
+
+The paper's core argument (Section 3.1, "Cryptographic Obsolescence") is that
+every computationally secure primitive rests on an unproven hardness
+assumption and may be broken within an archive's lifetime, as MD5, DES, and
+discrete-log schemes already were.  This module makes that argument
+executable:
+
+- every primitive in :mod:`repro.crypto` registers itself with metadata
+  (kind, hardness assumption, or ``None`` for information-theoretic ones);
+- a :class:`BreakTimeline` assigns simulated break epochs to primitives;
+- archival systems and adversaries consult the timeline, so a "harvest now,
+  decrypt later" run is literally: store ciphertext at epoch 0, advance the
+  timeline past the cipher's break epoch, attempt recovery.
+
+Information-theoretic primitives (the one-time pad, Shamir sharing) have no
+hardness assumption and the timeline refuses to break them -- that asymmetry
+*is* the paper's thesis.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import AdversaryError, ParameterError
+from repro.security import SecurityNotion
+
+
+class PrimitiveKind(enum.Enum):
+    """What role a registered primitive plays."""
+
+    CIPHER = "cipher"
+    HASH = "hash"
+    MAC = "mac"
+    KDF = "kdf"
+    SIGNATURE = "signature"
+    COMMITMENT = "commitment"
+    SECRET_SHARING = "secret-sharing"
+    KEY_AGREEMENT = "key-agreement"
+
+
+@dataclass(frozen=True)
+class PrimitiveInfo:
+    """Static metadata about one cryptographic primitive."""
+
+    name: str
+    kind: PrimitiveKind
+    description: str
+    #: The hardness assumption the primitive's security rests on, or None
+    #: for information-theoretic primitives (which rest on nothing).
+    hardness_assumption: str | None = None
+    #: Set for primitives that are *already* broken in the real world and are
+    #: included as historical exhibits (e.g. the toy Feistel/DES stand-in).
+    historically_broken: bool = False
+
+    @property
+    def notion(self) -> SecurityNotion:
+        if self.hardness_assumption is None:
+            return SecurityNotion.INFORMATION_THEORETIC
+        return SecurityNotion.COMPUTATIONAL
+
+    @property
+    def breakable(self) -> bool:
+        """Only computational primitives can ever be broken."""
+        return self.notion is SecurityNotion.COMPUTATIONAL
+
+
+class PrimitiveRegistry:
+    """Name -> :class:`PrimitiveInfo` catalogue."""
+
+    def __init__(self) -> None:
+        self._primitives: dict[str, PrimitiveInfo] = {}
+
+    def register(self, info: PrimitiveInfo) -> PrimitiveInfo:
+        existing = self._primitives.get(info.name)
+        if existing is not None:
+            if existing != info:
+                raise ParameterError(
+                    f"primitive {info.name!r} already registered with different metadata"
+                )
+            return existing
+        self._primitives[info.name] = info
+        return info
+
+    def get(self, name: str) -> PrimitiveInfo:
+        try:
+            return self._primitives[name]
+        except KeyError:
+            raise ParameterError(f"unknown primitive {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._primitives
+
+    def names(self) -> list[str]:
+        return sorted(self._primitives)
+
+    def by_kind(self, kind: PrimitiveKind) -> list[PrimitiveInfo]:
+        return [p for p in self._primitives.values() if p.kind is kind]
+
+
+_GLOBAL = PrimitiveRegistry()
+
+
+def global_registry() -> PrimitiveRegistry:
+    """The process-wide registry all primitives self-register into."""
+    return _GLOBAL
+
+
+def register_primitive(
+    name: str,
+    kind: PrimitiveKind,
+    description: str,
+    hardness_assumption: str | None = None,
+    historically_broken: bool = False,
+) -> PrimitiveInfo:
+    """Convenience wrapper used at module import time by each primitive."""
+    return _GLOBAL.register(
+        PrimitiveInfo(
+            name=name,
+            kind=kind,
+            description=description,
+            hardness_assumption=hardness_assumption,
+            historically_broken=historically_broken,
+        )
+    )
+
+
+@dataclass
+class BreakTimeline:
+    """Assignment of break epochs to computational primitives.
+
+    Epochs are abstract integers (the epoch scheduler in ``repro.core`` maps
+    them to years).  A primitive with no entry is never broken during the
+    simulation.
+    """
+
+    registry: PrimitiveRegistry = field(default_factory=global_registry)
+    _break_epochs: dict[str, int] = field(default_factory=dict)
+
+    def schedule_break(self, name: str, epoch: int) -> None:
+        """Declare that *name* is cryptanalyzed at *epoch* (inclusive)."""
+        info = self.registry.get(name)
+        if not info.breakable:
+            raise AdversaryError(
+                f"{name} is information-theoretically secure; "
+                "no computational advance can break it"
+            )
+        if epoch < 0:
+            raise ParameterError("break epoch must be >= 0")
+        current = self._break_epochs.get(name)
+        self._break_epochs[name] = epoch if current is None else min(current, epoch)
+
+    def is_broken(self, name: str, epoch: int) -> bool:
+        """Is *name* broken at (or before) *epoch*?"""
+        info = self.registry.get(name)
+        if info.historically_broken:
+            return True
+        break_epoch = self._break_epochs.get(name)
+        return break_epoch is not None and epoch >= break_epoch
+
+    def break_epoch(self, name: str) -> int | None:
+        """The scheduled break epoch for *name*, or None."""
+        info = self.registry.get(name)
+        if info.historically_broken:
+            return 0
+        return self._break_epochs.get(name)
+
+    def broken_primitives(self, epoch: int) -> list[str]:
+        """All primitive names broken at *epoch*, sorted."""
+        names = {
+            name
+            for name, when in self._break_epochs.items()
+            if epoch >= when
+        }
+        names.update(
+            p.name
+            for p in self.registry._primitives.values()
+            if p.historically_broken
+        )
+        return sorted(names)
+
+    def copy(self) -> "BreakTimeline":
+        clone = BreakTimeline(registry=self.registry)
+        clone._break_epochs = dict(self._break_epochs)
+        return clone
+
+
+# Register the hash/MAC/KDF primitives implemented by sibling modules that
+# do not define classes of their own.
+register_primitive(
+    name="sha256",
+    kind=PrimitiveKind.HASH,
+    description="SHA-256 (FIPS 180-4)",
+    hardness_assumption="collision/preimage resistance of the SHA-2 compression function",
+)
+register_primitive(
+    name="hmac-sha256",
+    kind=PrimitiveKind.MAC,
+    description="HMAC-SHA256 (RFC 2104)",
+    hardness_assumption="PRF security of the SHA-2 compression function",
+)
+register_primitive(
+    name="hkdf-sha256",
+    kind=PrimitiveKind.KDF,
+    description="HKDF (RFC 5869) over HMAC-SHA256",
+    hardness_assumption="PRF security of HMAC-SHA256",
+)
+register_primitive(
+    name="md5",
+    kind=PrimitiveKind.HASH,
+    description="MD5 -- historical exhibit; collisions found in 2004",
+    hardness_assumption="collision resistance of MD5 (falsified)",
+    historically_broken=True,
+)

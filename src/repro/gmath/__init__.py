@@ -1,0 +1,30 @@
+"""Finite-field and coding-theory substrate.
+
+This package provides the algebra every higher layer builds on:
+
+- :mod:`repro.gmath.gf256` — the field GF(2^8) with numpy-vectorized bulk
+  operations (the workhorse for byte-oriented secret sharing and RS coding).
+- :mod:`repro.gmath.gfp` — prime fields GF(p) used by verifiable secret
+  sharing and Pedersen commitments.
+- :mod:`repro.gmath.poly` — polynomial arithmetic and interpolation over any
+  supported field.
+- :mod:`repro.gmath.matrix` — Vandermonde construction and Gaussian
+  elimination over finite fields.
+- :mod:`repro.gmath.reedsolomon` — systematic and non-systematic
+  Reed–Solomon erasure codes.
+- :mod:`repro.gmath.primes` — Miller–Rabin primality testing and Schnorr
+  group parameter generation.
+"""
+
+from repro.gmath.gf256 import GF256
+from repro.gmath.gfp import PrimeField
+from repro.gmath.poly import Polynomial, lagrange_interpolate_at
+from repro.gmath.reedsolomon import ReedSolomonCode
+
+__all__ = [
+    "GF256",
+    "PrimeField",
+    "Polynomial",
+    "lagrange_interpolate_at",
+    "ReedSolomonCode",
+]

@@ -1,0 +1,88 @@
+"""Prime fields GF(p).
+
+Used by the discrete-log layer: Feldman/Pedersen verifiable secret sharing,
+Pedersen commitments, and the toy Schnorr-group constructions.  Elements are
+plain Python ints, which keeps arbitrary-precision arithmetic free.
+
+The class mirrors the interface of :class:`repro.gmath.gf256.GF256` so the
+generic polynomial and matrix helpers work over either field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.gmath.primes import is_probable_prime
+
+
+@dataclass(frozen=True)
+class PrimeField:
+    """The field of integers modulo a prime ``p``."""
+
+    p: int
+
+    def __post_init__(self) -> None:
+        if self.p < 2 or not is_probable_prime(self.p):
+            raise ParameterError(f"field modulus must be prime, got {self.p}")
+
+    # Properties named to match the GF256 interface.
+    @property
+    def order(self) -> int:
+        return self.p
+
+    @property
+    def zero(self) -> int:
+        return 0
+
+    @property
+    def one(self) -> int:
+        return 1
+
+    def validate(self, a: int) -> int:
+        if not isinstance(a, int) or not 0 <= a < self.p:
+            raise ParameterError(f"not a GF({self.p}) element: {a!r}")
+        return a
+
+    def reduce(self, a: int) -> int:
+        """Map an arbitrary integer into the canonical range [0, p)."""
+        return a % self.p
+
+    def add(self, a: int, b: int) -> int:
+        return (a + b) % self.p
+
+    def sub(self, a: int, b: int) -> int:
+        return (a - b) % self.p
+
+    def neg(self, a: int) -> int:
+        return (-a) % self.p
+
+    def mul(self, a: int, b: int) -> int:
+        return (a * b) % self.p
+
+    def inv(self, a: int) -> int:
+        if a % self.p == 0:
+            raise ZeroDivisionError(f"0 has no inverse in GF({self.p})")
+        return pow(a, -1, self.p)
+
+    def div(self, a: int, b: int) -> int:
+        return self.mul(a, self.inv(b))
+
+    def pow(self, a: int, e: int) -> int:
+        if e < 0:
+            return pow(self.inv(a), -e, self.p)
+        return pow(a, e, self.p)
+
+    def elements(self) -> range:
+        """Iterate all elements; only sensible for tiny test fields."""
+        if self.p > 1 << 20:
+            raise ParameterError("refusing to enumerate a large field")
+        return range(self.p)
+
+
+#: A small prime field handy for tests (fits a byte of headroom).
+F257 = PrimeField(257)
+
+#: A 61-bit Mersenne prime field: large enough that random collisions are
+#: negligible in simulations, small enough that operations stay fast.
+F_M61 = PrimeField((1 << 61) - 1)

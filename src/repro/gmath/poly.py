@@ -1,0 +1,156 @@
+"""Polynomials and Lagrange interpolation over a generic finite field.
+
+A "field" here is anything exposing the interface shared by
+:class:`repro.gmath.gf256.GF256` (a namespace class) and
+:class:`repro.gmath.gfp.PrimeField` (instances): ``add``, ``sub``, ``mul``,
+``div``, ``inv``, ``neg``, ``pow``, plus ``zero``/``one``/``order``.
+
+These scalar routines are used for protocol-level math (VSS coefficients,
+redistribution matrices, commitment exponents) where operand counts are tiny.
+Bulk per-byte work goes through the vectorized GF(256) paths instead.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.errors import DecodingError, ParameterError
+
+
+class Polynomial:
+    """A dense polynomial ``c0 + c1 x + ... + cd x^d`` over a finite field."""
+
+    __slots__ = ("field", "coeffs")
+
+    def __init__(self, field, coeffs: Sequence[int]):
+        self.field = field
+        trimmed = list(coeffs)
+        while len(trimmed) > 1 and trimmed[-1] == field.zero:
+            trimmed.pop()
+        if not trimmed:
+            trimmed = [field.zero]
+        self.coeffs = trimmed
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def random(cls, field, degree: int, constant: int, rng: random.Random) -> "Polynomial":
+        """Random polynomial of exactly the given degree bound with fixed
+        constant term -- the core object of Shamir's scheme."""
+        if degree < 0:
+            raise ParameterError("degree must be non-negative")
+        coeffs = [constant] + [rng.randrange(field.order) for _ in range(degree)]
+        return cls(field, coeffs)
+
+    @classmethod
+    def zero_poly(cls, field) -> "Polynomial":
+        return cls(field, [field.zero])
+
+    # -- basic queries --------------------------------------------------------
+
+    @property
+    def degree(self) -> int:
+        return len(self.coeffs) - 1
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Polynomial)
+            and self.field == other.field
+            and self.coeffs == other.coeffs
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.field), tuple(self.coeffs)))
+
+    def __repr__(self) -> str:
+        return f"Polynomial(deg={self.degree}, coeffs={self.coeffs})"
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def evaluate(self, x: int) -> int:
+        """Horner evaluation at the point *x*."""
+        f = self.field
+        acc = self.coeffs[-1]
+        for coefficient in reversed(self.coeffs[:-1]):
+            acc = f.add(f.mul(acc, x), coefficient)
+        return acc
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        f = self.field
+        n = max(len(self.coeffs), len(other.coeffs))
+        out = []
+        for i in range(n):
+            a = self.coeffs[i] if i < len(self.coeffs) else f.zero
+            b = other.coeffs[i] if i < len(other.coeffs) else f.zero
+            out.append(f.add(a, b))
+        return Polynomial(f, out)
+
+    def __sub__(self, other: "Polynomial") -> "Polynomial":
+        f = self.field
+        n = max(len(self.coeffs), len(other.coeffs))
+        out = []
+        for i in range(n):
+            a = self.coeffs[i] if i < len(self.coeffs) else f.zero
+            b = other.coeffs[i] if i < len(other.coeffs) else f.zero
+            out.append(f.sub(a, b))
+        return Polynomial(f, out)
+
+    def __mul__(self, other: "Polynomial") -> "Polynomial":
+        f = self.field
+        out = [f.zero] * (len(self.coeffs) + len(other.coeffs) - 1)
+        for i, a in enumerate(self.coeffs):
+            if a == f.zero:
+                continue
+            for j, b in enumerate(other.coeffs):
+                out[i + j] = f.add(out[i + j], f.mul(a, b))
+        return Polynomial(f, out)
+
+    def scale(self, scalar: int) -> "Polynomial":
+        f = self.field
+        return Polynomial(f, [f.mul(scalar, c) for c in self.coeffs])
+
+
+def lagrange_basis_at(field, xs: Sequence[int], j: int, x: int) -> int:
+    """Evaluate the j-th Lagrange basis polynomial for nodes *xs* at *x*."""
+    f = field
+    num, den = f.one, f.one
+    xj = xs[j]
+    for m, xm in enumerate(xs):
+        if m == j:
+            continue
+        num = f.mul(num, f.sub(x, xm))
+        den = f.mul(den, f.sub(xj, xm))
+    return f.div(num, den)
+
+
+def lagrange_interpolate_at(
+    field, points: Sequence[tuple[int, int]], x: int
+) -> int:
+    """Interpolate the unique degree-(k-1) polynomial through *points* and
+    evaluate it at *x*.
+
+    This is the heart of both Shamir reconstruction (x = 0) and share
+    redistribution (x = new shareholder index).
+    """
+    if not points:
+        raise DecodingError("cannot interpolate zero points")
+    xs = [p[0] for p in points]
+    if len(set(xs)) != len(xs):
+        raise DecodingError("duplicate x-coordinates in interpolation")
+    f = field
+    acc = f.zero
+    for j, (_, yj) in enumerate(points):
+        acc = f.add(acc, f.mul(yj, lagrange_basis_at(f, xs, j, x)))
+    return acc
+
+
+def lagrange_coefficients_at_zero(field, xs: Sequence[int]) -> list[int]:
+    """Lagrange coefficients lambda_j such that secret = sum lambda_j * y_j.
+
+    Precomputing these once per share-set makes bulk bytewise reconstruction
+    a handful of table-row operations per share.
+    """
+    if len(set(xs)) != len(xs):
+        raise DecodingError("duplicate x-coordinates")
+    return [lagrange_basis_at(field, xs, j, field.zero) for j in range(len(xs))]

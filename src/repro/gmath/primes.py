@@ -1,0 +1,175 @@
+"""Primality testing and discrete-log group parameter generation.
+
+Provides deterministic Miller-Rabin for 64-bit integers, probabilistic
+Miller-Rabin for larger ones, safe-prime search, and Schnorr group parameter
+generation used by the Pedersen commitment and verifiable secret sharing
+layers.
+
+Everything here is deterministic given the caller-supplied seed so test runs
+and benchmark runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+# Witness sets giving *deterministic* Miller-Rabin answers for bounded inputs
+# (Jaeschke / Sorenson-Webster results).
+_DETERMINISTIC_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+_DETERMINISTIC_BOUND = 3_317_044_064_679_887_385_961_981
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+)
+
+
+def _miller_rabin_round(n: int, d: int, r: int, witness: int) -> bool:
+    """Return True if *n* passes one Miller-Rabin round for *witness*."""
+    x = pow(witness, d, n)
+    if x in (1, n - 1):
+        return True
+    for _ in range(r - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return True
+    return False
+
+
+def is_probable_prime(n: int, rounds: int = 40, rng: random.Random | None = None) -> bool:
+    """Miller-Rabin primality test.
+
+    Deterministic (exact) for n below ~3.3e24 via fixed witness sets;
+    probabilistic with *rounds* random witnesses above that.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    if n < _DETERMINISTIC_BOUND:
+        witnesses: tuple[int, ...] | list[int] = _DETERMINISTIC_WITNESSES
+    else:
+        rng = rng or random.Random(0xC0FFEE ^ (n & 0xFFFFFFFF))
+        witnesses = [rng.randrange(2, n - 1) for _ in range(rounds)]
+    return all(_miller_rabin_round(n, d, r, w) for w in witnesses)
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime strictly greater than *n*."""
+    candidate = n + 1
+    if candidate <= 2:
+        return 2
+    if candidate % 2 == 0:
+        candidate += 1
+    while not is_probable_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+def random_prime(bits: int, rng: random.Random) -> int:
+    """Random prime with exactly *bits* bits (top bit set)."""
+    if bits < 2:
+        raise ParameterError("need at least 2 bits for a prime")
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if is_probable_prime(candidate):
+            return candidate
+
+
+def random_safe_prime(bits: int, rng: random.Random) -> int:
+    """Random safe prime p = 2q + 1 with *bits* bits.
+
+    Safe primes give a prime-order subgroup of index 2, convenient for
+    Pedersen commitments.  Keep *bits* modest (<= 256) in tests; generation
+    is expected-case polynomial but not fast in pure Python.
+    """
+    if bits < 4:
+        raise ParameterError("safe primes need at least 4 bits")
+    while True:
+        q = random_prime(bits - 1, rng)
+        p = 2 * q + 1
+        if p.bit_length() == bits and is_probable_prime(p):
+            return p
+
+
+@dataclass(frozen=True)
+class SchnorrGroup:
+    """A prime-order-q subgroup of Z_p^* with two generators.
+
+    ``g`` and ``h`` generate the subgroup of order ``q``; ``h`` is derived so
+    that nobody knows log_g(h), which is what makes Pedersen commitments
+    binding (computationally) while staying perfectly hiding.
+    """
+
+    p: int
+    q: int
+    g: int
+    h: int
+
+    def __post_init__(self) -> None:
+        if (self.p - 1) % self.q != 0:
+            raise ParameterError("q must divide p - 1")
+        for gen in (self.g, self.h):
+            if pow(gen, self.q, self.p) != 1 or gen in (0, 1):
+                raise ParameterError("generator is not in the order-q subgroup")
+
+    def exp_g(self, e: int) -> int:
+        return pow(self.g, e % self.q, self.p)
+
+    def exp_h(self, e: int) -> int:
+        return pow(self.h, e % self.q, self.p)
+
+    def mul(self, a: int, b: int) -> int:
+        return (a * b) % self.p
+
+    def random_exponent(self, rng: random.Random) -> int:
+        return rng.randrange(self.q)
+
+
+def generate_schnorr_group(bits: int = 128, seed: int = 2024) -> SchnorrGroup:
+    """Generate a Schnorr group from a safe prime of *bits* bits.
+
+    The default 128 bits is a *simulation* parameter: large enough that the
+    algebra is non-degenerate and collisions never happen by accident, small
+    enough that the pure-Python proactive-VSS protocols stay fast.  The
+    break-timeline registry (``repro.crypto.registry``) is what models
+    real-world security levels, not this bit length.
+    """
+    rng = random.Random(seed)
+    p = random_safe_prime(bits, rng)
+    q = (p - 1) // 2
+    # Any quadratic residue != 1 generates the order-q subgroup.
+    while True:
+        candidate = rng.randrange(2, p - 1)
+        g = pow(candidate, 2, p)
+        if g != 1:
+            break
+    while True:
+        candidate = rng.randrange(2, p - 1)
+        h = pow(candidate, 2, p)
+        if h not in (1, g):
+            break
+    return SchnorrGroup(p=p, q=q, g=g, h=h)
+
+
+#: Default group used across the library when the caller does not supply one.
+#: Built lazily because safe-prime search takes a moment.
+_DEFAULT_GROUP: SchnorrGroup | None = None
+
+
+def default_group() -> SchnorrGroup:
+    """Return the library-wide default Schnorr group (memoized)."""
+    global _DEFAULT_GROUP
+    if _DEFAULT_GROUP is None:
+        _DEFAULT_GROUP = generate_schnorr_group()
+    return _DEFAULT_GROUP

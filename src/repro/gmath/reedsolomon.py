@@ -1,0 +1,187 @@
+"""Reed-Solomon erasure codes over GF(2^8).
+
+Two variants, matching the paper's usage:
+
+- **Systematic** ``[n, k]`` codes: the first *k* codeword symbols are the
+  message itself, the remaining ``n - k`` are parity.  This is what AONT-RS
+  and plain erasure-coded availability use.
+- **Non-systematic** evaluation codes: the codeword is the polynomial whose
+  *coefficients* are the message, evaluated at *n* points.  The paper (citing
+  McEliece-Sarwate) notes Shamir's secret sharing is exactly a non-systematic
+  ``[n, t]`` RS code applied to ``(m, r_1, ..., r_{t-1})``; we expose this
+  form so the equivalence is testable.
+
+All bulk data paths are numpy-vectorized: a stripe of *k* byte-rows is
+extended to *n* byte-rows with ``k * (n - k)`` table-row lookups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DecodingError, ParameterError
+from repro.gmath.gf256 import GF256
+from repro.gmath.matrix import FieldMatrix
+from repro.gmath.poly import lagrange_basis_at
+
+_MAX_SYMBOLS = 255  # evaluation points are the nonzero field elements
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One erasure-coded shard: its codeword index plus payload bytes."""
+
+    index: int
+    data: bytes
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+class ReedSolomonCode:
+    """A ``[n, k]`` Reed-Solomon erasure code over GF(256).
+
+    Evaluation points are ``1..n`` (zero is reserved so the non-systematic
+    form can hide a secret at x = 0, Shamir-style).
+
+    Parameters
+    ----------
+    n:
+        Total number of shards produced (codeword length).
+    k:
+        Number of shards required to reconstruct (dimension).
+    """
+
+    def __init__(self, n: int, k: int):
+        if not 1 <= k <= n <= _MAX_SYMBOLS:
+            raise ParameterError(f"need 1 <= k <= n <= {_MAX_SYMBOLS}, got n={n} k={k}")
+        self.n = n
+        self.k = k
+        self.points = list(range(1, n + 1))
+        # Precompute the parity generator: for each parity point x, the
+        # Lagrange coefficients mapping the k systematic rows to row(x).
+        self._parity_coeffs = [
+            [
+                lagrange_basis_at(GF256, self.points[: k], j, x)
+                for j in range(k)
+            ]
+            for x in self.points[k:]
+        ]
+
+    # -- helpers ---------------------------------------------------------------
+
+    @property
+    def storage_overhead(self) -> float:
+        """Stored bytes per plaintext byte (n / k)."""
+        return self.n / self.k
+
+    def _split_rows(self, data: bytes) -> tuple[list[np.ndarray], int]:
+        """Pad *data* and split into k equal byte-rows.
+
+        Returns the rows and the original length (needed to strip padding on
+        decode).  Padding is zeros; the true length is carried out-of-band by
+        the caller (the Shard container's metadata lives at a higher layer).
+        """
+        original = len(data)
+        row_len = max(1, -(-original // self.k))
+        padded = np.zeros(row_len * self.k, dtype=np.uint8)
+        padded[:original] = np.frombuffer(data, dtype=np.uint8)
+        rows = [padded[i * row_len : (i + 1) * row_len] for i in range(self.k)]
+        return rows, original
+
+    # -- systematic form --------------------------------------------------------
+
+    def encode(self, data: bytes) -> list[Shard]:
+        """Systematically encode *data* into n shards (any k reconstruct)."""
+        rows, _ = self._split_rows(data)
+        shards = [Shard(i, rows[i].tobytes()) for i in range(self.k)]
+        for parity_offset, coeffs in enumerate(self._parity_coeffs):
+            acc = np.zeros_like(rows[0])
+            for coefficient, row in zip(coeffs, rows):
+                if coefficient:
+                    acc ^= GF256.scalar_mul_vec(coefficient, row)
+            shards.append(Shard(self.k + parity_offset, acc.tobytes()))
+        return shards
+
+    def decode(self, shards: list[Shard], original_length: int) -> bytes:
+        """Reconstruct the original bytes from any k distinct shards."""
+        rows = self._decode_rows(shards)
+        flat = np.concatenate(rows)
+        if original_length > flat.size:
+            raise DecodingError(
+                f"original_length {original_length} exceeds decoded size {flat.size}"
+            )
+        return flat[:original_length].tobytes()
+
+    def _decode_rows(self, shards: list[Shard]) -> list[np.ndarray]:
+        chosen = self._select_shards(shards)
+        indices = [s.index for s in chosen]
+        if indices[: self.k] == list(range(self.k)) and len(indices) >= self.k:
+            # Fast path: all systematic shards survived.
+            return [np.frombuffer(s.data, dtype=np.uint8) for s in chosen[: self.k]]
+        xs = [self.points[s.index] for s in chosen]
+        # Message row i equals the codeword polynomial evaluated at points[i].
+        vander = FieldMatrix.vandermonde(GF256, xs, self.k)
+        inv = vander.inverse()
+        payload = [np.frombuffer(s.data, dtype=np.uint8) for s in chosen]
+        # coefficient rows = inv @ payload, then re-evaluate at systematic pts
+        coeff_rows = _gf_mat_apply(inv.rows, payload)
+        out = []
+        for i in range(self.k):
+            x = self.points[i]
+            out.append(_poly_rows_eval(coeff_rows, x))
+        return out
+
+    def _select_shards(self, shards: list[Shard]) -> list[Shard]:
+        seen: dict[int, Shard] = {}
+        for s in shards:
+            if not 0 <= s.index < self.n:
+                raise DecodingError(f"shard index {s.index} out of range for n={self.n}")
+            seen.setdefault(s.index, s)
+        if len(seen) < self.k:
+            raise DecodingError(f"need {self.k} distinct shards, got {len(seen)}")
+        chosen = [seen[i] for i in sorted(seen)][: self.k]
+        lengths = {len(s.data) for s in chosen}
+        if len(lengths) != 1:
+            raise DecodingError(f"inconsistent shard lengths: {sorted(lengths)}")
+        return chosen
+
+    # -- non-systematic (Shamir-equivalent) form ---------------------------------
+
+    def encode_nonsystematic(self, coefficient_rows: list[np.ndarray]) -> list[Shard]:
+        """Evaluate the polynomial whose coefficient rows are given at all n
+        points.  With ``coefficient_rows = [secret, r1, ..., r_{k-1}]`` and the
+        secret recovered at x = 0, this *is* Shamir's scheme."""
+        if len(coefficient_rows) != self.k:
+            raise ParameterError(f"expected {self.k} coefficient rows")
+        return [
+            Shard(i, _poly_rows_eval(coefficient_rows, x).tobytes())
+            for i, x in enumerate(self.points)
+        ]
+
+    def decode_nonsystematic(self, shards: list[Shard]) -> list[np.ndarray]:
+        """Recover the k coefficient rows from any k distinct shards."""
+        chosen = self._select_shards(shards)
+        xs = [self.points[s.index] for s in chosen]
+        inv = FieldMatrix.vandermonde(GF256, xs, self.k).inverse()
+        payload = [np.frombuffer(s.data, dtype=np.uint8) for s in chosen]
+        return _gf_mat_apply(inv.rows, payload)
+
+
+def _gf_mat_apply(matrix_rows: list[list[int]], vec_rows: list[np.ndarray]) -> list[np.ndarray]:
+    """Apply a small scalar GF(256) matrix to a vector of byte-rows."""
+    out = []
+    for row in matrix_rows:
+        acc = np.zeros_like(vec_rows[0])
+        for coefficient, data in zip(row, vec_rows):
+            if coefficient:
+                acc ^= GF256.scalar_mul_vec(coefficient, data)
+        out.append(acc)
+    return out
+
+
+def _poly_rows_eval(coefficient_rows: list[np.ndarray], x: int) -> np.ndarray:
+    """Evaluate polynomial with byte-row coefficients at scalar x (Horner)."""
+    return GF256.poly_eval_vec(list(coefficient_rows), x)

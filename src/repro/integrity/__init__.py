@@ -1,0 +1,27 @@
+"""Long-term integrity: Merkle trees, timestamp chains, chain auditing.
+
+Paper, Section 3.3: "long-term integrity can be achieved with a chain of
+digitally signed timestamps ... signing an old signature with a new
+signature preserves the integrity of both as long as the old signature has
+not been broken at the time the new signature was computed."  And LINCOS's
+refinement: hashes inside the chain leak; information-theoretically hiding
+commitments (Pedersen) do not.
+"""
+
+from repro.integrity.merkle import MerkleTree, MerkleProof
+from repro.integrity.timestamp import (
+    TimestampAuthority,
+    TimestampChain,
+    TimestampLink,
+)
+from repro.integrity.auditor import ChainAuditor, ChainVerdict
+
+__all__ = [
+    "MerkleTree",
+    "MerkleProof",
+    "TimestampAuthority",
+    "TimestampChain",
+    "TimestampLink",
+    "ChainAuditor",
+    "ChainVerdict",
+]

@@ -1,0 +1,84 @@
+"""Merkle hash trees with membership proofs.
+
+Used by the timestamp authority to batch many documents into one signed
+round (the original Haber-Stornetta deployment model) and by the archival
+systems to summarize object inventories cheaply.
+
+Domain separation: leaves are hashed with a 0x00 prefix and interior nodes
+with 0x01, closing the classic second-preimage-across-levels confusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.sha256 import sha256
+from repro.errors import IntegrityError, ParameterError
+
+
+def _leaf_hash(data: bytes) -> bytes:
+    return sha256(b"\x00" + data)
+
+
+def _node_hash(left: bytes, right: bytes) -> bytes:
+    return sha256(b"\x01" + left + right)
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """Authentication path for one leaf."""
+
+    leaf_index: int
+    #: (sibling_hash, sibling_is_left) pairs from leaf level to root.
+    path: tuple[tuple[bytes, bool], ...]
+
+
+class MerkleTree:
+    """A static Merkle tree over a list of byte-string leaves."""
+
+    def __init__(self, leaves: list[bytes]):
+        if not leaves:
+            raise ParameterError("Merkle tree needs at least one leaf")
+        self.leaf_count = len(leaves)
+        level = [_leaf_hash(leaf) for leaf in leaves]
+        self._levels = [level]
+        while len(level) > 1:
+            if len(level) % 2 == 1:
+                # Duplicate-last padding keeps the tree full.
+                level = level + [level[-1]]
+            level = [
+                _node_hash(level[i], level[i + 1]) for i in range(0, len(level), 2)
+            ]
+            self._levels.append(level)
+
+    @property
+    def root(self) -> bytes:
+        return self._levels[-1][0]
+
+    def proof(self, leaf_index: int) -> MerkleProof:
+        if not 0 <= leaf_index < self.leaf_count:
+            raise ParameterError(f"leaf index {leaf_index} out of range")
+        path = []
+        index = leaf_index
+        for level in self._levels[:-1]:
+            padded = level + [level[-1]] if len(level) % 2 == 1 else level
+            sibling_index = index ^ 1
+            sibling_is_left = sibling_index < index
+            path.append((padded[sibling_index], sibling_is_left))
+            index //= 2
+        return MerkleProof(leaf_index=leaf_index, path=tuple(path))
+
+    @staticmethod
+    def verify(root: bytes, leaf: bytes, proof: MerkleProof) -> bool:
+        node = _leaf_hash(leaf)
+        for sibling, sibling_is_left in proof.path:
+            if sibling_is_left:
+                node = _node_hash(sibling, node)
+            else:
+                node = _node_hash(node, sibling)
+        return node == root
+
+    @staticmethod
+    def require_member(root: bytes, leaf: bytes, proof: MerkleProof) -> None:
+        if not MerkleTree.verify(root, leaf, proof):
+            raise IntegrityError("Merkle membership proof failed")

@@ -1,0 +1,36 @@
+"""Secret-sharing schemes and dispersal encodings.
+
+This package implements every data encoding on the paper's Figure 1 axis
+that involves splitting data across storage nodes, plus the protocols that
+keep such encodings alive over archival time:
+
+- ``shamir`` -- Shamir's (t, n) threshold scheme over GF(256) (perfect
+  secrecy, n-times storage).
+- ``additive`` -- n-of-n XOR sharing (the degenerate but instructive case).
+- ``packed`` -- Franklin-Yung packed sharing: k secrets per polynomial,
+  trading threshold slack for an n/k-style storage cost.
+- ``proactive`` -- Herzberg share renewal: re-randomize shares each epoch so
+  a mobile adversary's stolen shares expire.
+- ``verifiable`` -- Feldman and Pedersen VSS over a Schnorr group (scalar
+  secrets, used for key material).
+- ``redistribution`` -- Wong-Wang-Wing verifiable secret redistribution:
+  change (n, t) without ever reconstructing.
+- ``leakage`` -- the local-leakage attack on linear schemes and a
+  leakage-resilient construction that defeats it.
+- ``aontrs`` -- Resch-Plank AONT-RS dispersal (computational, low cost).
+"""
+
+from repro.secretsharing.base import Share, SplitResult
+from repro.secretsharing.shamir import ShamirSecretSharing
+from repro.secretsharing.additive import AdditiveSecretSharing
+from repro.secretsharing.packed import PackedSecretSharing
+from repro.secretsharing.aontrs import AontRsDispersal
+
+__all__ = [
+    "Share",
+    "SplitResult",
+    "ShamirSecretSharing",
+    "AdditiveSecretSharing",
+    "PackedSecretSharing",
+    "AontRsDispersal",
+]

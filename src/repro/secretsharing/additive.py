@@ -1,0 +1,84 @@
+"""Additive n-of-n secret sharing (XOR splitting).
+
+The degenerate threshold case t = n: shares are n - 1 uniform random strings
+plus the XOR of all of them with the message.  Perfectly secret against any
+n - 1 shares, zero availability slack (lose one share, lose everything).
+
+Included both as the simplest correct baseline for property tests and
+because several protocols (proactive renewal's pairwise masking, the BSM
+channel) use XOR splitting internally.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.crypto.drbg import DeterministicRandom
+from repro.crypto.registry import PrimitiveKind, register_primitive
+from repro.errors import DecodingError, ParameterError
+from repro.secretsharing.base import Share, SplitResult
+from repro.security import SecurityLevel
+
+
+class AdditiveSecretSharing:
+    """n-of-n XOR sharing: all shares are required, any n-1 reveal nothing."""
+
+    name = "additive"
+    security_level = SecurityLevel.ITS_PERFECT
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise ParameterError("additive sharing needs n >= 2")
+        self.n = n
+        self.t = n  # reconstruction threshold equals the share count
+
+    @property
+    def storage_overhead(self) -> float:
+        return float(self.n)
+
+    def split(self, data: bytes, rng: DeterministicRandom) -> SplitResult:
+        message = np.frombuffer(data, dtype=np.uint8)
+        randoms = [rng.uint8_array(message.size) for _ in range(self.n - 1)]
+        last = message.copy()
+        for r in randoms:
+            last ^= r
+        payloads = [r.tobytes() for r in randoms] + [last.tobytes()]
+        shares = tuple(
+            Share(scheme=self.name, index=i + 1, payload=p)
+            for i, p in enumerate(payloads)
+        )
+        return SplitResult(
+            scheme=self.name,
+            shares=shares,
+            threshold=self.n,
+            total=self.n,
+            original_length=len(data),
+        )
+
+    def reconstruct(self, shares: Sequence[Share] | SplitResult) -> bytes:
+        share_list = list(shares.shares) if isinstance(shares, SplitResult) else list(shares)
+        indices = {s.index for s in share_list}
+        if indices != set(range(1, self.n + 1)):
+            missing = sorted(set(range(1, self.n + 1)) - indices)
+            raise DecodingError(f"additive sharing needs all {self.n} shares; missing {missing}")
+        lengths = {len(s.payload) for s in share_list}
+        if len(lengths) != 1:
+            raise DecodingError(f"inconsistent share lengths: {sorted(lengths)}")
+        acc = np.zeros(lengths.pop(), dtype=np.uint8)
+        seen: set[int] = set()
+        for share in share_list:
+            if share.index in seen:
+                continue
+            seen.add(share.index)
+            acc ^= np.frombuffer(share.payload, dtype=np.uint8)
+        return acc.tobytes()
+
+
+register_primitive(
+    name="additive",
+    kind=PrimitiveKind.SECRET_SHARING,
+    description="n-of-n XOR secret sharing",
+    hardness_assumption=None,
+)

@@ -1,0 +1,78 @@
+"""Common share containers and the scheme interface.
+
+Every splitting scheme in the package produces :class:`Share` objects and a
+:class:`SplitResult` wrapper carrying whatever public metadata the scheme
+needs at reconstruction time (original length, packing width, public masked
+values...).  Keeping metadata explicit and *public by construction* forces
+each scheme to be honest about what an adversary holding a share actually
+sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+from repro.crypto.drbg import DeterministicRandom
+from repro.security import SecurityLevel
+
+
+@dataclass(frozen=True)
+class Share:
+    """One share of a split object.
+
+    Attributes
+    ----------
+    scheme:
+        Name of the producing scheme (e.g. ``"shamir"``).
+    index:
+        The shareholder index; for polynomial schemes this is the x-value.
+    payload:
+        The share bytes an adversary stealing this share would obtain.
+    """
+
+    scheme: str
+    index: int
+    payload: bytes
+
+    def __len__(self) -> int:
+        return len(self.payload)
+
+
+@dataclass(frozen=True)
+class SplitResult:
+    """Shares plus the public metadata needed to reconstruct."""
+
+    scheme: str
+    shares: tuple[Share, ...]
+    threshold: int
+    total: int
+    original_length: int
+    #: Scheme-specific public values (treated as known to the adversary).
+    public: dict = field(default_factory=dict)
+
+    @property
+    def stored_bytes(self) -> int:
+        """Total bytes that hit storage media (shares + public metadata)."""
+        public_bytes = sum(
+            len(v) for v in self.public.values() if isinstance(v, (bytes, bytearray))
+        )
+        return sum(len(s) for s in self.shares) + public_bytes
+
+    @property
+    def storage_overhead(self) -> float:
+        """Stored bytes per plaintext byte -- the Figure 1 y-axis."""
+        if self.original_length == 0:
+            return float(self.total)
+        return self.stored_bytes / self.original_length
+
+
+class SecretSharingScheme(Protocol):
+    """Structural interface implemented by every scheme in this package."""
+
+    name: str
+    security_level: SecurityLevel
+
+    def split(self, data: bytes, rng: DeterministicRandom) -> SplitResult: ...
+
+    def reconstruct(self, result_or_shares: SplitResult | Sequence[Share], **kwargs) -> bytes: ...

@@ -1,0 +1,118 @@
+"""Distributed key generation (Pedersen DKG).
+
+HasDPSS-style decentralized key management must *create* keys without any
+single dealer ever knowing them -- otherwise the dealer is the single point
+of trust the architecture exists to remove.  Pedersen's DKG: every party
+deals a Pedersen-VSS sharing of its own random value; parties whose deals
+verify form the qualified set; each participant's final share is the sum of
+the sub-shares it received from qualified dealers, so the group key is the
+sum of qualified dealers' values -- uniformly random as long as ONE dealer
+was honest, and never materialized anywhere.
+
+The resulting share set is directly compatible with
+:class:`repro.secretsharing.verifiable.ProactiveVSS`-style renewal (same
+Pedersen share/commitment shapes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.drbg import DeterministicRandom
+from repro.errors import ParameterError
+from repro.gmath.primes import SchnorrGroup, default_group
+from repro.secretsharing.verifiable import PedersenDeal, PedersenShare, PedersenVSS
+
+
+@dataclass
+class DkgResult:
+    """Outcome of one DKG run."""
+
+    shares: dict[int, PedersenShare]
+    commitments: tuple[int, ...]
+    qualified: tuple[int, ...]
+    disqualified: tuple[int, ...]
+
+    def reconstruct_for_test(self, vss: PedersenVSS) -> int:
+        """Reassemble the group secret (tests only -- the whole point of
+        DKG is that no honest execution ever does this)."""
+        return vss.reconstruct(list(self.shares.values()))
+
+
+class DistributedKeyGeneration:
+    """Pedersen DKG over n parties with threshold t."""
+
+    def __init__(self, n: int, t: int, group: SchnorrGroup | None = None):
+        if not 1 <= t <= n:
+            raise ParameterError(f"need 1 <= t <= n, got n={n} t={t}")
+        self.n = n
+        self.t = t
+        self.group = group or default_group()
+        self.vss = PedersenVSS(n, t, self.group)
+
+    def run(
+        self,
+        rng: DeterministicRandom,
+        corrupt_dealers: set[int] | None = None,
+    ) -> DkgResult:
+        """Execute the protocol.
+
+        *corrupt_dealers* deal one inconsistent sub-share each; their deals
+        fail verification and they are excluded from the qualified set, so
+        the group key remains well-defined and uniform.
+        """
+        corrupt_dealers = corrupt_dealers or set()
+        deals: dict[int, PedersenDeal] = {}
+        contributions: dict[int, int] = {}
+        for dealer in range(1, self.n + 1):
+            value = rng.randrange(self.group.q)
+            contributions[dealer] = value
+            deal = self.vss.deal(value, rng)
+            if dealer in corrupt_dealers:
+                victim = deal.shares[0]
+                bad = PedersenShare(
+                    index=victim.index,
+                    value=(victim.value + 1) % self.group.q,
+                    blinding=victim.blinding,
+                )
+                deal = PedersenDeal(
+                    shares=(bad,) + deal.shares[1:], commitments=deal.commitments
+                )
+            deals[dealer] = deal
+
+        qualified = [
+            dealer
+            for dealer, deal in deals.items()
+            if all(self.vss.verify_share(s, deal.commitments) for s in deal.shares)
+        ]
+        if not qualified:
+            raise ParameterError("DKG failed: no dealer produced a valid deal")
+        disqualified = [d for d in deals if d not in qualified]
+
+        # Each party sums the sub-shares received from qualified dealers.
+        shares: dict[int, PedersenShare] = {}
+        for index in range(1, self.n + 1):
+            value = 0
+            blinding = 0
+            for dealer in qualified:
+                sub = deals[dealer].shares[index - 1]
+                value = (value + sub.value) % self.group.q
+                blinding = (blinding + sub.blinding) % self.group.q
+            shares[index] = PedersenShare(index=index, value=value, blinding=blinding)
+
+        # Commitments combine homomorphically across qualified deals.
+        combined = [1] * self.t
+        for dealer in qualified:
+            for j, commitment in enumerate(deals[dealer].commitments):
+                combined[j] = self.group.mul(combined[j], commitment)
+
+        # Internal consistency: the group secret is the qualified sum.
+        self._expected_secret_for_test = (
+            sum(contributions[d] for d in qualified) % self.group.q
+        )
+        return DkgResult(
+            shares=shares,
+            commitments=tuple(combined),
+            qualified=tuple(qualified),
+            disqualified=tuple(disqualified),
+        )

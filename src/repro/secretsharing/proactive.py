@@ -1,0 +1,279 @@
+"""Proactive secret sharing: Herzberg-style share renewal.
+
+Paper, Section 3.2: against a mobile adversary that eventually steals a
+threshold of shares, "it is desirable for the system to have a means of
+'refreshing' the shares, rendering stolen shares obsolete.  This can be
+accomplished via proactive secret sharing: an information-theoretic
+distributed protocol that re-randomizes shares."  The paper immediately
+flags the cost: "share renewal requires every shareholder to send a share to
+each shareholder.  This incurs high communication costs."
+
+This module is the *data plane*: bulk byte-level renewal for Shamir-shared
+objects, with explicit communication accounting so the proactive-renewal
+benchmark can reproduce the O(n^2) transfer cost.  Dealing-consistency
+verification happens on the key plane (scalar Pedersen VSS in
+:mod:`repro.secretsharing.verifiable`), mirroring how LINCOS/ELSA separate
+the two; here each renewal message carries a hash tag so in-transit
+corruption is detected.
+
+Protocol per renewal epoch (Herzberg et al., CRYPTO '95):
+
+1. every shareholder i samples a random degree t-1 polynomial D_i with
+   D_i(0) = 0;
+2. i sends D_i(x_j) to every other shareholder j  (n*(n-1) messages);
+3. every j replaces its share: s_j <- s_j + sum_i D_i(x_j).
+
+The shared secret is unchanged (all deltas vanish at x = 0) but the share
+vector is re-randomized, so shares stolen in different epochs cannot be
+combined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.crypto.drbg import DeterministicRandom
+from repro.crypto.sha256 import sha256
+from repro.errors import IntegrityError, ParameterError
+from repro.secretsharing.base import Share, SplitResult
+from repro.secretsharing.shamir import ShamirSecretSharing
+
+
+@dataclass
+class RenewalReport:
+    """Accounting for one renewal epoch (feeds the cost benchmark)."""
+
+    epoch: int
+    n: int
+    messages: int
+    bytes_sent: int
+    corrupted_messages_detected: int = 0
+
+    @property
+    def bytes_per_shareholder(self) -> float:
+        return self.bytes_sent / self.n
+
+
+@dataclass
+class RecoveryReport:
+    """Accounting and transcript of one lost-share recovery."""
+
+    lost_index: int
+    helpers: tuple[int, ...]
+    messages: int
+    bytes_sent: int
+    #: The blinded contributions as sent (for secrecy tests: each one is
+    #: uniform; only their XOR is the share).
+    contributions: dict[int, bytes] = field(default_factory=dict)
+
+
+@dataclass
+class EpochShare:
+    """A share tagged with the renewal epoch it belongs to."""
+
+    share: Share
+    epoch: int
+
+
+@dataclass
+class _Holder:
+    index: int
+    payload: np.ndarray
+    #: Deltas received during the current renewal round, by sender index.
+    inbox: dict[int, np.ndarray] = field(default_factory=dict)
+
+
+class ProactiveShareGroup:
+    """A set of shareholders jointly holding one Shamir-shared object."""
+
+    def __init__(self, scheme: ShamirSecretSharing, split: SplitResult):
+        if split.scheme != scheme.name:
+            raise ParameterError(
+                f"split was produced by {split.scheme!r}, expected {scheme.name!r}"
+            )
+        self.scheme = scheme
+        self.epoch = 0
+        self.original_length = split.original_length
+        self._holders = {
+            share.index: _Holder(
+                index=share.index,
+                payload=np.frombuffer(share.payload, dtype=np.uint8).copy(),
+            )
+            for share in split.shares
+        }
+
+    # -- views -------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return len(self._holders)
+
+    def share_of(self, index: int) -> EpochShare:
+        """The adversary's (or a reader's) view of holder *index* right now."""
+        holder = self._holders[index]
+        return EpochShare(
+            share=Share(
+                scheme=self.scheme.name,
+                index=holder.index,
+                payload=holder.payload.tobytes(),
+            ),
+            epoch=self.epoch,
+        )
+
+    def all_shares(self) -> list[EpochShare]:
+        return [self.share_of(i) for i in sorted(self._holders)]
+
+    def reconstruct(self) -> bytes:
+        shares = [es.share for es in self.all_shares()[: self.scheme.t]]
+        return self.scheme.reconstruct(shares)[: self.original_length]
+
+    # -- the renewal protocol -------------------------------------------------------
+
+    def renew(
+        self,
+        rng: DeterministicRandom,
+        tamper: dict[tuple[int, int], bytes] | None = None,
+    ) -> RenewalReport:
+        """Run one Herzberg renewal round.
+
+        *tamper* optionally maps (sender, receiver) to substituted payloads,
+        letting tests and the adversary harness inject in-transit corruption;
+        tampered messages are detected by their hash tags and dropped, and
+        the sender's delta is discarded group-wide (the honest-majority
+        response: an accused dealer's contribution is excluded).
+        """
+        tamper = tamper or {}
+        share_len = len(next(iter(self._holders.values())).payload)
+
+        messages = 0
+        bytes_sent = 0
+        detected = 0
+        excluded_senders: set[int] = set()
+
+        # Phase 1+2: every holder deals a zero-secret polynomial and sends
+        # sub-shares with integrity tags.
+        deliveries: dict[int, dict[int, np.ndarray]] = {i: {} for i in self._holders}
+        for sender in sorted(self._holders):
+            delta_rows = self.scheme.zero_share_rows(share_len, rng)
+            for receiver in sorted(self._holders):
+                sub_share = self.scheme.evaluate_rows(delta_rows, receiver)
+                tag = sha256(sub_share.tobytes())
+                wire_payload = tamper.get((sender, receiver), sub_share.tobytes())
+                messages += 1
+                bytes_sent += len(wire_payload) + len(tag)
+                if sha256(wire_payload) != tag:
+                    detected += 1
+                    excluded_senders.add(sender)
+                    continue
+                deliveries[receiver][sender] = np.frombuffer(
+                    wire_payload, dtype=np.uint8
+                )
+
+        # Phase 3: apply all surviving deltas.
+        for receiver, holder in self._holders.items():
+            for sender, delta in deliveries[receiver].items():
+                if sender in excluded_senders:
+                    continue
+                holder.payload ^= delta
+
+        self.epoch += 1
+        return RenewalReport(
+            epoch=self.epoch,
+            n=self.n,
+            messages=messages,
+            bytes_sent=bytes_sent,
+            corrupted_messages_detected=detected,
+        )
+
+    # -- lost-share recovery (Herzberg's second protocol) ------------------------------
+
+    def recover_share(
+        self, lost_index: int, rng: DeterministicRandom
+    ) -> "RecoveryReport":
+        """Rebuild holder *lost_index*'s share without exposing the secret.
+
+        A crashed or replaced node must get its share back, but no helper
+        may learn it (and the recovering node must learn nothing beyond its
+        own share).  Herzberg et al.'s recovery protocol: a subset B of t
+        healthy holders computes ``f(x_lost) = sum lambda_i f(x_i)`` as a
+        *blinded* sum -- each pair in B exchanges a random pad, each helper
+        sends its Lagrange-weighted share XOR its pads, and the pads cancel
+        only in the total.  Any t-1 of the contributions are uniform noise.
+        """
+        if lost_index not in self._holders:
+            raise ParameterError(f"no holder with index {lost_index}")
+        helpers = [i for i in sorted(self._holders) if i != lost_index][
+            : self.scheme.t
+        ]
+        if len(helpers) < self.scheme.t:
+            raise ParameterError(
+                f"need {self.scheme.t} healthy helpers, have {len(helpers)}"
+            )
+        from repro.gmath.gf256 import GF256
+        from repro.gmath.poly import lagrange_basis_at
+
+        share_len = len(self._holders[helpers[0]].payload)
+        # Lagrange coefficients targeting x = lost_index instead of zero.
+        lambdas = [
+            lagrange_basis_at(GF256, helpers, j, lost_index)
+            for j in range(len(helpers))
+        ]
+
+        # Pairwise pads: helpers i < k share pad p_{ik}; i XORs it in, k
+        # XORs it in too, so every pad appears exactly twice and cancels.
+        pads: dict[tuple[int, int], np.ndarray] = {}
+        for a_index, i in enumerate(helpers):
+            for k in helpers[a_index + 1 :]:
+                pads[(i, k)] = rng.uint8_array(share_len)
+
+        contributions: dict[int, np.ndarray] = {}
+        messages = 0
+        bytes_sent = 0
+        for coefficient, i in zip(lambdas, helpers):
+            blinded = GF256.scalar_mul_vec(
+                coefficient, self._holders[i].payload
+            ).copy() if coefficient else np.zeros(share_len, dtype=np.uint8)
+            for (a, b), pad in pads.items():
+                if i in (a, b):
+                    blinded ^= pad
+            contributions[i] = blinded
+            messages += 1
+            bytes_sent += share_len
+        # Pad exchange traffic: one message per pair.
+        messages += len(pads)
+        bytes_sent += len(pads) * share_len
+
+        recovered = np.zeros(share_len, dtype=np.uint8)
+        for blinded in contributions.values():
+            recovered ^= blinded
+        self._holders[lost_index].payload = recovered
+        return RecoveryReport(
+            lost_index=lost_index,
+            helpers=tuple(helpers),
+            messages=messages,
+            bytes_sent=bytes_sent,
+            contributions={i: c.tobytes() for i, c in contributions.items()},
+        )
+
+    # -- adversary-facing helpers ------------------------------------------------------
+
+    def try_reconstruct_mixed_epochs(self, stolen: list[EpochShare]) -> bytes | None:
+        """What an adversary holding shares from *different* epochs gets.
+
+        Returns the reconstruction if all shares are from the current epoch
+        set and meet the threshold; otherwise returns the (wrong) bytes a
+        naive combination would yield -- callers compare against the real
+        secret to demonstrate staleness.  Returns None below threshold.
+        """
+        distinct = {es.share.index: es for es in stolen}
+        if len(distinct) < self.scheme.t:
+            return None
+        chosen = list(distinct.values())[: self.scheme.t]
+        try:
+            return self.scheme.reconstruct([es.share for es in chosen])[
+                : self.original_length
+            ]
+        except IntegrityError:
+            return None

@@ -1,0 +1,114 @@
+"""Verifiable secret redistribution (Wong, Wang, Wing -- SISW '02).
+
+The paper cites the "VSR Archive" as a proactive scheme "with the desirable
+feature of adding or removing shareholders in each share renewal phase":
+shares under an (n, t) scheme are redistributed to a *different* (n', t')
+scheme without ever reconstructing the secret anywhere.
+
+Protocol (data plane, bytewise over GF(256)):
+
+1. an authorized subset B (|B| = t) of old shareholders is selected;
+2. every i in B re-shares its own share s_i under the new (n', t') scheme,
+   producing sub-shares ss_{i,j} for each new shareholder j;
+3. new shareholder j combines: s'_j = sum_{i in B} lambda_i * ss_{i,j},
+   where lambda_i are B's Lagrange coefficients at zero.
+
+Correctness: the combined polynomial g(x) = sum lambda_i f_i(x) has
+g(0) = sum lambda_i s_i = secret, and degree t' - 1.  Privacy: each old
+share is itself perfectly hidden in its sub-shares, so new shareholders
+learn nothing about old shares and vice versa -- old and new share sets
+cannot be mixed, which is also what expires shares stolen before the
+redistribution.
+
+Like renewal, every message carries a hash tag (in-transit integrity); the
+dealing-consistency verification of the full Wong et al. protocol is modeled
+on the key plane by :class:`repro.secretsharing.verifiable.ProactiveVSS`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crypto.drbg import DeterministicRandom
+from repro.errors import ParameterError
+from repro.gmath.gf256 import GF256
+from repro.gmath.poly import lagrange_coefficients_at_zero
+from repro.secretsharing.base import Share, SplitResult
+from repro.secretsharing.shamir import ShamirSecretSharing
+
+
+@dataclass
+class RedistributionReport:
+    """Accounting for one redistribution (old (n,t) -> new (n',t'))."""
+
+    old_n: int
+    old_t: int
+    new_n: int
+    new_t: int
+    messages: int
+    bytes_sent: int
+
+
+def redistribute(
+    old_scheme: ShamirSecretSharing,
+    old_shares: list[Share],
+    new_scheme: ShamirSecretSharing,
+    original_length: int,
+    rng: DeterministicRandom,
+) -> tuple[SplitResult, RedistributionReport]:
+    """Redistribute *old_shares* to *new_scheme* without reconstruction.
+
+    Returns the new split plus the communication accounting.  Any t distinct
+    old shares suffice; extra shares are ignored.
+    """
+    distinct: dict[int, Share] = {}
+    for share in old_shares:
+        distinct.setdefault(share.index, share)
+    if len(distinct) < old_scheme.t:
+        raise ParameterError(
+            f"redistribution needs {old_scheme.t} old shares, got {len(distinct)}"
+        )
+    subset = [distinct[i] for i in sorted(distinct)][: old_scheme.t]
+    xs = [s.index for s in subset]
+    lambdas = lagrange_coefficients_at_zero(GF256, xs)
+
+    share_len = len(subset[0].payload)
+    messages = 0
+    bytes_sent = 0
+
+    # Sub-share each old share under the new scheme, then combine.
+    combined = {
+        j: np.zeros(share_len, dtype=np.uint8) for j in new_scheme.points
+    }
+    for coefficient, old_share in zip(lambdas, subset):
+        sub_split = new_scheme.split(old_share.payload, rng)
+        for sub_share in sub_split.shares:
+            messages += 1
+            bytes_sent += len(sub_share.payload) + 32  # payload + hash tag
+            if coefficient:
+                combined[sub_share.index] ^= GF256.scalar_mul_vec(
+                    coefficient, np.frombuffer(sub_share.payload, dtype=np.uint8)
+                )
+
+    new_shares = tuple(
+        Share(scheme=new_scheme.name, index=j, payload=combined[j].tobytes())
+        for j in new_scheme.points
+    )
+    result = SplitResult(
+        scheme=new_scheme.name,
+        shares=new_shares,
+        threshold=new_scheme.t,
+        total=new_scheme.n,
+        original_length=original_length,
+    )
+    report = RedistributionReport(
+        old_n=old_scheme.n,
+        old_t=old_scheme.t,
+        new_n=new_scheme.n,
+        new_t=new_scheme.t,
+        messages=messages,
+        bytes_sent=bytes_sent,
+    )
+    return result, report

@@ -1,0 +1,138 @@
+"""Shamir's (t, n) threshold secret sharing over GF(256).
+
+Paper, Section 3.2: "A generalization of the One-Time Pad is Shamir's secret
+sharing.  It takes a message m as input, and outputs n shares s_1, ..., s_n,
+with |s_i| = |m|, such that any subset of t <= n or more shares suffices to
+recover m, but fewer than t shares leaves m perfectly secret."
+
+The scheme is applied bytewise: byte position b of the message is the
+constant term of an independent random polynomial of degree t-1, and share i
+holds that polynomial's value at x = i across all byte positions.  The paper
+notes (citing McEliece-Sarwate) that this is exactly a non-systematic [n, t]
+Reed-Solomon code applied to (m, r_1, ..., r_{t-1}); ``tests/`` verifies the
+equivalence against :class:`repro.gmath.reedsolomon.ReedSolomonCode`.
+
+Storage cost: every share is as large as the message, so the overhead is a
+full factor of n -- "the same overhead as replication with less availability"
+(we tolerate only n - t losses).  This provably unavoidable cost (Beimel) is
+the left anchor of the paper's efficiency/security trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.crypto.drbg import DeterministicRandom
+from repro.crypto.registry import PrimitiveKind, register_primitive
+from repro.errors import DecodingError, ParameterError
+from repro.gmath.gf256 import GF256
+from repro.gmath.poly import lagrange_coefficients_at_zero
+from repro.secretsharing.base import Share, SplitResult
+from repro.security import SecurityLevel
+
+_MAX_SHARES = 255
+
+
+class ShamirSecretSharing:
+    """Shamir threshold sharing with perfect (information-theoretic) secrecy."""
+
+    name = "shamir"
+    security_level = SecurityLevel.ITS_PERFECT
+
+    def __init__(self, n: int, t: int):
+        if not 1 <= t <= n <= _MAX_SHARES:
+            raise ParameterError(f"need 1 <= t <= n <= {_MAX_SHARES}, got n={n} t={t}")
+        self.n = n
+        self.t = t
+        #: x-coordinates of the shares; x = 0 is reserved for the secret.
+        self.points = list(range(1, n + 1))
+
+    @property
+    def storage_overhead(self) -> float:
+        """Each of n shares is message-sized: overhead = n (replication-like)."""
+        return float(self.n)
+
+    # -- splitting ----------------------------------------------------------------
+
+    def split(self, data: bytes, rng: DeterministicRandom) -> SplitResult:
+        """Split *data* into n shares, any t of which reconstruct it."""
+        secret = np.frombuffer(data, dtype=np.uint8)
+        coefficient_rows = [secret] + [
+            rng.uint8_array(secret.size) for _ in range(self.t - 1)
+        ]
+        shares = tuple(
+            Share(
+                scheme=self.name,
+                index=x,
+                payload=GF256.poly_eval_vec(coefficient_rows, x).tobytes(),
+            )
+            for x in self.points
+        )
+        return SplitResult(
+            scheme=self.name,
+            shares=shares,
+            threshold=self.t,
+            total=self.n,
+            original_length=len(data),
+        )
+
+    # -- reconstruction --------------------------------------------------------------
+
+    def reconstruct(self, shares: Sequence[Share] | SplitResult) -> bytes:
+        """Recover the secret from any t distinct shares."""
+        share_list = list(shares.shares) if isinstance(shares, SplitResult) else list(shares)
+        chosen = self._select(share_list)
+        xs = [s.index for s in chosen]
+        lambdas = lagrange_coefficients_at_zero(GF256, xs)
+        acc = np.zeros(len(chosen[0].payload), dtype=np.uint8)
+        for coefficient, share in zip(lambdas, chosen):
+            if coefficient:
+                acc ^= GF256.scalar_mul_vec(
+                    coefficient, np.frombuffer(share.payload, dtype=np.uint8)
+                )
+        return acc.tobytes()
+
+    def _select(self, shares: Sequence[Share]) -> list[Share]:
+        seen: dict[int, Share] = {}
+        for share in shares:
+            if not 1 <= share.index <= self.n:
+                raise DecodingError(
+                    f"share index {share.index} out of range for n={self.n}"
+                )
+            existing = seen.get(share.index)
+            if existing is not None and existing.payload != share.payload:
+                raise DecodingError(f"conflicting payloads for share {share.index}")
+            seen.setdefault(share.index, share)
+        if len(seen) < self.t:
+            raise DecodingError(
+                f"need {self.t} distinct shares to reconstruct, got {len(seen)}"
+            )
+        chosen = [seen[i] for i in sorted(seen)][: self.t]
+        lengths = {len(s.payload) for s in chosen}
+        if len(lengths) != 1:
+            raise DecodingError(f"inconsistent share lengths: {sorted(lengths)}")
+        return chosen
+
+    # -- share algebra used by proactive renewal ----------------------------------------
+
+    def zero_share_rows(self, length: int, rng: DeterministicRandom) -> list[np.ndarray]:
+        """Coefficient rows of a random degree t-1 polynomial with zero
+        constant term -- the renewal polynomial of proactive sharing."""
+        zero = np.zeros(length, dtype=np.uint8)
+        return [zero] + [rng.uint8_array(length) for _ in range(self.t - 1)]
+
+    def evaluate_rows(self, coefficient_rows: list[np.ndarray], x: int) -> np.ndarray:
+        """Evaluate vector-coefficient polynomial at share point x."""
+        if x not in self.points:
+            raise ParameterError(f"x={x} is not a share point of this scheme")
+        return GF256.poly_eval_vec(coefficient_rows, x)
+
+
+register_primitive(
+    name="shamir",
+    kind=PrimitiveKind.SECRET_SHARING,
+    description="Shamir (t, n) threshold sharing over GF(256)",
+    hardness_assumption=None,
+)

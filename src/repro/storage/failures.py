@@ -1,0 +1,91 @@
+"""Failure schedules and availability accounting.
+
+Availability is the best-understood leg of the CIA triad for storage (the
+paper defers to the reliability literature), but the archival systems still
+need failures to react to: erasure-coded and secret-shared objects should
+survive up to their slack, and the tests/benchmarks need deterministic ways
+to knock nodes out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.drbg import DeterministicRandom
+from repro.errors import ParameterError
+from repro.storage.node import StorageNode
+
+
+@dataclass
+class FailureEvent:
+    epoch: int
+    node_id: str
+    kind: str  # "offline" | "repair" | "data-loss"
+
+
+class FailureSchedule:
+    """Epoch-stepped random failure/repair process over a node fleet."""
+
+    def __init__(
+        self,
+        nodes: list[StorageNode],
+        failure_probability: float,
+        repair_epochs: int = 1,
+        rng: DeterministicRandom | None = None,
+    ):
+        if not 0 <= failure_probability <= 1:
+            raise ParameterError("failure probability must be in [0, 1]")
+        if repair_epochs < 1:
+            raise ParameterError("repair_epochs must be >= 1")
+        self.nodes = nodes
+        self.failure_probability = failure_probability
+        self.repair_epochs = repair_epochs
+        self.rng = rng or DeterministicRandom(b"failure-schedule")
+        self.epoch = 0
+        self.events: list[FailureEvent] = []
+        self._down_until: dict[str, int] = {}
+
+    def step(self) -> list[FailureEvent]:
+        """Advance one epoch; returns the events that occurred."""
+        self.epoch += 1
+        new_events: list[FailureEvent] = []
+        for node in self.nodes:
+            down_until = self._down_until.get(node.node_id)
+            if down_until is not None:
+                if self.epoch >= down_until:
+                    node.set_online(True)
+                    del self._down_until[node.node_id]
+                    new_events.append(
+                        FailureEvent(self.epoch, node.node_id, "repair")
+                    )
+                continue
+            if self.rng.random() < self.failure_probability:
+                node.set_online(False)
+                self._down_until[node.node_id] = self.epoch + self.repair_epochs
+                new_events.append(FailureEvent(self.epoch, node.node_id, "offline"))
+        self.events.extend(new_events)
+        return new_events
+
+    def online_count(self) -> int:
+        return sum(1 for node in self.nodes if node.online)
+
+
+def survivable_loss(total_shares: int, threshold: int) -> int:
+    """How many shares an encoding can lose and still reconstruct."""
+    if not 1 <= threshold <= total_shares:
+        raise ParameterError("need 1 <= threshold <= total_shares")
+    return total_shares - threshold
+
+
+@dataclass
+class AvailabilityReport:
+    """Fraction of objects reconstructible under a failure pattern."""
+
+    objects_total: int
+    objects_available: int
+
+    @property
+    def availability(self) -> float:
+        if self.objects_total == 0:
+            return 1.0
+        return self.objects_available / self.objects_total

@@ -1,0 +1,116 @@
+"""Share placement across independent providers.
+
+POTSHARDS' deployment rule (paper Section 3.2): "each share is uploaded to
+an administratively independent storage provider, thereby avoiding a single
+point of trust or failure."  :class:`PlacementPolicy` enforces that rule --
+no two shares of the same object may land on nodes of the same provider --
+and records placements so systems can retrieve, re-place after
+redistribution, and reason about what a compromised provider exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError, StorageError
+from repro.storage.node import StorageNode
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where each share index of one object went."""
+
+    object_id: str
+    node_by_share: dict[int, str]
+
+    def nodes(self) -> list[str]:
+        return [self.node_by_share[i] for i in sorted(self.node_by_share)]
+
+
+class PlacementPolicy:
+    """Round-robin placement with a provider-independence constraint."""
+
+    def __init__(self, nodes: list[StorageNode], require_distinct_providers: bool = True):
+        if not nodes:
+            raise ParameterError("placement needs at least one node")
+        self.nodes = {node.node_id: node for node in nodes}
+        if len(self.nodes) != len(nodes):
+            raise ParameterError("duplicate node ids")
+        self.require_distinct_providers = require_distinct_providers
+        self._rotation = 0
+
+    def node(self, node_id: str) -> StorageNode:
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise StorageError(f"unknown node {node_id!r}") from None
+
+    def online_nodes(self) -> list[StorageNode]:
+        return [n for n in self.nodes.values() if n.online]
+
+    def place(self, object_id: str, share_indices: list[int]) -> Placement:
+        """Choose a node for every share index, rotating start position so
+        load spreads across the fleet."""
+        candidates = self.online_nodes()
+        if self.require_distinct_providers:
+            by_provider: dict[str, StorageNode] = {}
+            for node in candidates:
+                by_provider.setdefault(node.provider, node)
+            candidates = list(by_provider.values())
+        if len(candidates) < len(share_indices):
+            kind = "providers" if self.require_distinct_providers else "nodes"
+            raise StorageError(
+                f"need {len(share_indices)} independent {kind}, "
+                f"only {len(candidates)} available"
+            )
+        # Deterministic rotation keeps placement reproducible run to run.
+        start = self._rotation % len(candidates)
+        self._rotation += 1
+        ordered = candidates[start:] + candidates[:start]
+        return Placement(
+            object_id=object_id,
+            node_by_share={
+                index: ordered[i].node_id for i, index in enumerate(share_indices)
+            },
+        )
+
+    def store(self, placement: Placement, payload_by_share: dict[int, bytes], epoch: int = 0) -> None:
+        for index, node_id in placement.node_by_share.items():
+            if index not in payload_by_share:
+                raise ParameterError(f"no payload for share index {index}")
+            self.node(node_id).put(
+                _share_object_id(placement.object_id, index),
+                payload_by_share[index],
+                epoch=epoch,
+            )
+
+    def fetch_available(self, placement: Placement) -> dict[int, bytes]:
+        """Fetch every share that is currently retrievable (online node,
+        digest-intact object); unavailable shares are simply absent."""
+        out: dict[int, bytes] = {}
+        for index, node_id in placement.node_by_share.items():
+            node = self.node(node_id)
+            if not node.online:
+                continue
+            object_id = _share_object_id(placement.object_id, index)
+            if not node.contains(object_id):
+                continue
+            try:
+                out[index] = node.get(object_id)
+            except Exception:
+                continue  # corrupted or lost share: treated as unavailable
+        return out
+
+    def delete(self, placement: Placement) -> None:
+        for index, node_id in placement.node_by_share.items():
+            node = self.node(node_id)
+            object_id = _share_object_id(placement.object_id, index)
+            if node.online and node.contains(object_id):
+                node.delete(object_id)
+
+    def total_bytes_stored(self) -> int:
+        return sum(node.bytes_stored for node in self.nodes.values())
+
+
+def _share_object_id(object_id: str, share_index: int) -> str:
+    return f"{object_id}/share-{share_index}"

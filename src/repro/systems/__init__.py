@@ -1,0 +1,51 @@
+"""The archival systems surveyed in Table 1, each as a working pipeline.
+
+Every system here implements the same :class:`repro.systems.base.ArchivalSystem`
+interface -- store / retrieve over dispersed storage nodes through an
+explicit transit channel -- so the Table 1 benchmark can *measure* each
+row's classification (confidentiality in transit, at rest, storage cost)
+instead of transcribing it:
+
+========================  =======================  ==================  ==========
+System                    In transit               At rest             Cost
+========================  =======================  ==================  ==========
+ArchiveSafeLT             Computational (TLS)      Computational       Low
+AONT-RS                   Computational (TLS)      Computational       Low
+HasDPSS                   Computational (TLS)      ITS                 High
+LINCOS                    ITS (QKD)                ITS                 High
+PASIS                     Computational (TLS)      ITS (sometimes)     Low-High
+POTSHARDS                 Computational (TLS)      ITS                 High
+VSR Archive               Computational (TLS)      ITS                 High
+AWS/Azure/Google Cloud    Computational (TLS)      Computational       Low
+========================  =======================  ==================  ==========
+
+A ninth system, :class:`repro.systems.elsa.ElsaStyleArchive`, extends the
+table with the ELSA design point the paper cites as a LINCOS follow-up
+(cheap erasure-coded data plane, proactive-VSS key plane).
+"""
+
+from repro.systems.base import ArchivalSystem, StoreReceipt
+from repro.systems.cloud import CloudProviderArchive
+from repro.systems.archivesafelt import ArchiveSafeLT
+from repro.systems.aontrs_system import AontRsArchive
+from repro.systems.potshards import Potshards
+from repro.systems.lincos import Lincos
+from repro.systems.pasis import Pasis, PasisPolicy
+from repro.systems.vsr import VsrArchive
+from repro.systems.hasdpss import HasDpss
+from repro.systems.elsa import ElsaStyleArchive
+
+__all__ = [
+    "ArchivalSystem",
+    "StoreReceipt",
+    "CloudProviderArchive",
+    "ArchiveSafeLT",
+    "AontRsArchive",
+    "Potshards",
+    "Lincos",
+    "Pasis",
+    "PasisPolicy",
+    "VsrArchive",
+    "HasDpss",
+    "ElsaStyleArchive",
+]

@@ -1,0 +1,207 @@
+"""Common machinery for the Table 1 archival systems.
+
+Each system is a client-side pipeline over a fleet of
+:class:`repro.storage.node.StorageNode` instances:
+
+    plaintext --encode--> share payloads --transit channel--> nodes
+
+The base class owns the plumbing every system shares -- placement, the
+transit transcript (what an eavesdropper on the wire collects), storage
+accounting, and the adversary-facing hooks -- so each subclass is mostly its
+encoding pipeline plus its harvest semantics.
+
+Adversary hooks
+---------------
+``transcript``
+    Every wire transmission ever sent, for the harvesting adversary.
+``steal_at_rest(object_id, share_indices)``
+    The at-rest haul a compromise of those nodes yields.
+``attempt_recovery(stolen, timeline, epoch)``
+    What that haul is worth: returns plaintext or raises while the system's
+    defenses hold.  Computational systems gate on the break timeline via the
+    escrow convention (see ``repro.channels.base``); information-theoretic
+    systems gate on share counts only.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.channels.base import Transmission
+from repro.channels.tls import TlsLikeChannel
+from repro.crypto.drbg import DeterministicRandom
+from repro.crypto.registry import BreakTimeline
+from repro.errors import ObjectNotFoundError, ParameterError
+from repro.security import SecurityNotion, StorageCostBand
+from repro.storage.node import StorageNode
+from repro.storage.placement import Placement, PlacementPolicy
+
+
+@dataclass
+class StoreReceipt:
+    """Everything the system retains client-side about one stored object."""
+
+    object_id: str
+    original_length: int
+    placement: Placement
+    #: Scheme-specific public metadata (share counts, masked values...).
+    metadata: dict = field(default_factory=dict)
+    #: Sealed simulation-only material read through the escrow convention.
+    escrow: dict = field(default_factory=dict, repr=False)
+
+
+@dataclass
+class TranscriptEntry:
+    node_id: str
+    object_id: str
+    transmission: Transmission
+
+
+class ArchivalSystem(abc.ABC):
+    """Base class: subclasses set the class attributes and the pipeline."""
+
+    #: Human name as it appears in Table 1.
+    name: str = "abstract"
+    #: Citation key from the paper.
+    citation: str = ""
+    #: Registry names of the primitives at-rest confidentiality rests on
+    #: (empty tuple = information-theoretic at rest).
+    at_rest_relies_on: tuple[str, ...] = ()
+
+    def __init__(
+        self,
+        nodes: list[StorageNode],
+        rng: DeterministicRandom,
+        require_distinct_providers: bool = True,
+    ):
+        if not nodes:
+            raise ParameterError("an archival system needs storage nodes")
+        self.nodes = nodes
+        self.rng = rng
+        self.placement_policy = PlacementPolicy(
+            nodes, require_distinct_providers=require_distinct_providers
+        )
+        self.transit = self._make_transit_channel()
+        self.transcript: list[TranscriptEntry] = []
+        self._receipts: dict[str, StoreReceipt] = {}
+        self._plaintext_bytes = 0
+        self.epoch = 0
+
+    # -- transit -------------------------------------------------------------------
+
+    def _make_transit_channel(self):
+        """Default transit is TLS-like; LINCOS overrides with QKD."""
+        return TlsLikeChannel(self.rng)
+
+    @property
+    def transit_security(self) -> SecurityNotion:
+        return self.transit.notion
+
+    def _send_share(self, node: StorageNode, object_id: str, index: int, payload: bytes) -> None:
+        """Ship one share over the transit channel and store it."""
+        transmission = self.transit.send(payload)
+        self.transcript.append(
+            TranscriptEntry(
+                node_id=node.node_id, object_id=object_id, transmission=transmission
+            )
+        )
+        delivered = self.transit.receive(transmission)
+        node.put(f"{object_id}/share-{index}", delivered, epoch=self.epoch)
+
+    def _store_shares(
+        self, object_id: str, payload_by_index: dict[int, bytes]
+    ) -> Placement:
+        placement = self.placement_policy.place(object_id, sorted(payload_by_index))
+        for index, node_id in placement.node_by_share.items():
+            self._send_share(
+                self.placement_policy.node(node_id),
+                object_id,
+                index,
+                payload_by_index[index],
+            )
+        return placement
+
+    def _fetch_shares(self, receipt: StoreReceipt) -> dict[int, bytes]:
+        return self.placement_policy.fetch_available(receipt.placement)
+
+    # -- public API ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def store(self, object_id: str, data: bytes) -> StoreReceipt:
+        """Encode and disperse *data*; returns (and records) the receipt."""
+
+    @abc.abstractmethod
+    def retrieve(self, object_id: str) -> bytes:
+        """Fetch shares and decode the object."""
+
+    def receipt(self, object_id: str) -> StoreReceipt:
+        try:
+            return self._receipts[object_id]
+        except KeyError:
+            raise ObjectNotFoundError(f"{self.name}: no object {object_id!r}") from None
+
+    def _record(self, receipt: StoreReceipt) -> StoreReceipt:
+        self._receipts[receipt.object_id] = receipt
+        self._plaintext_bytes += receipt.original_length
+        return receipt
+
+    # -- measured classification (feeds the Table 1 bench) ------------------------------
+
+    def storage_overhead(self) -> float:
+        """Measured stored-bytes / plaintext-bytes across all objects."""
+        if self._plaintext_bytes == 0:
+            raise ParameterError("store something before measuring overhead")
+        return self.placement_policy.total_bytes_stored() / self._plaintext_bytes
+
+    def storage_cost_band(self) -> StorageCostBand:
+        return StorageCostBand.classify_overhead(self.storage_overhead())
+
+    @property
+    def at_rest_security(self) -> SecurityNotion:
+        if not self.at_rest_relies_on:
+            return SecurityNotion.INFORMATION_THEORETIC
+        return SecurityNotion.COMPUTATIONAL
+
+    # -- adversary hooks ------------------------------------------------------------------
+
+    def steal_at_rest(
+        self, object_id: str, share_indices: list[int] | None = None
+    ) -> dict[int, bytes]:
+        """What compromising the nodes holding those shares yields."""
+        receipt = self.receipt(object_id)
+        stolen: dict[int, bytes] = {}
+        for index, node_id in receipt.placement.node_by_share.items():
+            if share_indices is not None and index not in share_indices:
+                continue
+            node = self.placement_policy.node(node_id)
+            haul = node.adversary_read_all(self.epoch)
+            key = f"{object_id}/share-{index}"
+            if key in haul:
+                stolen[index] = haul[key]
+        return stolen
+
+    @abc.abstractmethod
+    def attempt_recovery(
+        self,
+        object_id: str,
+        stolen: dict[int, bytes],
+        timeline: BreakTimeline,
+        epoch: int,
+    ) -> bytes:
+        """Adversary's decode of *stolen* at *epoch*; raise while secure."""
+
+    def at_rest_breakable(self, timeline: BreakTimeline, epoch: int) -> bool:
+        """Are all primitives the at-rest encoding relies on broken?"""
+        if not self.at_rest_relies_on:
+            return False
+        return all(timeline.is_broken(p, epoch) for p in self.at_rest_relies_on)
+
+    def _require_at_rest_broken(self, timeline: BreakTimeline, epoch: int) -> None:
+        from repro.errors import StillSecureError
+
+        if not self.at_rest_breakable(timeline, epoch):
+            raise StillSecureError(
+                f"{self.name}: at-rest primitives {self.at_rest_relies_on} "
+                f"still hold at epoch {epoch}"
+            )

@@ -1,0 +1,80 @@
+"""The commercial-cloud baseline: "simply uses AES".
+
+Paper, Section 3.2: "apart from AONT-RS, every other commercially available
+archival system we are aware of simply uses AES (e.g., AWS, Google Cloud,
+Azure)."  Table 1 files them together: Computational / Computational / Low.
+
+The model: one provider (no administrative dispersal), AES-256-CTR at rest
+with a provider-managed key (the KMS), TLS in transit, an optional internal
+replication factor for durability.  The harvest path is the pure form of
+Harvest Now, Decrypt Later: steal the ciphertext whenever, wait for the AES
+break epoch, decrypt -- the KMS key is irrelevant to a cryptanalytic
+adversary, which is the paper's whole point.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AesCtrCipher
+from repro.crypto.registry import BreakTimeline
+from repro.errors import DecodingError
+from repro.systems.base import ArchivalSystem, StoreReceipt
+
+
+class CloudProviderArchive(ArchivalSystem):
+    """AWS/Azure/GCS-style archive: AES at rest, TLS in transit."""
+
+    name = "AWS/Azure/Google Cloud"
+    citation = "[1-3]"
+    at_rest_relies_on = ("aes-256-ctr",)
+
+    def __init__(self, nodes, rng, replication: int = 1):
+        # A single provider's internal fleet: independence not required.
+        super().__init__(nodes, rng, require_distinct_providers=False)
+        if replication < 1:
+            raise DecodingError("replication must be >= 1")
+        self.replication = replication
+        self.cipher = AesCtrCipher(key_size=32)
+        #: Provider-side key management service: object id -> (key, nonce).
+        self._kms: dict[str, tuple[bytes, bytes]] = {}
+
+    def store(self, object_id: str, data: bytes) -> StoreReceipt:
+        key = self.rng.bytes(32)
+        nonce = self.rng.bytes(12)
+        self._kms[object_id] = (key, nonce)
+        ciphertext = self.cipher.encrypt(key, nonce, data)
+        payloads = {i: ciphertext for i in range(self.replication)}
+        placement = self._store_shares(object_id, payloads)
+        receipt = StoreReceipt(
+            object_id=object_id,
+            original_length=len(data),
+            placement=placement,
+            metadata={"replication": self.replication},
+            # What a successful AES cryptanalysis of this object would
+            # yield: the data key (escrow convention, see channels.base).
+            escrow={"key": key, "nonce": nonce},
+        )
+        return self._record(receipt)
+
+    def retrieve(self, object_id: str) -> bytes:
+        receipt = self.receipt(object_id)
+        shares = self._fetch_shares(receipt)
+        if not shares:
+            raise DecodingError(f"no replica of {object_id} is available")
+        ciphertext = next(iter(shares.values()))
+        key, nonce = self._kms[object_id]
+        return self.cipher.decrypt(key, nonce, ciphertext)
+
+    def attempt_recovery(
+        self,
+        object_id: str,
+        stolen: dict[int, bytes],
+        timeline: BreakTimeline,
+        epoch: int,
+    ) -> bytes:
+        """Any single stolen replica suffices -- once AES falls."""
+        if not stolen:
+            raise DecodingError("adversary holds no replicas")
+        self._require_at_rest_broken(timeline, epoch)
+        receipt = self.receipt(object_id)
+        key, nonce = receipt.escrow["key"], receipt.escrow["nonce"]
+        return self.cipher.decrypt(key, nonce, next(iter(stolen.values())))

@@ -1,0 +1,169 @@
+"""An ELSA-style archive: share the keys, encrypt the data (Muth et al.).
+
+The paper cites ELSA ("efficient long-term secure storage of large
+datasets") among the LINCOS follow-ups.  Its engineering idea is the one
+every practical secret-shared archive gravitates to: bulk data is encrypted
+once with a fast symmetric cipher and stored erasure-coded (cheap), while
+only the *keys* live in a proactively renewed verifiable-secret-sharing
+committee (expensive machinery, but over 32-byte secrets).
+
+This system is included as an extension beyond Table 1 because it is the
+cleanest illustration of the paper's trade-off *inside* one design:
+
+- storage overhead ~ n/k (low!), key-plane costs are negligible;
+- proactive key renewal is cheap (scalar VSS, not n^2 x object bytes);
+- BUT the bulk ciphertext is computationally protected, so a harvesting
+  adversary who steals shards today decrypts them when the cipher falls --
+  the key committee's information-theoretic security protects the *keys*,
+  not the harvested *data*.  `attempt_recovery` reproduces exactly that
+  split: threshold-many key shares open everything immediately; otherwise
+  recovery waits for the cipher's break epoch.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AesCtrCipher
+from repro.crypto.drbg import DeterministicRandom
+from repro.crypto.registry import BreakTimeline
+from repro.errors import DecodingError, ParameterError
+from repro.gmath.reedsolomon import ReedSolomonCode, Shard
+from repro.secretsharing.verifiable import ProactiveVSS
+from repro.systems.base import ArchivalSystem, StoreReceipt
+
+#: VSS escrow limb width (see KeyManager.ESCROW_LIMB_BYTES rationale).
+_LIMB = 15
+
+
+class ElsaStyleArchive(ArchivalSystem):
+    """Erasure-coded symmetric data plane + proactive-VSS key plane."""
+
+    name = "ELSA-style"
+    citation = "[47]"
+    at_rest_relies_on = ("aes-256-ctr",)
+
+    def __init__(self, nodes, rng, n: int = 6, k: int = 4, key_committee_t: int = 3):
+        super().__init__(nodes, rng)
+        if not 1 <= k < n:
+            raise ParameterError(f"need 1 <= k < n, got n={n} k={k}")
+        self.code = ReedSolomonCode(n, k)
+        self.cipher = AesCtrCipher(key_size=32)
+        self.committee_n = n
+        self.committee_t = key_committee_t
+        #: Per object: the VSS groups holding its key limbs.
+        self._key_groups: dict[str, list[ProactiveVSS]] = {}
+        self.key_plane_renewals = 0
+
+    # -- key plane -------------------------------------------------------------------
+
+    def _escrow_key(self, object_id: str, key: bytes) -> None:
+        groups = []
+        for offset in range(0, len(key), _LIMB):
+            group = ProactiveVSS(self.committee_n, self.committee_t)
+            group.initialize(int.from_bytes(key[offset : offset + _LIMB], "big"), self.rng)
+            groups.append(group)
+        self._key_groups[object_id] = groups
+
+    def _recover_key(self, object_id: str) -> bytes:
+        key = b""
+        remaining = 32
+        for group in self._key_groups[object_id]:
+            limb_len = min(_LIMB, remaining)
+            key += group.reconstruct().to_bytes(limb_len, "big")
+            remaining -= limb_len
+        return key
+
+    def renew_key_plane(self) -> None:
+        """Proactive renewal of every object's key committee -- note the
+        cost: a few scalar messages per object, independent of object size.
+        This is ELSA's entire efficiency claim."""
+        for groups in self._key_groups.values():
+            for group in groups:
+                group.renew(self.rng)
+        self.key_plane_renewals += 1
+
+    # -- data plane -------------------------------------------------------------------
+
+    def store(self, object_id: str, data: bytes) -> StoreReceipt:
+        key = self.rng.bytes(32)
+        nonce = self.rng.bytes(12)
+        ciphertext = self.cipher.encrypt(key, nonce, data)
+        self._escrow_key(object_id, key)
+        shards = self.code.encode(ciphertext)
+        payloads = {shard.index: shard.data for shard in shards}
+        placement = self._store_shares(object_id, payloads)
+        receipt = StoreReceipt(
+            object_id=object_id,
+            original_length=len(data),
+            placement=placement,
+            metadata={
+                "n": self.code.n,
+                "k": self.code.k,
+                "nonce": nonce.hex(),
+                "ciphertext_length": len(ciphertext),
+                "threshold": self.code.k,
+            },
+            escrow={"key": key},
+        )
+        return self._record(receipt)
+
+    def retrieve(self, object_id: str) -> bytes:
+        receipt = self.receipt(object_id)
+        fetched = self._fetch_shares(receipt)
+        if len(fetched) < self.code.k:
+            raise DecodingError(
+                f"only {len(fetched)} shards available, need {self.code.k}"
+            )
+        shards = [Shard(index=i, data=p) for i, p in fetched.items()]
+        ciphertext = self.code.decode(shards, receipt.metadata["ciphertext_length"])
+        key = self._recover_key(object_id)
+        nonce = bytes.fromhex(receipt.metadata["nonce"])
+        return self.cipher.decrypt(key, nonce, ciphertext)
+
+    # -- adversary --------------------------------------------------------------------
+
+    def steal_key_shares(self, object_id: str, count: int) -> dict[int, list]:
+        """Compromise *count* key-committee members (all limbs each)."""
+        groups = self._key_groups[object_id]
+        stolen: dict[int, list] = {}
+        for index in list(range(1, self.committee_n + 1))[:count]:
+            stolen[index] = [group.shares()[index] for group in groups]
+        return stolen
+
+    def attempt_recovery(
+        self,
+        object_id: str,
+        stolen: dict[int, bytes],
+        timeline: BreakTimeline,
+        epoch: int,
+        stolen_key_shares: dict[int, list] | None = None,
+    ) -> bytes:
+        receipt = self.receipt(object_id)
+        if len(stolen) < self.code.k:
+            raise DecodingError(f"adversary needs {self.code.k} shards for the ciphertext")
+        shards = [Shard(index=i, data=p) for i, p in stolen.items()]
+        ciphertext = self.code.decode(shards, receipt.metadata["ciphertext_length"])
+        nonce = bytes.fromhex(receipt.metadata["nonce"])
+
+        if stolen_key_shares and len(stolen_key_shares) >= self.committee_t:
+            # Threshold compromise of the key committee: reconstruct the key
+            # the honest way -- no cryptanalysis involved.
+            groups = self._key_groups[object_id]
+            key = b""
+            remaining = 32
+            for limb_index, group in enumerate(groups):
+                limb_shares = [
+                    shares[limb_index] for shares in stolen_key_shares.values()
+                ]
+                limb_len = min(_LIMB, remaining)
+                value = group.vss.reconstruct(limb_shares)
+                # Honest limbs always fit (15 bytes < q); a stale/mixed haul
+                # reconstructs an arbitrary group element -- truncate rather
+                # than crash, since garbage-in is the expected outcome.
+                value %= 1 << (8 * limb_len)
+                key += value.to_bytes(limb_len, "big")
+                remaining -= limb_len
+            return self.cipher.decrypt(key, nonce, ciphertext)
+
+        # Otherwise: harvested ciphertext waits for the cipher to fall.
+        self._require_at_rest_broken(timeline, epoch)
+        return self.cipher.decrypt(receipt.escrow["key"], nonce, ciphertext)

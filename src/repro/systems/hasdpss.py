@@ -1,0 +1,189 @@
+"""HasDPSS (Zhang et al., CIKM '23): decentralized key management with
+dynamic proactive secret sharing over a ledger.
+
+Table 1: Computational transit / ITS at rest / High cost.  The paper's
+Section 4 points at HasDPSS as evidence that "the concrete design and
+implementation of secret-shared archives may benefit from the literature on
+key-management systems".
+
+Modeled components:
+
+- **data plane**: archived objects are Shamir-shared across the committee's
+  storage nodes (ITS at rest, n-times cost);
+- **key plane**: a master secret lives in a :class:`ProactiveVSS` group;
+  per-object authentication tags derive from it through the **hierarchical
+  access structure** (a path-keyed HKDF tree: holding a folder's derived key
+  grants its subtree, nothing above it);
+- **ledger**: every deal's Pedersen commitments and every committee change
+  are recorded on the simulated blockchain, so any party can audit share
+  validity without learning anything (the commitments are perfectly hiding);
+- **dynamism**: :meth:`change_committee` redistributes the data shares to a
+  new (n', t') and re-deals the key plane, recording the epoch on the
+  ledger.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.drbg import DeterministicRandom
+from repro.crypto.hmac_ import hmac_sha256
+from repro.crypto.kdf import derive_subkey
+from repro.crypto.registry import BreakTimeline
+from repro.errors import DecodingError, IntegrityError, ParameterError
+from repro.secretsharing.base import Share
+from repro.secretsharing.redistribution import redistribute
+from repro.secretsharing.shamir import ShamirSecretSharing
+from repro.secretsharing.verifiable import ProactiveVSS
+from repro.systems.base import ArchivalSystem, StoreReceipt
+from repro.systems.ledger import LedgerEntry, SimulatedLedger
+
+
+class HasDpss(ArchivalSystem):
+    """DPSS-managed archive with hierarchical access and a ledger."""
+
+    name = "HasDPSS"
+    citation = "[70]"
+    at_rest_relies_on = ()
+
+    def __init__(self, nodes, rng, n: int = 5, t: int = 3):
+        super().__init__(nodes, rng)
+        self.scheme = ShamirSecretSharing(n, t)
+        self.ledger = SimulatedLedger()
+        self.key_plane = ProactiveVSS(n, t)
+        master = rng.randrange(1, self.key_plane.vss.group.q)
+        self.key_plane.initialize(master, rng)
+        self._master_bytes = master.to_bytes(32, "big")
+        self.ledger.append(
+            [
+                LedgerEntry(
+                    kind="key-deal",
+                    content={
+                        "commitments": [str(c) for c in self.key_plane.commitments],
+                        "n": n,
+                        "t": t,
+                    },
+                )
+            ]
+        )
+
+    # -- hierarchical access structure -------------------------------------------------
+
+    def derive_path_key(self, path: str) -> bytes:
+        """Key for *path*; deriving from an ancestor's key works too, so a
+        folder grant covers its subtree (hierarchical access structure)."""
+        key = self._master_bytes
+        for component in [p for p in path.split("/") if p]:
+            key = derive_subkey(key, f"child:{component}")
+        return key
+
+    @staticmethod
+    def derive_descendant_key(ancestor_key: bytes, relative_path: str) -> bytes:
+        key = ancestor_key
+        for component in [p for p in relative_path.split("/") if p]:
+            key = derive_subkey(key, f"child:{component}")
+        return key
+
+    # -- store / retrieve ------------------------------------------------------------------
+
+    def store(self, object_id: str, data: bytes) -> StoreReceipt:
+        split = self.scheme.split(data, self.rng)
+        payloads = {s.index: s.payload for s in split.shares}
+        placement = self._store_shares(object_id, payloads)
+        # Authentication tag under the object's hierarchical key, recorded
+        # on the ledger so retrievals can be audited.
+        tag = hmac_sha256(self.derive_path_key(object_id), data)
+        self.ledger.append(
+            [
+                LedgerEntry(
+                    kind="object",
+                    content={
+                        "object_id": object_id,
+                        "tag": tag.hex(),
+                        "n": self.scheme.n,
+                        "t": self.scheme.t,
+                    },
+                )
+            ]
+        )
+        receipt = StoreReceipt(
+            object_id=object_id,
+            original_length=len(data),
+            placement=placement,
+            metadata={"n": self.scheme.n, "t": self.scheme.t, "tag": tag.hex()},
+        )
+        return self._record(receipt)
+
+    def retrieve(self, object_id: str) -> bytes:
+        receipt = self.receipt(object_id)
+        fetched = self._fetch_shares(receipt)
+        shares = [
+            Share(scheme="shamir", index=i, payload=p) for i, p in fetched.items()
+        ]
+        scheme = ShamirSecretSharing(receipt.metadata["n"], receipt.metadata["t"])
+        if len(shares) < scheme.t:
+            raise DecodingError(f"need {scheme.t} shares, have {len(shares)}")
+        data = scheme.reconstruct(shares)[: receipt.original_length]
+        expected = hmac_sha256(self.derive_path_key(object_id), data)
+        if expected.hex() != receipt.metadata["tag"]:
+            raise IntegrityError(f"{object_id}: authentication tag mismatch")
+        return data
+
+    # -- dynamism ------------------------------------------------------------------------------
+
+    def change_committee(self, new_n: int, new_t: int) -> None:
+        """DPSS committee change: redistribute data shares, re-deal keys."""
+        if not 1 <= new_t <= new_n:
+            raise ParameterError(f"invalid committee parameters n={new_n} t={new_t}")
+        new_scheme = ShamirSecretSharing(new_n, new_t)
+        for object_id in list(self._receipts):
+            receipt = self.receipt(object_id)
+            old_scheme = ShamirSecretSharing(
+                receipt.metadata["n"], receipt.metadata["t"]
+            )
+            fetched = self._fetch_shares(receipt)
+            old_shares = [
+                Share(scheme="shamir", index=i, payload=p)
+                for i, p in fetched.items()
+            ]
+            new_split, _ = redistribute(
+                old_scheme, old_shares, new_scheme, receipt.original_length, self.rng
+            )
+            self.placement_policy.delete(receipt.placement)
+            receipt.placement = self._store_shares(
+                object_id, {s.index: s.payload for s in new_split.shares}
+            )
+            receipt.metadata.update({"n": new_n, "t": new_t})
+        # Key plane: fresh proactive round plus a new deal record.
+        self.key_plane.renew(self.rng)
+        self.scheme = new_scheme
+        self.ledger.append(
+            [
+                LedgerEntry(
+                    kind="committee-change",
+                    content={
+                        "n": new_n,
+                        "t": new_t,
+                        "commitments": [str(c) for c in self.key_plane.commitments],
+                    },
+                )
+            ]
+        )
+
+    def audit_ledger(self) -> None:
+        self.ledger.verify()
+
+    # -- adversary ---------------------------------------------------------------------------------
+
+    def attempt_recovery(
+        self,
+        object_id: str,
+        stolen: dict[int, bytes],
+        timeline: BreakTimeline,
+        epoch: int,
+    ) -> bytes:
+        del timeline, epoch
+        receipt = self.receipt(object_id)
+        scheme = ShamirSecretSharing(receipt.metadata["n"], receipt.metadata["t"])
+        shares = [
+            Share(scheme="shamir", index=i, payload=p) for i, p in stolen.items()
+        ]
+        return scheme.reconstruct(shares)[: receipt.original_length]

@@ -1,0 +1,96 @@
+"""A simulated append-only ledger (the HasDPSS 'blockchain' substrate).
+
+HasDPSS "leverages modern blockchain and proactive secret-sharing
+techniques to realize a robust and decentralized key-management system"
+(paper Section 4).  What the key-management protocol actually needs from a
+blockchain is narrow: an immutable, highly available public bulletin board
+for share commitments and committee-change records.  This module provides
+exactly that surface (see DESIGN.md's substitution table): hash-chained
+blocks, append/verify, and tamper detection -- no consensus simulation,
+because a single logical ledger with integrity checking exercises the same
+client code paths.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.crypto.sha256 import sha256_hex
+from repro.errors import IntegrityError, ParameterError
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One record: an opaque kind tag plus JSON-serializable content."""
+
+    kind: str
+    content: dict
+
+    def canonical(self) -> str:
+        return json.dumps(
+            {"kind": self.kind, "content": self.content}, sort_keys=True
+        )
+
+
+@dataclass
+class Block:
+    height: int
+    prev_hash: str
+    entries: list[LedgerEntry]
+
+    def block_hash(self) -> str:
+        body = self.prev_hash + "|" + "|".join(e.canonical() for e in self.entries)
+        return sha256_hex(f"{self.height}:{body}".encode())
+
+
+class SimulatedLedger:
+    """Hash-chained append-only log with integrity verification."""
+
+    GENESIS_HASH = "0" * 64
+
+    def __init__(self) -> None:
+        self._blocks: list[Block] = []
+
+    @property
+    def height(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def head_hash(self) -> str:
+        if not self._blocks:
+            return self.GENESIS_HASH
+        return self._blocks[-1].block_hash()
+
+    def append(self, entries: list[LedgerEntry]) -> Block:
+        if not entries:
+            raise ParameterError("a block needs at least one entry")
+        block = Block(
+            height=self.height, prev_hash=self.head_hash, entries=list(entries)
+        )
+        self._blocks.append(block)
+        return block
+
+    def entries(self, kind: str | None = None) -> list[LedgerEntry]:
+        out = []
+        for block in self._blocks:
+            for entry in block.entries:
+                if kind is None or entry.kind == kind:
+                    out.append(entry)
+        return out
+
+    def verify(self) -> None:
+        """Raise IntegrityError if any block fails the hash chain."""
+        prev = self.GENESIS_HASH
+        for expected_height, block in enumerate(self._blocks):
+            if block.height != expected_height:
+                raise IntegrityError(f"block height {block.height} out of sequence")
+            if block.prev_hash != prev:
+                raise IntegrityError(f"block {block.height} breaks the hash chain")
+            prev = block.block_hash()
+
+    def tamper(self, height: int, entry_index: int, new_content: dict) -> None:
+        """Adversarial in-place edit -- verify() must catch it afterwards."""
+        block = self._blocks[height]
+        old = block.entries[entry_index]
+        block.entries[entry_index] = LedgerEntry(kind=old.kind, content=new_content)

@@ -1,0 +1,121 @@
+"""LINCOS (Braun et al., ASIA CCS '17).
+
+"LINCOS: A Storage System Providing Long-Term Integrity, Authenticity, and
+Confidentiality" -- the paper's exemplar of the all-information-theoretic
+corner: Table 1 classifies it ITS in transit, ITS at rest, High cost.
+
+The three pillars, all implemented:
+
+- **at rest**: Shamir-shared objects across independent providers;
+- **in transit**: QKD links deliver one-time pads to each provider; sends
+  block on available key material, so the system surfaces the paper's
+  "specialized infrastructure / engineering challenges" as measurable key
+  generation time and per-link cost;
+- **integrity**: a timestamp chain whose references are *Pedersen
+  commitments* rather than hashes -- LINCOS's "key observation", keeping
+  the chain from leaking anything about the committed data even to an
+  unbounded adversary.
+"""
+
+from __future__ import annotations
+
+from repro.channels.qkd import QkdLink
+from repro.crypto.commitments import PedersenCommitment
+from repro.crypto.registry import BreakTimeline
+from repro.errors import DecodingError
+from repro.integrity.timestamp import (
+    MerkleChainSigner,
+    TimestampAuthority,
+    TimestampChain,
+)
+from repro.secretsharing.base import Share
+from repro.secretsharing.shamir import ShamirSecretSharing
+from repro.systems.base import ArchivalSystem, StoreReceipt
+
+
+class Lincos(ArchivalSystem):
+    """QKD transit + Shamir storage + commitment timestamp chain."""
+
+    name = "LINCOS"
+    citation = "[12]"
+    at_rest_relies_on = ()  # Shamir: information-theoretic
+
+    def __init__(self, nodes, rng, n: int = 5, t: int = 3, qkd_key_rate: float = 1e6):
+        # Needed by _make_transit_channel, which the base __init__ calls.
+        self.qkd_key_rate = qkd_key_rate
+        super().__init__(nodes, rng)
+        self.scheme = ShamirSecretSharing(n, t)
+        self.commitments = PedersenCommitment()
+        self.chain = TimestampChain()
+        self.authority = TimestampAuthority(MerkleChainSigner(rng, height=6))
+        self.key_generation_seconds = 0.0
+
+    def _make_transit_channel(self):
+        return QkdLink(self.rng, key_rate_bytes_per_s=self.qkd_key_rate)
+
+    def _send_share(self, node, object_id, index, payload):
+        # QKD pads are consumable: generate exactly what this send needs and
+        # account for the wall-clock the link spends doing it.
+        needed = self.transit.seconds_needed_for(len(payload))
+        if needed > 0:
+            self.transit.advance_time(needed)
+            self.key_generation_seconds += needed
+        super()._send_share(node, object_id, index, payload)
+
+    def store(self, object_id: str, data: bytes) -> StoreReceipt:
+        split = self.scheme.split(data, self.rng)
+        payloads = {share.index: share.payload for share in split.shares}
+        placement = self._store_shares(object_id, payloads)
+        # Timestamp the object under a perfectly hiding commitment.
+        link, opening = self.authority.timestamp_document(
+            self.chain,
+            data,
+            epoch=self.epoch,
+            reference_kind="pedersen",
+            pedersen=self.commitments,
+            rng=self.rng,
+        )
+        receipt = StoreReceipt(
+            object_id=object_id,
+            original_length=len(data),
+            placement=placement,
+            metadata={
+                "n": self.scheme.n,
+                "t": self.scheme.t,
+                "chain_index": link.index,
+            },
+            escrow={"commitment_opening": opening},
+        )
+        return self._record(receipt)
+
+    def retrieve(self, object_id: str) -> bytes:
+        receipt = self.receipt(object_id)
+        fetched = self._fetch_shares(receipt)
+        shares = [
+            Share(scheme="shamir", index=i, payload=p) for i, p in fetched.items()
+        ]
+        if len(shares) < self.scheme.t:
+            raise DecodingError(
+                f"only {len(shares)} shares available, need {self.scheme.t}"
+            )
+        return self.scheme.reconstruct(shares)[: receipt.original_length]
+
+    def attempt_recovery(
+        self,
+        object_id: str,
+        stolen: dict[int, bytes],
+        timeline: BreakTimeline,
+        epoch: int,
+    ) -> bytes:
+        """ITS at rest: only a threshold of shares ever works."""
+        del timeline, epoch
+        receipt = self.receipt(object_id)
+        shares = [
+            Share(scheme="shamir", index=i, payload=p) for i, p in stolen.items()
+        ]
+        return self.scheme.reconstruct(shares)[: receipt.original_length]
+
+    # -- integrity service --------------------------------------------------------------
+
+    def renew_chain(self, epoch: int) -> None:
+        self.authority.renew_chain(self.chain, epoch)

@@ -1,0 +1,156 @@
+"""PASIS (Ganger et al., CMU): the configurable threshold-scheme engine.
+
+Paper, Sections 3.2/4: PASIS "investigated several approaches but left users
+to decide which one was best for their data" -- the original "no one size
+fits all" position.  Table 1 reflects that: at-rest confidentiality "ITS
+(sometimes)", storage cost "Low-High", both depending on the per-object
+policy.
+
+Three policies, selectable per stored object:
+
+- ``REPLICATION`` -- r full copies: no confidentiality, lowest complexity;
+- ``ERASURE`` -- systematic [n, k] Reed-Solomon: no confidentiality (the
+  first k shards are plaintext), n/k cost;
+- ``SHAMIR`` -- (t, n) secret sharing: perfect secrecy, n-times cost.
+
+The measured Table 1 row therefore depends on the workload mix, which is
+exactly what the benchmark demonstrates by sweeping it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.crypto.registry import BreakTimeline
+from repro.errors import DecodingError, ParameterError
+from repro.gmath.reedsolomon import ReedSolomonCode, Shard
+from repro.secretsharing.base import Share
+from repro.secretsharing.shamir import ShamirSecretSharing
+from repro.security import SecurityNotion
+from repro.systems.base import ArchivalSystem, StoreReceipt
+
+
+class PasisPolicy(enum.Enum):
+    REPLICATION = "replication"
+    ERASURE = "erasure"
+    SHAMIR = "shamir"
+
+    @property
+    def confidential(self) -> bool:
+        return self is PasisPolicy.SHAMIR
+
+
+@dataclass(frozen=True)
+class PasisParameters:
+    policy: PasisPolicy
+    n: int
+    threshold: int  # copies needed / k / t depending on policy
+
+
+class Pasis(ArchivalSystem):
+    """Per-object policy engine over a shared provider fleet."""
+
+    name = "PASIS"
+    citation = "[27]"
+    at_rest_relies_on = ()  # resolved per object; see at_rest_security_for
+
+    def __init__(self, nodes, rng, default_parameters: PasisParameters | None = None):
+        super().__init__(nodes, rng)
+        self.default_parameters = default_parameters or PasisParameters(
+            PasisPolicy.SHAMIR, n=5, threshold=3
+        )
+        self._parameters: dict[str, PasisParameters] = {}
+
+    # -- policy-dependent classification ------------------------------------------------
+
+    def at_rest_security_for(self, object_id: str) -> SecurityNotion:
+        params = self._parameters[object_id]
+        if params.policy.confidential:
+            return SecurityNotion.INFORMATION_THEORETIC
+        return SecurityNotion.NONE
+
+    @property
+    def at_rest_security(self) -> SecurityNotion:
+        """Fleet-level answer: ITS only if *every* stored object used a
+        confidential policy -- Table 1's 'ITS (sometimes)'."""
+        if not self._parameters:
+            return SecurityNotion.NONE
+        notions = {self.at_rest_security_for(oid) for oid in self._parameters}
+        if notions == {SecurityNotion.INFORMATION_THEORETIC}:
+            return SecurityNotion.INFORMATION_THEORETIC
+        return SecurityNotion.NONE
+
+    # -- store / retrieve ------------------------------------------------------------------
+
+    def store(
+        self,
+        object_id: str,
+        data: bytes,
+        parameters: PasisParameters | None = None,
+    ) -> StoreReceipt:
+        params = parameters or self.default_parameters
+        payloads = self._encode(data, params)
+        placement = self._store_shares(object_id, payloads)
+        self._parameters[object_id] = params
+        receipt = StoreReceipt(
+            object_id=object_id,
+            original_length=len(data),
+            placement=placement,
+            metadata={
+                "policy": params.policy.value,
+                "n": params.n,
+                "threshold": params.threshold,
+            },
+        )
+        return self._record(receipt)
+
+    def _encode(self, data: bytes, params: PasisParameters) -> dict[int, bytes]:
+        if params.policy is PasisPolicy.REPLICATION:
+            if params.n < 1:
+                raise ParameterError("replication needs n >= 1")
+            return {i: data for i in range(params.n)}
+        if params.policy is PasisPolicy.ERASURE:
+            code = ReedSolomonCode(params.n, params.threshold)
+            return {s.index: s.data for s in code.encode(data)}
+        scheme = ShamirSecretSharing(params.n, params.threshold)
+        return {s.index: s.payload for s in scheme.split(data, self.rng).shares}
+
+    def retrieve(self, object_id: str) -> bytes:
+        receipt = self.receipt(object_id)
+        return self._decode(
+            object_id, self._fetch_shares(receipt), receipt.original_length
+        )
+
+    def _decode(
+        self, object_id: str, shares: dict[int, bytes], original_length: int
+    ) -> bytes:
+        params = self._parameters[object_id]
+        if not shares:
+            raise DecodingError("no shares available")
+        if params.policy is PasisPolicy.REPLICATION:
+            return next(iter(shares.values()))[:original_length]
+        if params.policy is PasisPolicy.ERASURE:
+            code = ReedSolomonCode(params.n, params.threshold)
+            shards = [Shard(index=i, data=p) for i, p in shares.items()]
+            return code.decode(shards, original_length)
+        scheme = ShamirSecretSharing(params.n, params.threshold)
+        share_objs = [
+            Share(scheme="shamir", index=i, payload=p) for i, p in shares.items()
+        ]
+        return scheme.reconstruct(share_objs)[:original_length]
+
+    # -- adversary ------------------------------------------------------------------------------
+
+    def attempt_recovery(
+        self,
+        object_id: str,
+        stolen: dict[int, bytes],
+        timeline: BreakTimeline,
+        epoch: int,
+    ) -> bytes:
+        """Replication/erasure yield plaintext immediately (no
+        confidentiality); Shamir requires a threshold -- and never breaks."""
+        del timeline, epoch
+        receipt = self.receipt(object_id)
+        return self._decode(object_id, stolen, receipt.original_length)

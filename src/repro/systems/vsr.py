@@ -1,0 +1,129 @@
+"""The VSR Archive (Wong, Wang, Wing -- SISW '02).
+
+Paper, Section 3.2: "Wong et al. suggest using a version of proactive secret
+sharing for secure archival with the desirable feature of adding or removing
+shareholders in each share renewal phase."  Table 1: Computational transit /
+ITS at rest / High cost.
+
+The system composes:
+
+- Shamir sharing at rest across independent providers;
+- periodic *verifiable secret redistribution* (not just renewal): each
+  refresh can move to a different (n', t'), onboarding or retiring
+  providers, via :func:`repro.secretsharing.redistribution.redistribute`;
+- old shares are destroyed after redistribution, so a mobile adversary's
+  pre-refresh haul cannot combine with post-refresh shares (different
+  polynomials *and* possibly different thresholds).
+
+Communication accounting from every redistribution is retained so the cost
+benchmark can reproduce "this incurs high communication costs ... may become
+impractical for the same reasons as re-encryption."
+"""
+
+from __future__ import annotations
+
+from repro.crypto.registry import BreakTimeline
+from repro.errors import DecodingError, ParameterError
+from repro.secretsharing.base import Share
+from repro.secretsharing.redistribution import RedistributionReport, redistribute
+from repro.secretsharing.shamir import ShamirSecretSharing
+from repro.systems.base import ArchivalSystem, StoreReceipt
+
+
+class VsrArchive(ArchivalSystem):
+    """Shamir archive with verifiable secret redistribution."""
+
+    name = "VSR Archive"
+    citation = "[67]"
+    at_rest_relies_on = ()
+
+    def __init__(self, nodes, rng, n: int = 5, t: int = 3):
+        super().__init__(nodes, rng)
+        self.scheme = ShamirSecretSharing(n, t)
+        self.redistribution_reports: list[RedistributionReport] = []
+        #: Epoch tag carried by every live share set, bumped per refresh.
+        self.share_generation = 0
+
+    def store(self, object_id: str, data: bytes) -> StoreReceipt:
+        split = self.scheme.split(data, self.rng)
+        payloads = {s.index: s.payload for s in split.shares}
+        placement = self._store_shares(object_id, payloads)
+        receipt = StoreReceipt(
+            object_id=object_id,
+            original_length=len(data),
+            placement=placement,
+            metadata={
+                "n": self.scheme.n,
+                "t": self.scheme.t,
+                "generation": self.share_generation,
+            },
+        )
+        return self._record(receipt)
+
+    def retrieve(self, object_id: str) -> bytes:
+        receipt = self.receipt(object_id)
+        fetched = self._fetch_shares(receipt)
+        shares = [
+            Share(scheme="shamir", index=i, payload=p) for i, p in fetched.items()
+        ]
+        scheme = self._scheme_for(receipt)
+        if len(shares) < scheme.t:
+            raise DecodingError(f"need {scheme.t} shares, have {len(shares)}")
+        return scheme.reconstruct(shares)[: receipt.original_length]
+
+    def _scheme_for(self, receipt: StoreReceipt) -> ShamirSecretSharing:
+        return ShamirSecretSharing(receipt.metadata["n"], receipt.metadata["t"])
+
+    # -- redistribution ------------------------------------------------------------------
+
+    def redistribute_all(self, new_n: int, new_t: int) -> list[RedistributionReport]:
+        """Move every object to a fresh (new_n, new_t) share set.
+
+        The old shares are deleted from the nodes afterwards -- leaving them
+        would hand a mobile adversary a frozen, never-refreshed target.
+        """
+        if not 1 <= new_t <= new_n:
+            raise ParameterError(f"invalid new parameters n={new_n} t={new_t}")
+        new_scheme = ShamirSecretSharing(new_n, new_t)
+        reports = []
+        for object_id in list(self._receipts):
+            receipt = self.receipt(object_id)
+            old_scheme = self._scheme_for(receipt)
+            fetched = self._fetch_shares(receipt)
+            old_shares = [
+                Share(scheme="shamir", index=i, payload=p)
+                for i, p in fetched.items()
+            ]
+            new_split, report = redistribute(
+                old_scheme, old_shares, new_scheme, receipt.original_length, self.rng
+            )
+            reports.append(report)
+
+            self.placement_policy.delete(receipt.placement)
+            payloads = {s.index: s.payload for s in new_split.shares}
+            placement = self._store_shares(object_id, payloads)
+            receipt.placement = placement
+            receipt.metadata.update(
+                {"n": new_n, "t": new_t, "generation": self.share_generation + 1}
+            )
+        self.scheme = new_scheme
+        self.share_generation += 1
+        self.redistribution_reports.extend(reports)
+        return reports
+
+    # -- adversary -----------------------------------------------------------------------
+
+    def attempt_recovery(
+        self,
+        object_id: str,
+        stolen: dict[int, bytes],
+        timeline: BreakTimeline,
+        epoch: int,
+    ) -> bytes:
+        del timeline, epoch
+        receipt = self.receipt(object_id)
+        scheme = self._scheme_for(receipt)
+        shares = [
+            Share(scheme="shamir", index=i, payload=p) for i, p in stolen.items()
+        ]
+        return scheme.reconstruct(shares)[: receipt.original_length]

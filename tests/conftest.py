@@ -1,0 +1,21 @@
+"""Shared fixtures for the repro test suite."""
+
+import pytest
+
+from repro.crypto.drbg import DeterministicRandom
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic RNG per test (same seed, isolated stream)."""
+    return DeterministicRandom(b"test-suite")
+
+
+@pytest.fixture
+def rng_factory():
+    """Factory for independent deterministic RNGs."""
+
+    def make(seed):
+        return DeterministicRandom(seed)
+
+    return make

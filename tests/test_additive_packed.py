@@ -1,0 +1,160 @@
+"""Additive (n-of-n) and packed (Franklin-Yung) secret sharing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.drbg import DeterministicRandom
+from repro.errors import DecodingError, ParameterError
+from repro.secretsharing.additive import AdditiveSecretSharing
+from repro.secretsharing.base import Share
+from repro.secretsharing.packed import PackedSecretSharing
+
+
+class TestAdditive:
+    @given(
+        data=st.binary(min_size=0, max_size=1000),
+        n=st.integers(min_value=2, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip(self, data, n):
+        rng = DeterministicRandom(n)
+        scheme = AdditiveSecretSharing(n)
+        split = scheme.split(data, rng)
+        assert scheme.reconstruct(split) == data
+
+    def test_needs_all_shares(self):
+        rng = DeterministicRandom(0)
+        scheme = AdditiveSecretSharing(3)
+        split = scheme.split(b"all or nothing", rng)
+        with pytest.raises(DecodingError):
+            scheme.reconstruct(list(split.shares)[:2])
+
+    def test_missing_share_reported(self):
+        rng = DeterministicRandom(1)
+        scheme = AdditiveSecretSharing(3)
+        split = scheme.split(b"x", rng)
+        try:
+            scheme.reconstruct([split.shares[0], split.shares[2]])
+        except DecodingError as exc:
+            assert "missing [2]" in str(exc)
+
+    def test_rejects_n_below_two(self):
+        with pytest.raises(ParameterError):
+            AdditiveSecretSharing(1)
+
+    def test_inconsistent_lengths_rejected(self):
+        scheme = AdditiveSecretSharing(2)
+        shares = [
+            Share(scheme="additive", index=1, payload=b"ab"),
+            Share(scheme="additive", index=2, payload=b"abc"),
+        ]
+        with pytest.raises(DecodingError):
+            scheme.reconstruct(shares)
+
+    def test_n_minus_one_shares_uniform(self):
+        scheme = AdditiveSecretSharing(4)
+        means = []
+        for label, secret in ((0, b"\x00" * 128), (1, b"\xff" * 128)):
+            vals = []
+            for trial in range(40):
+                split = scheme.split(secret, DeterministicRandom((label, trial).__repr__()))
+                blob = b"".join(s.payload for s in split.shares[:3])
+                vals.append(np.frombuffer(blob, dtype=np.uint8).mean())
+            means.append(np.mean(vals))
+        assert abs(means[0] - means[1]) < 4.0
+
+    def test_overhead(self):
+        rng = DeterministicRandom(2)
+        split = AdditiveSecretSharing(5).split(b"x" * 100, rng)
+        assert split.storage_overhead == pytest.approx(5.0)
+
+
+class TestPacked:
+    @given(
+        data=st.binary(min_size=1, max_size=1500),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip(self, data, seed):
+        rng = DeterministicRandom(seed)
+        scheme = PackedSecretSharing(n=8, t=2, k=3)
+        split = scheme.split(data, rng)
+        assert scheme.reconstruct(split) == data
+
+    def test_reconstruct_from_any_t_plus_k(self):
+        rng = DeterministicRandom(0)
+        scheme = PackedSecretSharing(n=9, t=3, k=2)
+        data = b"packed sharing economy" * 5
+        split = scheme.split(data, rng)
+        import random
+
+        for trial in range(5):
+            subset = random.Random(trial).sample(list(split.shares), 5)
+            assert scheme.reconstruct(subset, original_length=len(data)) == data
+
+    def test_below_t_plus_k_fails(self):
+        rng = DeterministicRandom(1)
+        scheme = PackedSecretSharing(n=8, t=2, k=3)
+        split = scheme.split(b"not enough", rng)
+        with pytest.raises(DecodingError):
+            scheme.reconstruct(list(split.shares)[:4], original_length=10)
+
+    def test_storage_cheaper_than_shamir(self):
+        """The Figure 1 claim: packed overhead ~ n/k < n."""
+        rng = DeterministicRandom(2)
+        scheme = PackedSecretSharing(n=8, t=2, k=4)
+        split = scheme.split(b"z" * 4096, rng)
+        assert split.storage_overhead == pytest.approx(2.0, rel=0.01)
+        assert scheme.storage_overhead == pytest.approx(2.0)
+
+    def test_parameters_validated(self):
+        with pytest.raises(ParameterError):
+            PackedSecretSharing(n=4, t=3, k=3)  # n < t + k
+        with pytest.raises(ParameterError):
+            PackedSecretSharing(n=254, t=1, k=3)  # n + k > 255
+        with pytest.raises(ParameterError):
+            PackedSecretSharing(n=5, t=0, k=2)
+
+    def test_secret_points_disjoint_from_share_points(self):
+        scheme = PackedSecretSharing(n=10, t=3, k=4)
+        assert not set(scheme.secret_points) & set(scheme.share_points)
+
+    def test_raw_shares_need_length(self):
+        rng = DeterministicRandom(3)
+        scheme = PackedSecretSharing(n=6, t=2, k=2)
+        split = scheme.split(b"len required", rng)
+        with pytest.raises(ParameterError):
+            scheme.reconstruct(list(split.shares))
+
+    def test_t_shares_statistically_uniform(self):
+        """Privacy threshold: any t shares reveal nothing (mean test)."""
+        scheme = PackedSecretSharing(n=7, t=2, k=3)
+        means = []
+        for label, secret in ((0, b"\x00" * 120), (1, b"\xff" * 120)):
+            vals = []
+            for trial in range(40):
+                split = scheme.split(secret, DeterministicRandom(f"p{label}-{trial}"))
+                blob = split.shares[3].payload + split.shares[5].payload
+                vals.append(np.frombuffer(blob, dtype=np.uint8).mean())
+            means.append(np.mean(vals))
+        assert abs(means[0] - means[1]) < 5.0
+
+    def test_reconstruction_threshold_property(self):
+        scheme = PackedSecretSharing(n=9, t=4, k=3)
+        assert scheme.reconstruction_threshold == 7
+
+    def test_duplicate_share_indices_ignored(self):
+        rng = DeterministicRandom(4)
+        scheme = PackedSecretSharing(n=6, t=2, k=2)
+        data = b"duplicates"
+        split = scheme.split(data, rng)
+        shares = list(split.shares) + [split.shares[0]]
+        assert scheme.reconstruct(shares, original_length=len(data)) == data
+
+    def test_invalid_index_rejected(self):
+        scheme = PackedSecretSharing(n=6, t=2, k=2)
+        bogus = Share(scheme="packed", index=200, payload=b"xx")
+        with pytest.raises(DecodingError):
+            scheme.reconstruct([bogus] * 4, original_length=2)

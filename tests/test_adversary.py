@@ -1,0 +1,149 @@
+"""Adversary models, the mobile adversary, and the HNDL harness."""
+
+import pytest
+
+from repro.adversary.harvest import HarvestingAdversary
+from repro.adversary.mobile import MobileAdversary, run_mobile_campaign
+from repro.adversary.model import STANDARD_MODELS, AdversaryModel, ComputePower
+from repro.crypto.drbg import DeterministicRandom
+from repro.crypto.registry import BreakTimeline, global_registry
+from repro.errors import AdversaryError, StillSecureError
+from repro.secretsharing.proactive import ProactiveShareGroup
+from repro.secretsharing.shamir import ShamirSecretSharing
+
+
+@pytest.fixture
+def timeline():
+    tl = BreakTimeline()
+    tl.schedule_break("aes-256-ctr", 10)
+    return tl
+
+
+class TestAdversaryModel:
+    def test_unbounded_defeats_computational(self, timeline):
+        unbounded = STANDARD_MODELS["unbounded"]
+        aes = global_registry().get("aes-256-ctr")
+        assert unbounded.can_defeat(aes, timeline, epoch=0)
+
+    def test_nothing_defeats_information_theoretic(self, timeline):
+        shamir = global_registry().get("shamir")
+        for model in STANDARD_MODELS.values():
+            assert not model.can_defeat(shamir, timeline, epoch=10**9)
+
+    def test_ppt_needs_the_break(self, timeline):
+        ppt = STANDARD_MODELS["ppt-mobile"]
+        aes = global_registry().get("aes-256-ctr")
+        assert not ppt.can_defeat(aes, timeline, epoch=9)
+        assert ppt.can_defeat(aes, timeline, epoch=10)
+
+    def test_time_indexed_tracks_timeline(self, timeline):
+        model = STANDARD_MODELS["time-indexed-mobile"]
+        aes = global_registry().get("aes-256-ctr")
+        assert [model.can_defeat(aes, timeline, e) for e in (5, 15)] == [False, True]
+
+    def test_budget_validated(self):
+        with pytest.raises(Exception):
+            AdversaryModel(name="bad", power=ComputePower.PPT, corruption_budget=-1)
+
+
+def make_group(n=5, t=3, secret=None):
+    rng = DeterministicRandom(b"mobile-test")
+    scheme = ShamirSecretSharing(n, t)
+    secret = secret or DeterministicRandom(b"the-secret").bytes(128)
+    return scheme, secret, ProactiveShareGroup(scheme, scheme.split(secret, rng)), rng
+
+
+class TestMobileAdversary:
+    def test_no_renewal_compromise_at_ceil_t_over_b(self):
+        scheme, secret, group, rng = make_group()
+        adversary = MobileAdversary(budget=1, rng=DeterministicRandom(0))
+        outcome = run_mobile_campaign(group, adversary, epochs=10, renew_every=None, rng=rng)
+        assert outcome.compromised and outcome.compromise_epoch == 3
+        assert outcome.recovered_secret == secret
+
+    def test_bigger_budget_compromises_faster(self):
+        scheme, secret, group, rng = make_group()
+        adversary = MobileAdversary(budget=3, rng=DeterministicRandom(1))
+        outcome = run_mobile_campaign(group, adversary, epochs=10, renew_every=None, rng=rng)
+        assert outcome.compromise_epoch == 1
+
+    def test_per_epoch_renewal_defeats_below_threshold_budget(self):
+        scheme, secret, group, rng = make_group()
+        adversary = MobileAdversary(budget=2, rng=DeterministicRandom(2))
+        outcome = run_mobile_campaign(group, adversary, epochs=25, renew_every=1, rng=rng)
+        assert not outcome.compromised
+        assert outcome.shares_stolen == 50  # kept harvesting, gained nothing
+
+    def test_budget_at_threshold_wins_despite_renewal(self):
+        scheme, secret, group, rng = make_group()
+        adversary = MobileAdversary(budget=3, rng=DeterministicRandom(3))
+        outcome = run_mobile_campaign(group, adversary, epochs=5, renew_every=1, rng=rng)
+        assert outcome.compromised and outcome.recovered_secret == secret
+
+    def test_slow_renewal_cadence_loses(self):
+        """Renewing every 3 epochs against a 1-per-epoch thief of t=3: the
+        adversary wins within a renewal period."""
+        scheme, secret, group, rng = make_group()
+        adversary = MobileAdversary(budget=1, rng=DeterministicRandom(4))
+        outcome = run_mobile_campaign(group, adversary, epochs=12, renew_every=3, rng=rng)
+        assert outcome.compromised
+
+    def test_same_epoch_haul_tracking(self):
+        scheme, secret, group, rng = make_group()
+        adversary = MobileAdversary(budget=2, rng=DeterministicRandom(5))
+        adversary.corrupt_epoch(group)
+        haul = adversary.same_epoch_haul()
+        assert haul == {0: {1, 2}}
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(AdversaryError):
+            MobileAdversary(budget=-1, rng=DeterministicRandom(0))
+
+
+class TestHarvestingAdversary:
+    def test_harvest_then_decrypt_later(self, timeline):
+        adversary = HarvestingAdversary(timeline=timeline)
+
+        def attempt(tl, epoch):
+            if not tl.is_broken("aes-256-ctr", epoch):
+                raise StillSecureError("aes holds")
+            return b"the plaintext"
+
+        adversary.harvest("cloud-object", epoch=0, attempt=attempt)
+        outcomes_early = adversary.attempt_all(epoch=5)
+        assert not outcomes_early[0].success
+        assert "StillSecureError" in outcomes_early[0].failure_reason
+        outcomes_late = adversary.attempt_all(epoch=15)
+        assert outcomes_late[0].success
+        assert outcomes_late[0].recovered == b"the plaintext"
+
+    def test_first_success_epoch(self, timeline):
+        adversary = HarvestingAdversary(timeline=timeline)
+
+        def attempt(tl, epoch):
+            if not tl.is_broken("aes-256-ctr", epoch):
+                raise StillSecureError("nope")
+            return b"x"
+
+        adversary.harvest("item", 0, attempt)
+        assert adversary.first_success_epoch("item", horizon=50) == 10
+
+    def test_its_item_never_succeeds(self, timeline):
+        adversary = HarvestingAdversary(timeline=timeline)
+
+        def attempt(tl, epoch):
+            raise StillSecureError("information-theoretic: never")
+
+        adversary.harvest("shamir-shares", 0, attempt)
+        assert adversary.first_success_epoch("shamir-shares", horizon=100) is None
+
+    def test_successes_filter(self, timeline):
+        adversary = HarvestingAdversary(timeline=timeline)
+        adversary.harvest("always", 0, lambda tl, e: b"free")
+
+        def never(tl, e):
+            raise StillSecureError("no")
+
+        adversary.harvest("never", 0, never)
+        wins = adversary.successes(epoch=0)
+        assert [w.label for w in wins] == ["always"]

@@ -1,0 +1,216 @@
+"""The policy advisor and proactive renewal for packed sharing."""
+
+import numpy as np
+import pytest
+
+from repro.core.advisor import Requirements, recommend
+from repro.core.policy import ConfidentialityTarget
+from repro.crypto.drbg import DeterministicRandom
+from repro.errors import ParameterError
+from repro.secretsharing.base import Share
+from repro.secretsharing.packed import PackedSecretSharing
+
+
+class TestAdvisor:
+    def test_short_horizon_gets_aont_rs(self):
+        rec = recommend(
+            Requirements(
+                confidentiality_years=10,
+                max_storage_overhead=2.0,
+                min_loss_tolerance=2,
+                providers=6,
+            )
+        )
+        assert rec.feasible
+        assert rec.policy.target is ConfidentialityTarget.COMPUTATIONAL
+        assert rec.policy.n == 6 and rec.policy.t == 4
+
+    def test_century_horizon_gets_its(self):
+        rec = recommend(
+            Requirements(
+                confidentiality_years=100,
+                max_storage_overhead=6.0,
+                providers=5,
+            )
+        )
+        assert rec.feasible
+        assert rec.policy.target is ConfidentialityTarget.LONG_TERM
+        assert "obsolescence" in rec.explain()
+
+    def test_tight_budget_century_gets_packed(self):
+        rec = recommend(
+            Requirements(
+                confidentiality_years=100,
+                max_storage_overhead=4.0,
+                min_loss_tolerance=1,
+                providers=8,
+            )
+        )
+        assert rec.feasible
+        assert rec.policy.target is ConfidentialityTarget.LONG_TERM_ECONOMY
+        assert rec.policy.pack_width >= 2
+
+    def test_impossible_budget_reports_conflict(self):
+        """The paper's trade-off, hit exactly: century confidentiality at
+        replication-free cost does not exist."""
+        rec = recommend(
+            Requirements(
+                confidentiality_years=100,
+                max_storage_overhead=1.2,
+                providers=6,
+            )
+        )
+        assert not rec.feasible
+        assert rec.conflicts
+        assert "intractable" in rec.explain()
+
+    def test_leakage_requirement_gets_lrss(self):
+        rec = recommend(
+            Requirements(
+                confidentiality_years=100,
+                max_storage_overhead=8.0,
+                providers=5,
+                leakage_resilience=True,
+            )
+        )
+        assert rec.feasible
+        assert rec.policy.target is ConfidentialityTarget.LONG_TERM_LEAKAGE_HARDENED
+
+    def test_leakage_with_tight_budget_conflicts(self):
+        rec = recommend(
+            Requirements(
+                confidentiality_years=100,
+                max_storage_overhead=3.0,
+                providers=5,
+                leakage_resilience=True,
+            )
+        )
+        assert not rec.feasible
+
+    def test_computational_budget_conflict(self):
+        rec = recommend(
+            Requirements(
+                confidentiality_years=5,
+                max_storage_overhead=1.05,
+                min_loss_tolerance=3,
+                providers=6,
+            )
+        )
+        assert not rec.feasible  # n/k = 2.0 > 1.05
+
+    def test_requirements_validated(self):
+        with pytest.raises(ParameterError):
+            Requirements(confidentiality_years=0, max_storage_overhead=2)
+        with pytest.raises(ParameterError):
+            Requirements(confidentiality_years=1, max_storage_overhead=0.5)
+        with pytest.raises(ParameterError):
+            Requirements(
+                confidentiality_years=1, max_storage_overhead=2, providers=1
+            )
+        with pytest.raises(ParameterError):
+            Requirements(
+                confidentiality_years=1,
+                max_storage_overhead=2,
+                providers=4,
+                min_loss_tolerance=4,
+            )
+
+    def test_recommended_policies_actually_work(self):
+        """End-to-end sanity: every feasible recommendation builds a
+        working archive within its own promises."""
+        from repro import SecureArchive, make_node_fleet
+
+        cases = [
+            Requirements(confidentiality_years=10, max_storage_overhead=2.0, providers=6),
+            Requirements(confidentiality_years=100, max_storage_overhead=6.0, providers=5),
+            Requirements(confidentiality_years=100, max_storage_overhead=4.0, providers=8),
+        ]
+        data = DeterministicRandom(b"advisor").bytes(3000)
+        for i, requirements in enumerate(cases):
+            rec = recommend(requirements)
+            assert rec.feasible
+            archive = SecureArchive(
+                rec.policy, make_node_fleet(requirements.providers + 2),
+                DeterministicRandom(i),
+            )
+            archive.store("doc", data)
+            assert archive.retrieve("doc") == data
+            assert (
+                archive.storage_overhead()
+                <= requirements.max_storage_overhead * 1.1 + 0.1
+            )
+
+
+class TestPackedRenewal:
+    def make(self):
+        return PackedSecretSharing(n=8, t=2, k=3)
+
+    def test_delta_vanishes_at_all_secret_points(self):
+        scheme = self.make()
+        rng = DeterministicRandom(0)
+        delta_rows = scheme.renewal_delta_rows(16, rng)
+        from repro.gmath.gf256 import GF256
+
+        for secret_point in scheme.secret_points:
+            value = GF256.poly_eval_vec(delta_rows, secret_point)
+            assert not value.any(), f"delta does not vanish at {secret_point}"
+
+    def test_delta_degree_matches_scheme(self):
+        scheme = self.make()
+        delta_rows = scheme.renewal_delta_rows(4, DeterministicRandom(1))
+        assert len(delta_rows) == scheme.t + scheme.k  # degree t+k-1
+
+    def test_renewal_preserves_all_secrets(self):
+        scheme = self.make()
+        rng = DeterministicRandom(2)
+        data = rng.bytes(300)
+        split = scheme.split(data, rng)
+        delta_rows = scheme.renewal_delta_rows(len(split.shares[0].payload), rng)
+        renewed = [
+            Share(
+                scheme="packed",
+                index=s.index,
+                payload=(
+                    np.frombuffer(s.payload, dtype=np.uint8)
+                    ^ scheme.evaluate_delta(delta_rows, s.index)
+                ).tobytes(),
+            )
+            for s in split.shares
+        ]
+        assert scheme.reconstruct(renewed, original_length=len(data)) == data
+
+    def test_renewal_changes_shares(self):
+        scheme = self.make()
+        rng = DeterministicRandom(3)
+        split = scheme.split(b"refresh packed" * 10, rng)
+        delta_rows = scheme.renewal_delta_rows(len(split.shares[0].payload), rng)
+        delta_at_1 = scheme.evaluate_delta(delta_rows, 1)
+        assert delta_at_1.any(), "delta must actually perturb shares"
+
+    def test_mixed_generations_do_not_combine(self):
+        scheme = self.make()
+        rng = DeterministicRandom(4)
+        data = rng.bytes(64)
+        split = scheme.split(data, rng)
+        delta_rows = scheme.renewal_delta_rows(len(split.shares[0].payload), rng)
+        renewed = []
+        for s in split.shares:
+            renewed.append(
+                Share(
+                    scheme="packed",
+                    index=s.index,
+                    payload=(
+                        np.frombuffer(s.payload, dtype=np.uint8)
+                        ^ scheme.evaluate_delta(delta_rows, s.index)
+                    ).tobytes(),
+                )
+            )
+        mixed = list(split.shares)[:3] + renewed[3:5]
+        recovered = scheme.reconstruct(mixed, original_length=len(data))
+        assert recovered != data
+
+    def test_evaluate_delta_rejects_foreign_point(self):
+        scheme = self.make()
+        delta_rows = scheme.renewal_delta_rows(4, DeterministicRandom(5))
+        with pytest.raises(ParameterError):
+            scheme.evaluate_delta(delta_rows, 255)

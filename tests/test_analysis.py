@@ -1,0 +1,107 @@
+"""The artifact generators: Figure 1, Table 1, the Section 3.2 table."""
+
+import pytest
+
+from repro.analysis.figure1 import generate_figure1
+from repro.analysis.reencryption_table import generate_reencryption_table
+from repro.analysis.report import render_table
+from repro.analysis.table1 import PAPER_TABLE1, generate_table1
+from repro.errors import ParameterError
+
+
+class TestReport:
+    def test_render_basic(self):
+        out = render_table(["A", "B"], [[1, 2.5], ["x", "y"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "2.50" in out and "x" in out
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ParameterError):
+            render_table(["A"], [[1, 2]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ParameterError):
+            render_table([], [])
+
+    def test_no_rows_ok(self):
+        out = render_table(["A", "B"], [])
+        assert "A" in out
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return generate_figure1(object_size=1 << 12)
+
+    def test_shape_holds(self, result):
+        assert result.shape_holds, result.assertions
+
+    def test_eight_encodings(self, result):
+        assert len(result.points) == 8
+
+    def test_render_contains_smiley_note(self, result):
+        assert ":)" in result.render()
+
+    def test_every_assertion_listed_in_render(self, result):
+        rendered = result.render()
+        for name in result.assertions:
+            assert name in rendered
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return generate_table1(object_size=2048, objects=2)
+
+    def test_all_eight_systems_measured(self, result):
+        assert {row.system for row in result.rows} == set(PAPER_TABLE1)
+
+    def test_every_row_matches_paper(self, result):
+        assert result.all_match, result.matches
+
+    def test_its_systems_cost_more(self, result):
+        by_name = {row.system: row for row in result.rows}
+        assert (
+            by_name["POTSHARDS"].storage_overhead
+            > by_name["AONT-RS"].storage_overhead
+        )
+        assert (
+            by_name["LINCOS"].storage_overhead
+            > by_name["AWS/Azure/Google Cloud"].storage_overhead
+        )
+
+    def test_render(self, result):
+        rendered = result.render()
+        assert "LINCOS" in rendered and "MISMATCH" not in rendered
+
+
+class TestReencryptionTable:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return generate_reencryption_table()
+
+    def test_shape_holds(self, result):
+        assert result.shape_holds
+
+    def test_paper_numbers_within_5_percent(self, result):
+        for row in result.rows:
+            assert row.relative_error_vs_paper < 0.05, row.archive.name
+
+    def test_simulation_cross_check(self, result):
+        for row in result.rows:
+            assert row.sim_matches_model, row.archive.name
+
+    def test_total_is_4x_read(self, result):
+        for row in result.rows:
+            assert row.model_total_months == pytest.approx(
+                row.model_read_months * 4, rel=1e-6
+            )
+
+    def test_extrapolation_many_years(self, result):
+        assert result.extrapolation_years_10eb > 10
+
+    def test_render_mentions_all_archives(self, result):
+        rendered = result.render()
+        for row in result.rows:
+            assert row.archive.name in rendered

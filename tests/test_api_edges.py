@@ -1,0 +1,117 @@
+"""Direct tests for small public APIs exercised only indirectly elsewhere."""
+
+import pytest
+
+from repro.crypto.drbg import DeterministicRandom
+from repro.crypto.registry import BreakTimeline
+from repro.errors import ParameterError
+from repro.security import StorageCostBand
+from repro.storage.archive_model import PAPER_ARCHIVES
+from repro.storage.media import MEDIA_CATALOG
+from repro.storage.node import make_node_fleet
+from repro.storage.simulator import simulate_reencryption
+from repro.systems import ArchiveSafeLT, CloudProviderArchive
+
+
+class TestStorageCostBand:
+    @pytest.mark.parametrize(
+        "ratio,expected",
+        [
+            (0.0, StorageCostBand.LOW),
+            (1.0, StorageCostBand.LOW),
+            (2.49, StorageCostBand.LOW),
+            (2.5, StorageCostBand.HIGH),
+            (10.0, StorageCostBand.HIGH),
+        ],
+    )
+    def test_classify_overhead(self, ratio, expected):
+        assert StorageCostBand.classify_overhead(ratio) is expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            StorageCostBand.classify_overhead(-0.1)
+
+
+class TestSimulatorAccessors:
+    def test_vulnerable_fraction_at(self):
+        sim = simulate_reencryption(PAPER_ARCHIVES[3], record_every=1)
+        assert sim.vulnerable_fraction_at(0) > 0.9
+        assert sim.vulnerable_fraction_at(10**9) == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_timeline_rejected(self):
+        sim = simulate_reencryption(PAPER_ARCHIVES[3], record_every=1)
+        sim.timeline = []
+        with pytest.raises(ParameterError):
+            sim.vulnerable_fraction_at(0)
+
+
+class TestMediaTco:
+    def test_total_cost_components(self):
+        tape = MEDIA_CATALOG["tape"]
+        # 100y: 1 + 6 refresh acquisitions at $5 + $0.5/yr upkeep.
+        assert tape.total_cost_usd_per_tb(100) == pytest.approx(7 * 5 + 50)
+
+    def test_no_refresh_within_lifetime(self):
+        glass = MEDIA_CATALOG["glass"]
+        assert glass.total_cost_usd_per_tb(100) == pytest.approx(40 + 5)
+
+
+class TestAuditorAlias:
+    def test_audit_renewal_cadence_delegates(self):
+        from repro.integrity.auditor import ChainAuditor
+        from repro.integrity.timestamp import RsaChainSigner, TimestampAuthority, TimestampChain
+
+        rng = DeterministicRandom(0)
+        signer = RsaChainSigner(rng)
+        chain = TimestampChain()
+        TimestampAuthority(signer).timestamp_document(chain, b"doc", epoch=0)
+        auditor = ChainAuditor({})
+        auditor.register(signer)
+        timeline = BreakTimeline()
+        assert (
+            auditor.audit_renewal_cadence(chain, timeline, 1).valid
+            == auditor.audit(chain, timeline, 1).valid
+        )
+
+
+class TestRenewalReportAccessor:
+    def test_bytes_per_shareholder(self):
+        from repro.secretsharing.proactive import ProactiveShareGroup
+        from repro.secretsharing.shamir import ShamirSecretSharing
+
+        rng = DeterministicRandom(1)
+        scheme = ShamirSecretSharing(4, 2)
+        group = ProactiveShareGroup(scheme, scheme.split(b"x" * 100, rng))
+        report = group.renew(rng)
+        assert report.bytes_per_shareholder == pytest.approx(report.bytes_sent / 4)
+
+
+class TestSystemBreakableHelpers:
+    def test_at_rest_breakable(self):
+        system = CloudProviderArchive(
+            make_node_fleet(2, providers=["aws"]), DeterministicRandom(2)
+        )
+        timeline = BreakTimeline()
+        assert not system.at_rest_breakable(timeline, 100)
+        timeline.schedule_break("aes-256-ctr", 10)
+        assert system.at_rest_breakable(timeline, 10)
+        assert not system.at_rest_breakable(timeline, 9)
+
+    def test_unbroken_layer_count(self):
+        system = ArchiveSafeLT(
+            make_node_fleet(2, providers=["org"]), DeterministicRandom(3)
+        )
+        system.store("doc", b"layers")
+        timeline = BreakTimeline()
+        assert system.unbroken_layer_count("doc", timeline, 0) == 2
+        timeline.schedule_break("chacha20", 5)
+        assert system.unbroken_layer_count("doc", timeline, 5) == 1
+
+
+class TestVssZeroSecretHelper:
+    def test_verify_zero_secret_shape(self):
+        from repro.secretsharing.verifiable import PedersenVSS
+
+        vss = PedersenVSS(3, 2)
+        deal = vss.deal(0, DeterministicRandom(4), zero_secret=True)
+        assert vss.verify_zero_secret(deal.commitments)

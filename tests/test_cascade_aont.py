@@ -1,0 +1,162 @@
+"""Cascade ciphers (robust combiner) and the all-or-nothing transform."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AesCtrCipher
+from repro.crypto.aont import (
+    aont_break_open,
+    aont_package,
+    aont_package_weak,
+    aont_unpackage,
+)
+from repro.crypto.cascade import CascadeCipher, CascadeLayer
+from repro.crypto.chacha20 import ChaCha20Cipher
+from repro.crypto.drbg import DeterministicRandom
+from repro.crypto.feistel import LegacyFeistelCipher
+from repro.crypto.registry import BreakTimeline
+from repro.errors import IntegrityError, ParameterError
+
+
+def make_cascade():
+    return CascadeCipher(
+        [
+            CascadeLayer(AesCtrCipher(), b"\x01" * 12),
+            CascadeLayer(ChaCha20Cipher(), b"\x02" * 12),
+        ]
+    )
+
+
+def make_keys():
+    return [b"\xaa" * 32, b"\xbb" * 32]
+
+
+class TestCascade:
+    @given(st.binary(min_size=0, max_size=2000))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip(self, data):
+        cascade = make_cascade()
+        keys = make_keys()
+        assert cascade.decrypt(keys, cascade.encrypt(keys, data)) == data
+
+    def test_name_and_depth(self):
+        cascade = make_cascade()
+        assert cascade.depth == 2
+        assert cascade.name == "cascade(aes-256-ctr+chacha20)"
+
+    def test_requires_one_key_per_layer(self):
+        with pytest.raises(ParameterError):
+            make_cascade().encrypt([b"\xaa" * 32], b"data")
+
+    def test_rejects_duplicate_keys(self):
+        with pytest.raises(ParameterError):
+            make_cascade().encrypt([b"\xaa" * 32, b"\xaa" * 32], b"data")
+
+    def test_rejects_wrong_key_sizes(self):
+        with pytest.raises(ParameterError):
+            make_cascade().encrypt([b"\xaa" * 16, b"\xbb" * 32], b"data")
+
+    def test_rejects_empty_cascade(self):
+        with pytest.raises(ParameterError):
+            CascadeCipher([])
+
+    def test_nonce_size_checked_at_layer_construction(self):
+        with pytest.raises(ParameterError):
+            CascadeLayer(AesCtrCipher(), b"\x01" * 8)
+
+    def test_secure_while_any_layer_holds(self):
+        cascade = make_cascade()
+        timeline = BreakTimeline()
+        assert cascade.confidential_against(timeline, 100)
+        timeline.schedule_break("aes-256-ctr", 10)
+        assert cascade.confidential_against(timeline, 50)
+        assert cascade.unbroken_layers(timeline, 50) == ["chacha20"]
+        timeline.schedule_break("chacha20", 60)
+        assert not cascade.confidential_against(timeline, 60)
+
+    def test_wrapping_extends_depth_and_roundtrips(self):
+        cascade = make_cascade()
+        wrapped = cascade.wrapped(CascadeLayer(ChaCha20Cipher(), b"\x03" * 12))
+        assert wrapped.depth == 3
+        keys = make_keys() + [b"\xcc" * 32]
+        data = b"wrap survives roundtrip"
+        assert wrapped.decrypt(keys, wrapped.encrypt(keys, data)) == data
+
+    def test_wrapping_decrypts_old_ciphertext(self):
+        cascade = make_cascade()
+        keys = make_keys()
+        old_ct = cascade.encrypt(keys, b"old data")
+        wrapped = cascade.wrapped(CascadeLayer(ChaCha20Cipher(), b"\x03" * 12))
+        new_key = b"\xcc" * 32
+        new_ct = ChaCha20Cipher().encrypt(new_key, b"\x03" * 12, old_ct)
+        assert wrapped.decrypt(keys + [new_key], new_ct) == b"old data"
+
+    def test_maurer_massey_anchor_is_first_layer(self):
+        assert make_cascade().chosen_plaintext_anchor() == "aes-256-ctr"
+
+    def test_cascade_with_broken_member_still_roundtrips(self):
+        cascade = CascadeCipher(
+            [
+                CascadeLayer(LegacyFeistelCipher(), b"\x00" * 12),
+                CascadeLayer(AesCtrCipher(), b"\x01" * 12),
+            ]
+        )
+        keys = [b"\x0f" * 16, b"\xaa" * 32]
+        assert cascade.decrypt(keys, cascade.encrypt(keys, b"x" * 99)) == b"x" * 99
+
+
+class TestAont:
+    @given(st.binary(min_size=0, max_size=3000))
+    @settings(max_examples=25, deadline=None)
+    def test_package_roundtrip(self, data):
+        rng = DeterministicRandom(b"aont")
+        assert aont_unpackage(aont_package(data, rng)) == data
+
+    def test_package_size_is_data_plus_key(self):
+        rng = DeterministicRandom(0)
+        assert len(aont_package(b"\x00" * 100, rng)) == 132
+
+    def test_fresh_key_each_package(self):
+        rng = DeterministicRandom(0)
+        a = aont_package(b"same data", rng)
+        b = aont_package(b"same data", rng)
+        assert a != b
+
+    def test_tampering_final_block_breaks_recovery(self):
+        rng = DeterministicRandom(1)
+        package = bytearray(aont_package(b"sensitive", rng))
+        package[-1] ^= 1
+        assert aont_unpackage(bytes(package)) != b"sensitive"
+
+    def test_tampering_body_breaks_recovery(self):
+        rng = DeterministicRandom(2)
+        data = b"sensitive" * 10
+        package = bytearray(aont_package(data, rng))
+        package[0] ^= 1
+        recovered = aont_unpackage(bytes(package))
+        # The digest changes, so the derived key changes, so nothing matches.
+        assert recovered[1:] != data[1:]
+
+    def test_short_package_rejected(self):
+        with pytest.raises(ParameterError):
+            aont_unpackage(b"short")
+
+    def test_weak_package_break_open(self):
+        """The paper's post-break scenario: with the cipher broken, the body
+        alone (no embedded-key block) yields the plaintext."""
+        rng = DeterministicRandom(3)
+        data = b"archived secret, harvested in 2030" * 4
+        package = aont_package_weak(data, rng)
+        recovered = aont_break_open(package, known_prefix=data[:8])
+        assert recovered == data
+
+    def test_break_open_needs_known_prefix(self):
+        with pytest.raises(ParameterError):
+            aont_break_open(b"\x00" * 64, known_prefix=b"abc")
+
+    def test_break_open_wrong_prefix_fails(self):
+        rng = DeterministicRandom(4)
+        package = aont_package_weak(b"real plaintext here!", rng)
+        with pytest.raises(IntegrityError):
+            aont_break_open(package, known_prefix=b"WRONGGG!")

@@ -1,0 +1,142 @@
+"""The rate-bounded computation model and derived break timelines."""
+
+import math
+
+import pytest
+
+from repro.adversary.computation import (
+    DEFAULT_STRENGTHS,
+    ComputeBudget,
+    bits_needed_for_horizon,
+    derive_timeline,
+)
+from repro.errors import ParameterError
+
+
+class TestComputeBudget:
+    def test_cumulative_flat(self):
+        budget = ComputeBudget(1000, growth_per_epoch=1.0)
+        assert budget.cumulative_guesses(0) == 0
+        assert budget.cumulative_guesses(5) == 5000
+
+    def test_cumulative_growing(self):
+        budget = ComputeBudget(100, growth_per_epoch=2.0)
+        # 100 + 200 + 400 = 700 by end of epoch 3.
+        assert budget.cumulative_guesses(3) == pytest.approx(700)
+
+    def test_epochs_to_break_flat(self):
+        budget = ComputeBudget(2**10, growth_per_epoch=1.0)
+        assert budget.epochs_to_break(10) == 1
+        assert budget.epochs_to_break(12) == 4
+
+    def test_epochs_to_break_growing(self):
+        budget = ComputeBudget(2**10, growth_per_epoch=2.0)
+        epoch = budget.epochs_to_break(20)
+        # Verify against the cumulative sum directly.
+        assert budget.cumulative_guesses(epoch) >= 2**20
+        assert budget.cumulative_guesses(epoch - 1) < 2**20
+
+    def test_strong_primitives_outlive_bounded_horizons(self):
+        budget = ComputeBudget(2**40, growth_per_epoch=1.41)
+        assert budget.epochs_to_break(256, max_epochs=200) is None
+        # ...but exponential growth gets there eventually -- the paper's
+        # obsolescence argument falling out of the arithmetic (~434 epochs
+        # at half a bit of adversary growth per epoch).
+        eventually = budget.epochs_to_break(256, max_epochs=10_000)
+        assert eventually is not None and 400 < eventually < 500
+
+    def test_growth_dominates_budget(self):
+        """The Buldas-style sequence: a 2x-growth adversary with a tiny
+        start overtakes a flat adversary with a huge start."""
+        small_growing = ComputeBudget(2**10, growth_per_epoch=2.0)
+        big_flat = ComputeBudget(2**40, growth_per_epoch=1.0)
+        target_bits = 64
+        growing_epoch = small_growing.epochs_to_break(target_bits)
+        flat_epoch = big_flat.epochs_to_break(target_bits, max_epochs=10**9)
+        assert growing_epoch < flat_epoch
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ComputeBudget(0)
+        with pytest.raises(ParameterError):
+            ComputeBudget(10, growth_per_epoch=0.5)
+        with pytest.raises(ParameterError):
+            ComputeBudget(10).epochs_to_break(-1)
+
+
+class TestDerivedTimeline:
+    @pytest.fixture(scope="class")
+    def timeline(self):
+        # A serious adversary: 2^50 guesses in year one, doubling every
+        # other year, watched over a 200-year horizon.
+        return derive_timeline(
+            ComputeBudget(2**50, growth_per_epoch=1.41), horizon_epochs=200
+        )
+
+    def test_weak_primitives_fall_fast(self, timeline):
+        assert timeline.break_epoch("toy-rsa") == 1
+        assert timeline.break_epoch("toy-dh") <= 30  # 64-bit: within decades
+
+    def test_mid_strength_fall_later(self, timeline):
+        sha_epoch = timeline.break_epoch("sha256")  # 128-bit collision
+        assert sha_epoch is not None
+        assert 100 < sha_epoch <= 200
+
+    def test_256_bit_primitives_survive_horizon(self, timeline):
+        assert timeline.break_epoch("aes-256-ctr") is None
+        assert timeline.break_epoch("chacha20") is None
+
+    def test_its_primitives_never_scheduled(self, timeline):
+        assert timeline.break_epoch("shamir") is None
+        assert timeline.break_epoch("one-time-pad") is None
+        assert not timeline.is_broken("shamir", 10**6)
+
+    def test_historically_broken_stay_broken(self, timeline):
+        assert timeline.is_broken("md5", 0)
+        assert timeline.is_broken("legacy-feistel", 0)
+
+    def test_ordering_follows_strength(self, timeline):
+        """Weaker primitives never outlive stronger ones."""
+        epochs = {}
+        for name in ("toy-rsa", "toy-dh", "sha256"):
+            epochs[name] = timeline.break_epoch(name)
+        assert epochs["toy-rsa"] <= epochs["toy-dh"] <= epochs["sha256"]
+
+
+class TestDesignInverse:
+    def test_bits_needed_grows_with_horizon(self):
+        budget = ComputeBudget(2**50, growth_per_epoch=1.41)
+        short = bits_needed_for_horizon(budget, 10)
+        long = bits_needed_for_horizon(budget, 100)
+        assert long > short
+
+    def test_round_trip_with_epochs_to_break(self):
+        budget = ComputeBudget(2**30, growth_per_epoch=1.5)
+        horizon = 50
+        bits = bits_needed_for_horizon(budget, horizon)
+        # A primitive at exactly that strength falls no earlier than the
+        # horizon's end...
+        assert budget.epochs_to_break(bits, max_epochs=10**6) >= horizon
+        # ...and one a few bits weaker falls within it.
+        assert budget.epochs_to_break(bits - 4, max_epochs=10**6) <= horizon
+
+    def test_margin_added(self):
+        budget = ComputeBudget(2**30)
+        base = bits_needed_for_horizon(budget, 10)
+        assert bits_needed_for_horizon(budget, 10, margin_bits=32) == base + 32
+
+    def test_horizon_validated(self):
+        with pytest.raises(ParameterError):
+            bits_needed_for_horizon(ComputeBudget(10), 0)
+
+    def test_century_design_point(self):
+        """The archival design fact the model surfaces: against a doubling-
+        every-two-epochs adversary starting at 2^60, a century horizon
+        needs ~110+ bits -- comfortably inside AES-256, far outside any
+        64-bit legacy scheme.  (The paper's point is that this calculation
+        can still be invalidated overnight by a shortcut.)"""
+        budget = ComputeBudget(2**60, growth_per_epoch=1.41)
+        needed = bits_needed_for_horizon(budget, 100)
+        assert 100 < needed < 130
+        assert DEFAULT_STRENGTHS["aes-256-ctr"] > needed
+        assert DEFAULT_STRENGTHS["toy-dh"] < needed

@@ -1,0 +1,327 @@
+"""Core: classifier, trade-off analyzer, key manager, scheduler, planner,
+policies, and the SecureArchive facade."""
+
+import pytest
+
+from repro.core import (
+    ArchivePolicy,
+    ConfidentialityTarget,
+    EpochScheduler,
+    KeyManager,
+    ReencryptionPlanner,
+    SecureArchive,
+    SecurityClassifier,
+    TradeoffAnalyzer,
+)
+from repro.core.policy import CENTURY_SAFE, CENTURY_SAFE_ECONOMY, PRACTICAL_COMPUTATIONAL
+from repro.core.reencryption import ResponseKind
+from repro.crypto.drbg import DeterministicRandom
+from repro.crypto.registry import BreakTimeline
+from repro.errors import DecodingError, KeyManagementError, ParameterError
+from repro.security import SecurityLevel, SecurityNotion, StorageCostBand
+from repro.storage.archive_model import PAPER_ARCHIVES
+from repro.storage.node import make_node_fleet
+from repro.systems import CloudProviderArchive, Lincos
+
+
+class TestClassifier:
+    def test_cloud_row(self):
+        system = CloudProviderArchive(
+            make_node_fleet(2, providers=["aws"]), DeterministicRandom(0)
+        )
+        system.store("x", b"data" * 100)
+        row = SecurityClassifier().classify_system(system)
+        assert row.transit is SecurityNotion.COMPUTATIONAL
+        assert row.at_rest is SecurityNotion.COMPUTATIONAL
+        assert row.storage_band is StorageCostBand.LOW
+
+    def test_lincos_row(self):
+        system = Lincos(make_node_fleet(5), DeterministicRandom(1))
+        system.store("x", b"data" * 100)
+        row = SecurityClassifier().classify_system(system)
+        assert row.transit is SecurityNotion.INFORMATION_THEORETIC
+        assert row.at_rest is SecurityNotion.INFORMATION_THEORETIC
+        assert row.storage_band is StorageCostBand.HIGH
+
+    def test_requires_stored_data(self):
+        system = CloudProviderArchive(
+            make_node_fleet(2, providers=["aws"]), DeterministicRandom(2)
+        )
+        with pytest.raises(ParameterError):
+            SecurityClassifier().classify_system(system)
+
+    def test_encoding_levels(self):
+        classifier = SecurityClassifier()
+        assert classifier.classify_encoding_level("shamir") is SecurityLevel.ITS_PERFECT
+        assert classifier.classify_encoding_level("aes-256-ctr") is SecurityLevel.COMPUTATIONAL
+        assert classifier.classify_encoding_level("md5") is SecurityLevel.BROKEN
+        assert classifier.classify_encoding_level("not-registered") is SecurityLevel.NONE
+
+    def test_declared_refinement_within_notion(self):
+        classifier = SecurityClassifier()
+        level = classifier.classify_encoding_level("lrss", SecurityLevel.ITS_CONDITIONAL)
+        assert level is SecurityLevel.ITS_CONDITIONAL
+
+    def test_row_render(self):
+        system = CloudProviderArchive(
+            make_node_fleet(2, providers=["aws"]), DeterministicRandom(3)
+        )
+        system.store("x", b"data")
+        row = SecurityClassifier().classify_system(system, at_rest_note="note")
+        rendered = row.as_row()
+        assert rendered[0] == system.name and "note" in rendered[2]
+
+
+class TestTradeoff:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return TradeoffAnalyzer(n=5, t=3).analyze(object_size=1 << 12, objects=2)
+
+    def test_all_encodings_present(self, points):
+        names = {p.name for p in points}
+        assert names == {
+            "replication", "erasure", "traditional-encryption", "aont-rs",
+            "entropic", "packed", "shamir", "lrss",
+        }
+
+    def test_its_family_costs_more(self, points):
+        by_name = {p.name: p for p in points}
+        assert by_name["shamir"].storage_overhead > by_name["erasure"].storage_overhead
+        assert by_name["packed"].storage_overhead < by_name["shamir"].storage_overhead
+
+    def test_coordinates(self, points):
+        for p in points:
+            x, y = p.coordinates
+            assert x == p.security_level.rank and y == p.storage_overhead
+
+    def test_render_quadrant_mentions_all(self, points):
+        art = TradeoffAnalyzer.render_quadrant(points)
+        assert "Replication" in art and "Secret Sharing" in art
+
+
+class TestKeyManager:
+    def test_issue_and_current(self):
+        manager = KeyManager(rng=DeterministicRandom(0))
+        key = manager.issue("obj")
+        assert manager.current("obj") is key
+        assert key.cipher_name == "aes-256-ctr"
+
+    def test_unknown_object(self):
+        manager = KeyManager(rng=DeterministicRandom(1))
+        with pytest.raises(KeyManagementError):
+            manager.current("ghost")
+
+    def test_rotation_retires_old(self):
+        manager = KeyManager(rng=DeterministicRandom(2))
+        old = manager.issue("obj")
+        new = manager.rotate("obj")
+        assert old.retired_epoch is not None and manager.current("obj") is new
+        assert len(manager.history("obj")) == 2
+
+    def test_history_bytes_grow(self):
+        manager = KeyManager(rng=DeterministicRandom(3))
+        manager.issue("obj")
+        before = manager.history_bytes
+        manager.rotate("obj")
+        assert manager.history_bytes == before * 2
+
+    def test_supersede_cipher_flags_and_rotates(self):
+        manager = KeyManager(rng=DeterministicRandom(4))
+        manager.issue("a")
+        manager.issue("b", cipher_name="chacha20")
+        timeline = BreakTimeline()
+        timeline.schedule_break("aes-256-ctr", 5)
+        manager.advance_epoch(6)
+        exposed = manager.supersede_cipher(timeline, "chacha20")
+        assert exposed == ["a"]
+        assert manager.current("a").cipher_name == "chacha20"
+        assert manager.history("a")[0].compromised
+
+    def test_unknown_cipher_rejected(self):
+        manager = KeyManager(rng=DeterministicRandom(5))
+        with pytest.raises(ParameterError):
+            manager.issue("obj", cipher_name="rot13")
+
+    def test_epoch_monotone(self):
+        manager = KeyManager(rng=DeterministicRandom(6))
+        manager.advance_epoch(5)
+        with pytest.raises(ParameterError):
+            manager.advance_epoch(3)
+
+    def test_vss_escrow_roundtrip(self):
+        manager = KeyManager(rng=DeterministicRandom(7))
+        manager.issue("obj")
+        groups = manager.escrow_to_vss("obj", n=5, t=3)
+        assert len(groups) == 3  # 32 bytes / 15-byte limbs
+        for group in groups:
+            group.renew(DeterministicRandom(8))
+        assert manager.recover_from_vss(groups) == manager.current("obj").material
+
+
+class TestScheduler:
+    def test_recurring_actions_fire(self):
+        scheduler = EpochScheduler(timeline=BreakTimeline())
+        fired = []
+        scheduler.every(3, "renewal", fired.append)
+        scheduler.advance(9)
+        assert fired == [3, 6, 9]
+
+    def test_break_hooks_fire_once(self):
+        timeline = BreakTimeline()
+        timeline.schedule_break("aes-256-ctr", 4)
+        scheduler = EpochScheduler(timeline=timeline)
+        events = []
+        scheduler.on_break(lambda e, names: events.append((e, tuple(names))))
+        scheduler.advance(8)
+        aes_events = [e for e in events if "aes-256-ctr" in e[1]]
+        assert len(aes_events) == 1 and aes_events[0][0] == 4
+
+    def test_years_conversion(self):
+        scheduler = EpochScheduler(timeline=BreakTimeline(), years_per_epoch=2.5)
+        scheduler.advance(4)
+        assert scheduler.years == 10.0
+
+    def test_invalid_cadence(self):
+        scheduler = EpochScheduler(timeline=BreakTimeline())
+        with pytest.raises(ParameterError):
+            scheduler.every(0, "bad", lambda e: None)
+
+    def test_log_records(self):
+        timeline = BreakTimeline()
+        timeline.schedule_break("chacha20", 2)
+        scheduler = EpochScheduler(timeline=timeline)
+        scheduler.every(1, "tick", lambda e: None)
+        scheduler.advance(2)
+        assert any("chacha20" in line for line in scheduler.log)
+        assert any("tick" in line for line in scheduler.log)
+
+
+class TestPlanner:
+    def test_its_needs_nothing(self):
+        planner = ReencryptionPlanner(PAPER_ARCHIVES[0])
+        plan = planner.plan(at_rest_information_theoretic=True)
+        assert plan.kind is ResponseKind.NONE_NEEDED
+        assert plan.campaign_months == 0.0
+
+    def test_cascade_wraps(self):
+        planner = ReencryptionPlanner(PAPER_ARCHIVES[0])
+        plan = planner.plan(False, cascade_layers_remaining=1)
+        assert plan.kind is ResponseKind.WRAP
+        assert not plan.harvested_data_recoverable_by_adversary
+        assert plan.campaign_months > 20
+
+    def test_plain_encryption_reencrypts_and_hndl_lost(self):
+        planner = ReencryptionPlanner(PAPER_ARCHIVES[1])
+        plan = planner.plan(False)
+        assert plan.kind is ResponseKind.REENCRYPT
+        assert plan.harvested_data_recoverable_by_adversary
+        assert "RECOVERABLE" in plan.summary()
+
+    def test_negative_layers_rejected(self):
+        with pytest.raises(ParameterError):
+            ReencryptionPlanner(PAPER_ARCHIVES[0]).plan(False, cascade_layers_remaining=-1)
+
+
+class TestPolicies:
+    def test_named_policies_valid(self):
+        for policy in (PRACTICAL_COMPUTATIONAL, CENTURY_SAFE, CENTURY_SAFE_ECONOMY):
+            assert policy.n >= policy.t
+
+    def test_packed_needs_room(self):
+        with pytest.raises(ParameterError):
+            ArchivePolicy(
+                target=ConfidentialityTarget.LONG_TERM_ECONOMY, n=4, t=3, pack_width=3
+            )
+
+    def test_information_theoretic_flag(self):
+        assert CENTURY_SAFE.information_theoretic
+        assert not PRACTICAL_COMPUTATIONAL.information_theoretic
+
+    def test_cadence_validated(self):
+        with pytest.raises(ParameterError):
+            ArchivePolicy(
+                target=ConfidentialityTarget.LONG_TERM, n=3, t=2, renew_every_epochs=0
+            )
+
+
+class TestSecureArchiveFacade:
+    @pytest.mark.parametrize("target", list(ConfidentialityTarget))
+    def test_roundtrip_all_targets(self, target):
+        policy = ArchivePolicy(target=target, n=6, t=3, pack_width=2)
+        archive = SecureArchive(policy, make_node_fleet(8), DeterministicRandom(0))
+        data = DeterministicRandom(b"facade").bytes(1500)
+        archive.store("doc", data)
+        assert archive.retrieve("doc") == data
+
+    def test_its_targets_classified_its(self):
+        archive = SecureArchive(CENTURY_SAFE, make_node_fleet(6), DeterministicRandom(1))
+        archive.store("doc", b"x" * 100)
+        assert archive.at_rest_security is SecurityNotion.INFORMATION_THEORETIC
+
+    def test_computational_target_classified(self):
+        archive = SecureArchive(
+            PRACTICAL_COMPUTATIONAL, make_node_fleet(7), DeterministicRandom(2)
+        )
+        archive.store("doc", b"x" * 100)
+        assert archive.at_rest_security is SecurityNotion.COMPUTATIONAL
+
+    def test_maintenance_renews_and_chain_grows(self):
+        archive = SecureArchive(CENTURY_SAFE, make_node_fleet(6), DeterministicRandom(3))
+        data = DeterministicRandom(b"m").bytes(400)
+        archive.store("doc", data)
+        chain_before = len(archive.chain)
+        report = archive.advance_epoch()
+        assert report.objects_renewed == 1 and report.renewal_bytes > 0
+        assert report.chain_renewed and len(archive.chain) == chain_before + 1
+        assert archive.retrieve("doc") == data
+
+    def test_renewal_changes_node_payloads(self):
+        archive = SecureArchive(CENTURY_SAFE, make_node_fleet(6), DeterministicRandom(4))
+        archive.store("doc", b"refresh me" * 10)
+        before = archive.steal_at_rest("doc", share_indices=[1])
+        archive.advance_epoch()
+        after = archive.steal_at_rest("doc", share_indices=[1])
+        assert before != after
+
+    def test_computational_policy_skips_renewal(self):
+        archive = SecureArchive(
+            PRACTICAL_COMPUTATIONAL, make_node_fleet(7), DeterministicRandom(5)
+        )
+        archive.store("doc", b"static")
+        report = archive.advance_epoch()
+        assert report.objects_renewed == 0
+
+    def test_its_theft_below_threshold_fails_forever(self):
+        archive = SecureArchive(CENTURY_SAFE, make_node_fleet(6), DeterministicRandom(6))
+        archive.store("doc", b"sealed" * 50)
+        stolen = archive.steal_at_rest("doc", share_indices=[1, 2])
+        with pytest.raises(DecodingError):
+            archive.attempt_recovery("doc", stolen, BreakTimeline(), epoch=10**9)
+
+    def test_computational_hndl(self):
+        archive = SecureArchive(
+            PRACTICAL_COMPUTATIONAL, make_node_fleet(7), DeterministicRandom(7)
+        )
+        data = b"harvest target" * 20
+        archive.store("doc", data)
+        stolen = archive.steal_at_rest("doc", share_indices=[0])
+        timeline = BreakTimeline()
+        timeline.schedule_break("aes-256-ctr", 5)
+        timeline.schedule_break("sha256", 8)
+        from repro.errors import StillSecureError
+
+        with pytest.raises(StillSecureError):
+            archive.attempt_recovery("doc", stolen, timeline, epoch=6)
+        assert archive.attempt_recovery("doc", stolen, timeline, epoch=9) == data
+
+    def test_overheads_ordered_by_policy(self):
+        overheads = {}
+        for name, policy in (
+            ("computational", PRACTICAL_COMPUTATIONAL),
+            ("economy", CENTURY_SAFE_ECONOMY),
+            ("full", CENTURY_SAFE),
+        ):
+            archive = SecureArchive(policy, make_node_fleet(9), DeterministicRandom(8))
+            archive.store("doc", b"z" * 2000)
+            overheads[name] = archive.storage_overhead()
+        assert overheads["computational"] < overheads["economy"] < overheads["full"]

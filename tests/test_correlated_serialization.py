@@ -1,0 +1,105 @@
+"""Correlated-failure availability and timestamp-chain serialization."""
+
+import pytest
+
+from repro.analysis.availability import (
+    EncodingAvailability,
+    correlated_availability,
+)
+from repro.crypto.drbg import DeterministicRandom
+from repro.crypto.registry import BreakTimeline
+from repro.errors import IntegrityError, ParameterError
+from repro.integrity.auditor import ChainAuditor
+from repro.integrity.timestamp import (
+    MerkleChainSigner,
+    RsaChainSigner,
+    TimestampAuthority,
+    TimestampChain,
+    deserialize_chain,
+    serialize_chain,
+)
+
+
+class TestCorrelatedAvailability:
+    def test_matches_independent_when_one_share_per_provider(self):
+        encoding = EncodingAvailability("shamir", 5, 3)
+        independent = encoding.availability(0.2)
+        correlated = correlated_availability(encoding, providers=5, provider_failure_probability=0.2)
+        assert correlated == pytest.approx(independent)
+
+    def test_fewer_providers_hurt(self):
+        """POTSHARDS' requirement, quantified: the same (5,3) encoding on 2
+        providers loses most of its failure tolerance."""
+        encoding = EncodingAvailability("shamir", 5, 3)
+        five = correlated_availability(encoding, 5, 0.2)
+        two = correlated_availability(encoding, 2, 0.2)
+        assert two < five
+
+    def test_single_provider_is_all_or_nothing(self):
+        encoding = EncodingAvailability("shamir", 5, 3)
+        assert correlated_availability(encoding, 1, 0.2) == pytest.approx(0.8)
+
+    def test_two_providers_threshold_math(self):
+        # (5,3) over 2 providers: provider0 holds 3 shares, provider1 holds 2.
+        # Readable iff provider0 is up (3 >= 3) -- provider1 alone has only 2.
+        encoding = EncodingAvailability("shamir", 5, 3)
+        p_fail = 0.3
+        expected = (1 - p_fail)  # provider0 up
+        assert correlated_availability(encoding, 2, p_fail) == pytest.approx(expected)
+
+    def test_parameters_validated(self):
+        encoding = EncodingAvailability("x", 4, 2)
+        with pytest.raises(ParameterError):
+            correlated_availability(encoding, 0, 0.5)
+        with pytest.raises(ParameterError):
+            correlated_availability(encoding, 2, 1.5)
+
+
+class TestChainSerialization:
+    @pytest.fixture
+    def signers(self):
+        rng = DeterministicRandom(b"serialize")
+        return RsaChainSigner(rng), MerkleChainSigner(rng, height=3)
+
+    def build_chain(self, signers):
+        rsa, merkle = signers
+        chain = TimestampChain()
+        TimestampAuthority(rsa).timestamp_document(chain, b"doc one", epoch=0)
+        TimestampAuthority(rsa).timestamp_document(chain, b"doc two", epoch=1)
+        TimestampAuthority(merkle).renew_chain(chain, epoch=5)
+        return chain
+
+    def test_roundtrip_preserves_links(self, signers):
+        chain = self.build_chain(signers)
+        restored = deserialize_chain(serialize_chain(chain))
+        assert len(restored) == len(chain)
+        for original, loaded in zip(chain.links, restored.links):
+            assert original == loaded
+
+    def test_restored_chain_still_audits(self, signers):
+        rsa, merkle = signers
+        chain = self.build_chain(signers)
+        restored = deserialize_chain(serialize_chain(chain))
+        auditor = ChainAuditor({})
+        auditor.register(rsa)
+        auditor.register(merkle)
+        assert auditor.audit(restored, BreakTimeline(), now_epoch=6).valid
+
+    def test_tampered_serialization_rejected(self, signers):
+        chain = self.build_chain(signers)
+        blob = serialize_chain(chain)
+        tampered = blob.replace('"epoch": 1', '"epoch": 2', 1)
+        with pytest.raises(IntegrityError):
+            deserialize_chain(tampered)  # linkage breaks on load
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(IntegrityError):
+            deserialize_chain("{not json")
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(IntegrityError):
+            deserialize_chain('{"format": "something-else", "links": []}')
+
+    def test_empty_chain_roundtrip(self):
+        restored = deserialize_chain(serialize_chain(TimestampChain()))
+        assert len(restored) == 0

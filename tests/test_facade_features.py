@@ -1,0 +1,132 @@
+"""SecureArchive extended features: segmented objects and retention locks."""
+
+import pytest
+
+from repro import ArchivePolicy, ConfidentialityTarget, DeterministicRandom, SecureArchive, make_node_fleet
+from repro.core.policy import CENTURY_SAFE
+from repro.errors import (
+    DecodingError,
+    ObjectNotFoundError,
+    ParameterError,
+    RetentionLockedError,
+)
+
+
+@pytest.fixture
+def archive():
+    return SecureArchive(CENTURY_SAFE, make_node_fleet(6), DeterministicRandom(0))
+
+
+class TestSegmentedStorage:
+    def test_roundtrip_multiple_segments(self, archive):
+        data = DeterministicRandom(b"big").bytes(10_000)
+        receipts = archive.store_large("big", data, segment_bytes=3000)
+        assert len(receipts) == 4
+        assert archive.retrieve_large("big") == data
+
+    def test_single_segment(self, archive):
+        data = b"small enough"
+        receipts = archive.store_large("small", data, segment_bytes=1 << 20)
+        assert len(receipts) == 1
+        assert archive.retrieve_large("small") == data
+
+    def test_empty_object(self, archive):
+        archive.store_large("empty", b"", segment_bytes=100)
+        assert archive.retrieve_large("empty") == b""
+
+    def test_exact_boundary(self, archive):
+        data = DeterministicRandom(b"exact").bytes(6000)
+        receipts = archive.store_large("exact", data, segment_bytes=3000)
+        assert len(receipts) == 2
+        assert archive.retrieve_large("exact") == data
+
+    def test_unknown_large_object(self, archive):
+        with pytest.raises(ObjectNotFoundError):
+            archive.retrieve_large("ghost")
+
+    def test_invalid_segment_size(self, archive):
+        with pytest.raises(ParameterError):
+            archive.store_large("x", b"data", segment_bytes=0)
+
+    def test_segments_survive_maintenance(self, archive):
+        data = DeterministicRandom(b"maint").bytes(7000)
+        archive.store_large("doc", data, segment_bytes=2000)
+        for _ in range(3):
+            archive.advance_epoch()
+        assert archive.retrieve_large("doc") == data
+
+    def test_segments_individually_addressable(self, archive):
+        data = DeterministicRandom(b"addr").bytes(5000)
+        archive.store_large("doc", data, segment_bytes=2000)
+        segment0 = archive.retrieve("doc/seg-0")
+        assert segment0 == data[:2000]
+
+    def test_lost_segment_detected(self, archive):
+        data = DeterministicRandom(b"loss").bytes(4000)
+        archive.store_large("doc", data, segment_bytes=2000)
+        archive.delete("doc/seg-1")
+        with pytest.raises(ObjectNotFoundError):
+            archive.retrieve_large("doc")
+
+
+class TestRetention:
+    def test_delete_without_lock(self, archive):
+        archive.store("doc", b"ephemeral")
+        archive.delete("doc")
+        with pytest.raises(ObjectNotFoundError):
+            archive.retrieve("doc")
+
+    def test_delete_releases_storage_accounting(self, archive):
+        archive.store("doc", b"x" * 1000)
+        archive.store("keep", b"y" * 1000)
+        archive.delete("doc")
+        assert archive.storage_overhead() == pytest.approx(5.0, rel=0.01)
+
+    def test_locked_delete_refused(self, archive):
+        archive.store("deed", b"must be kept")
+        archive.set_retention("deed", until_epoch=5)
+        with pytest.raises(RetentionLockedError):
+            archive.delete("deed")
+        assert archive.retrieve("deed") == b"must be kept"
+
+    def test_lock_expires_with_epochs(self, archive):
+        archive.store("deed", b"kept for two epochs")
+        archive.set_retention("deed", until_epoch=2)
+        archive.advance_epoch()
+        with pytest.raises(RetentionLockedError):
+            archive.delete("deed")
+        archive.advance_epoch()
+        archive.delete("deed")  # epoch == until_epoch: lock released
+
+    def test_locks_only_extend(self, archive):
+        archive.store("deed", b"x")
+        archive.set_retention("deed", until_epoch=10)
+        archive.set_retention("deed", until_epoch=3)  # shorter: ignored
+        with pytest.raises(RetentionLockedError):
+            archive.delete("deed")
+        assert archive._retention["deed"] == 10
+
+    def test_retention_requires_existing_object(self, archive):
+        with pytest.raises(ObjectNotFoundError):
+            archive.set_retention("ghost", until_epoch=5)
+
+    def test_retention_in_past_rejected(self, archive):
+        archive.store("doc", b"x")
+        archive.advance_epoch()
+        archive.advance_epoch()
+        with pytest.raises(ParameterError):
+            archive.set_retention("doc", until_epoch=1)
+
+    def test_delete_unknown_object(self, archive):
+        with pytest.raises(ObjectNotFoundError):
+            archive.delete("ghost")
+
+
+class TestSegmentsAcrossPolicies:
+    @pytest.mark.parametrize("target", list(ConfidentialityTarget))
+    def test_all_policies_segment_correctly(self, target):
+        policy = ArchivePolicy(target=target, n=6, t=3, pack_width=2)
+        archive = SecureArchive(policy, make_node_fleet(8), DeterministicRandom(1))
+        data = DeterministicRandom(b"poly").bytes(4500)
+        archive.store_large("doc", data, segment_bytes=2000)
+        assert archive.retrieve_large("doc") == data

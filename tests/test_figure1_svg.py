@@ -1,0 +1,58 @@
+"""SVG rendering of the measured Figure 1."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.figure1 import generate_figure1
+from repro.analysis.figure1_svg import render_figure1_svg
+from repro.errors import ParameterError
+
+
+@pytest.fixture(scope="module")
+def svg():
+    result = generate_figure1(object_size=1 << 12)
+    return render_figure1_svg(result.points), result
+
+
+class TestFigure1Svg:
+    def test_is_well_formed_xml(self, svg):
+        document, _ = svg
+        root = ET.fromstring(document)
+        assert root.tag.endswith("svg")
+
+    def test_every_encoding_labelled(self, svg):
+        document, result = svg
+        for point in result.points:
+            assert point.label in document
+
+    def test_one_circle_per_point_plus_smiley_eyes(self, svg):
+        document, result = svg
+        root = ET.fromstring(document)
+        circles = root.findall(".//{http://www.w3.org/2000/svg}circle")
+        # one marker per encoding + 3 smiley circles (face + two eyes)
+        assert len(circles) == len(result.points) + 3
+
+    def test_overheads_rendered(self, svg):
+        document, result = svg
+        for point in result.points:
+            assert f"({point.storage_overhead:.1f}x)" in document
+
+    def test_axis_titles_present(self, svg):
+        document, _ = svg
+        assert "Security level" in document
+        assert "Storage cost" in document
+
+    def test_its_points_plot_right_of_computational(self, svg):
+        """Geometric check: parse marker x-positions and compare."""
+        document, result = svg
+        root = ET.fromstring(document)
+        circles = root.findall(".//{http://www.w3.org/2000/svg}circle")
+        markers = [c for c in circles if c.get("fill") in ("#2c7fb8", "#d95f0e")]
+        its_xs = [float(c.get("cx")) for c in markers if c.get("fill") == "#2c7fb8"]
+        weak_xs = [float(c.get("cx")) for c in markers if c.get("fill") == "#d95f0e"]
+        assert min(its_xs) > max(weak_xs) - 1e-9
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ParameterError):
+            render_figure1_svg([])

@@ -1,0 +1,217 @@
+"""Prime fields, generic polynomials, and finite-field matrices."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DecodingError, ParameterError
+from repro.gmath.gf256 import GF256
+from repro.gmath.gfp import F257, F_M61, PrimeField
+from repro.gmath.matrix import FieldMatrix
+from repro.gmath.poly import (
+    Polynomial,
+    lagrange_basis_at,
+    lagrange_coefficients_at_zero,
+    lagrange_interpolate_at,
+)
+
+f257_elem = st.integers(min_value=0, max_value=256)
+
+
+class TestPrimeField:
+    def test_rejects_composite_modulus(self):
+        with pytest.raises(ParameterError):
+            PrimeField(256)
+
+    def test_rejects_one(self):
+        with pytest.raises(ParameterError):
+            PrimeField(1)
+
+    @given(f257_elem, f257_elem)
+    def test_add_sub_roundtrip(self, a, b):
+        assert F257.sub(F257.add(a, b), b) == a % 257
+
+    @given(f257_elem)
+    def test_negation(self, a):
+        assert F257.add(a, F257.neg(a)) == 0
+
+    @given(st.integers(min_value=1, max_value=256), f257_elem)
+    def test_div_mul_roundtrip(self, b, a):
+        assert F257.mul(F257.div(a, b), b) == a % 257
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            F257.inv(0)
+
+    def test_pow_negative_exponent(self):
+        a = 5
+        assert F257.mul(F257.pow(a, -3), F257.pow(a, 3)) == 1
+
+    def test_reduce(self):
+        assert F257.reduce(-1) == 256
+        assert F257.reduce(257) == 0
+
+    def test_large_field_basic(self):
+        a = F_M61.mul(123456789, 987654321)
+        assert 0 <= a < F_M61.p
+
+    def test_refuses_enumerating_large_field(self):
+        with pytest.raises(ParameterError):
+            F_M61.elements()
+
+    def test_validate(self):
+        with pytest.raises(ParameterError):
+            F257.validate(257)
+        assert F257.validate(0) == 0
+
+
+class TestPolynomial:
+    def test_degree_trims_leading_zeros(self):
+        p = Polynomial(F257, [1, 2, 0, 0])
+        assert p.degree == 1
+
+    def test_zero_polynomial(self):
+        p = Polynomial.zero_poly(F257)
+        assert p.degree == 0 and p.evaluate(123) == 0
+
+    def test_random_has_requested_constant(self):
+        p = Polynomial.random(F257, 3, 42, random.Random(0))
+        assert p.evaluate(0) == 42
+
+    def test_random_rejects_negative_degree(self):
+        with pytest.raises(ParameterError):
+            Polynomial.random(F257, -1, 0, random.Random(0))
+
+    def test_addition_evaluates_pointwise(self):
+        p = Polynomial(F257, [1, 2, 3])
+        q = Polynomial(F257, [4, 5])
+        for x in range(10):
+            assert (p + q).evaluate(x) == F257.add(p.evaluate(x), q.evaluate(x))
+
+    def test_subtraction_evaluates_pointwise(self):
+        p = Polynomial(F257, [10, 20])
+        q = Polynomial(F257, [4, 5, 6])
+        for x in range(10):
+            assert (p - q).evaluate(x) == F257.sub(p.evaluate(x), q.evaluate(x))
+
+    def test_multiplication_evaluates_pointwise(self):
+        p = Polynomial(F257, [1, 1])
+        q = Polynomial(F257, [2, 3])
+        for x in range(10):
+            assert (p * q).evaluate(x) == F257.mul(p.evaluate(x), q.evaluate(x))
+
+    def test_scale(self):
+        p = Polynomial(F257, [1, 2, 3])
+        for x in range(5):
+            assert p.scale(7).evaluate(x) == F257.mul(7, p.evaluate(x))
+
+    def test_works_over_gf256(self):
+        p = Polynomial(GF256, [3, 1, 4])
+        assert p.evaluate(0) == 3
+        q = Polynomial(GF256, [1, 5])
+        assert (p + q).evaluate(2) == GF256.add(p.evaluate(2), q.evaluate(2))
+
+    def test_equality_and_hash(self):
+        assert Polynomial(F257, [1, 2]) == Polynomial(F257, [1, 2, 0])
+        assert hash(Polynomial(F257, [1, 2])) == hash(Polynomial(F257, [1, 2, 0]))
+
+
+class TestInterpolation:
+    @given(st.integers(min_value=0, max_value=256), st.integers(min_value=1, max_value=5))
+    def test_interpolation_recovers_constant(self, secret, degree):
+        rng = random.Random(degree * 1000 + secret)
+        p = Polynomial.random(F257, degree, secret, rng)
+        xs = rng.sample(range(1, 200), degree + 1)
+        points = [(x, p.evaluate(x)) for x in xs]
+        assert lagrange_interpolate_at(F257, points, 0) == secret
+
+    def test_interpolation_at_arbitrary_point(self):
+        p = Polynomial(F257, [5, 7, 11])
+        points = [(x, p.evaluate(x)) for x in (1, 2, 3)]
+        for x in range(20):
+            assert lagrange_interpolate_at(F257, points, x) == p.evaluate(x)
+
+    def test_rejects_duplicate_x(self):
+        with pytest.raises(DecodingError):
+            lagrange_interpolate_at(F257, [(1, 2), (1, 3)], 0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(DecodingError):
+            lagrange_interpolate_at(F257, [], 0)
+
+    def test_coefficients_at_zero_sum_correctly(self):
+        rng = random.Random(4)
+        p = Polynomial.random(F257, 2, 99, rng)
+        xs = [3, 7, 11]
+        lambdas = lagrange_coefficients_at_zero(F257, xs)
+        total = 0
+        for coefficient, x in zip(lambdas, xs):
+            total = F257.add(total, F257.mul(coefficient, p.evaluate(x)))
+        assert total == 99
+
+    def test_basis_is_kronecker_delta(self):
+        xs = [1, 5, 9]
+        for j, xj in enumerate(xs):
+            for m, xm in enumerate(xs):
+                value = lagrange_basis_at(F257, xs, j, xm)
+                assert value == (1 if j == m else 0)
+
+
+class TestFieldMatrix:
+    def test_identity_matvec(self):
+        eye = FieldMatrix.identity(F257, 4)
+        assert eye.matvec([1, 2, 3, 4]) == [1, 2, 3, 4]
+
+    def test_vandermonde_rows(self):
+        v = FieldMatrix.vandermonde(F257, [2], 4)
+        assert v.rows[0] == [1, 2, 4, 8]
+
+    def test_inverse_roundtrip(self):
+        rng = random.Random(5)
+        m = FieldMatrix(F257, [[rng.randrange(257) for _ in range(4)] for _ in range(4)])
+        try:
+            inv = m.inverse()
+        except DecodingError:
+            pytest.skip("random matrix happened to be singular")
+        assert m.matmul(inv).rows == FieldMatrix.identity(F257, 4).rows
+
+    def test_vandermonde_inverse_over_gf256(self):
+        v = FieldMatrix.vandermonde(GF256, [1, 2, 3], 3)
+        inv = v.inverse()
+        assert v.matmul(inv).rows == FieldMatrix.identity(GF256, 3).rows
+
+    def test_singular_matrix_raises(self):
+        m = FieldMatrix(F257, [[1, 2], [2, 4]])
+        with pytest.raises(DecodingError):
+            m.inverse()
+
+    def test_solve(self):
+        m = FieldMatrix(F257, [[2, 1], [1, 3]])
+        x = m.solve([5, 10])
+        assert m.matvec(x) == [5, 10]
+
+    def test_rejects_ragged(self):
+        with pytest.raises(ParameterError):
+            FieldMatrix(F257, [[1, 2], [3]])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            FieldMatrix(F257, [])
+
+    def test_non_square_inverse_rejected(self):
+        m = FieldMatrix(F257, [[1, 2, 3], [4, 5, 6]])
+        with pytest.raises(ParameterError):
+            m.inverse()
+
+    def test_matmul_dimension_mismatch(self):
+        a = FieldMatrix(F257, [[1, 2]])
+        b = FieldMatrix(F257, [[1, 2]])
+        with pytest.raises(ParameterError):
+            a.matmul(b)
+
+    def test_matvec_dimension_mismatch(self):
+        a = FieldMatrix(F257, [[1, 2]])
+        with pytest.raises(ParameterError):
+            a.matvec([1, 2, 3])

@@ -1,0 +1,143 @@
+"""The grand scenario: every subsystem, one 40-epoch archive lifetime.
+
+A single integration test composing the whole library the way a deployment
+would: a workload is ingested into a policy-driven archive; epochs bring
+share renewal, chain renewal, storage audits, provider failures, a mobile
+adversary, a harvesting adversary, and scheduled cryptanalytic breaks; at
+the end every object is intact, every audit verdict is explained, the chain
+verifies, and the adversaries hold nothing.
+"""
+
+import pytest
+
+from repro import (
+    ArchivePolicy,
+    BreakTimeline,
+    ConfidentialityTarget,
+    DeterministicRandom,
+    SecureArchive,
+    make_node_fleet,
+)
+from repro.adversary.harvest import HarvestingAdversary
+from repro.core.scheduler import EpochScheduler
+from repro.integrity.audit import StorageAuditor
+from repro.storage.workload import WorkloadSpec, generate_workload
+
+EPOCHS = 40
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    rng = DeterministicRandom(b"grand")
+    nodes = make_node_fleet(9)
+    policy = ArchivePolicy(
+        target=ConfidentialityTarget.LONG_TERM, n=5, t=3, renew_every_epochs=1
+    )
+    archive = SecureArchive(policy, nodes, rng)
+
+    # Ingest a generated workload up front (epoch 0 of the scenario).
+    spec = WorkloadSpec(objects_per_epoch=4, epochs=2, median_object_bytes=1024)
+    workload = generate_workload(spec, seed=11)
+    payloads = {}
+    for obj in workload.objects:
+        data = workload.payload_for(obj)
+        archive.store(obj.object_id, data)
+        payloads[obj.object_id] = data
+
+    timeline = BreakTimeline()
+    timeline.schedule_break("aes-256-ctr", 12)
+    timeline.schedule_break("chacha20", 25)
+    timeline.schedule_break("sha256", 33)
+
+    # Year-0 harvest of a sub-threshold share haul per object.
+    harvester = HarvestingAdversary(timeline=timeline)
+    for object_id in payloads:
+        haul = archive.steal_at_rest(object_id, share_indices=[1, 2])
+
+        def attempt(tl, epoch, object_id=object_id, haul=haul):
+            return archive.attempt_recovery(object_id, haul, tl, epoch)
+
+        harvester.harvest(object_id, 0, attempt)
+
+    # Audit commitments per node, refreshed after every renewal epoch.
+    auditor = StorageAuditor()
+    audit_log = []
+    failures_injected = []
+
+    scheduler = EpochScheduler(timeline=timeline)
+    breaks_seen = []
+
+    def maintain(epoch: int) -> None:
+        archive.advance_epoch()
+        # A provider outage every 10 epochs, repaired two epochs later.
+        if epoch % 10 == 0:
+            victim = archive.nodes[(epoch // 10) % len(archive.nodes)]
+            victim.set_online(False)
+            failures_injected.append((epoch, victim.node_id))
+        if epoch % 10 == 2 and failures_injected:
+            archive.placement_policy.node(failures_injected[-1][1]).set_online(True)
+        # Audit a live node each epoch.
+        live = [n for n in archive.nodes if n.online and n.object_ids()]
+        if live:
+            node = live[epoch % len(live)]
+            commitment = auditor.commit_inventory(node, epoch=epoch)
+            report = auditor.audit(
+                node, commitment, DeterministicRandom(epoch), challenges=4
+            )
+            audit_log.append(report)
+
+    scheduler.every(1, "maintenance", maintain)
+    scheduler.on_break(lambda epoch, names: breaks_seen.append((epoch, tuple(names))))
+    scheduler.advance(EPOCHS)
+
+    return {
+        "archive": archive,
+        "payloads": payloads,
+        "timeline": timeline,
+        "harvester": harvester,
+        "audit_log": audit_log,
+        "breaks_seen": breaks_seen,
+        "failures_injected": failures_injected,
+    }
+
+
+class TestGrandScenario:
+    def test_every_object_intact_after_40_epochs(self, scenario):
+        archive = scenario["archive"]
+        for object_id, data in scenario["payloads"].items():
+            assert archive.retrieve(object_id) == data
+
+    def test_breaks_fired_and_did_not_matter(self, scenario):
+        fired = {name for _, names in scenario["breaks_seen"] for name in names}
+        assert {"aes-256-ctr", "chacha20", "sha256"} <= fired
+
+    def test_harvester_never_wins(self, scenario):
+        harvester = scenario["harvester"]
+        for item in harvester.items:
+            assert harvester.first_success_epoch(item.label, EPOCHS, step=5) is None
+
+    def test_failures_were_injected_and_survived(self, scenario):
+        assert len(scenario["failures_injected"]) >= 4
+
+    def test_audits_ran_and_passed(self, scenario):
+        audit_log = scenario["audit_log"]
+        assert len(audit_log) >= EPOCHS - 5
+        assert all(report.clean for report in audit_log), [
+            r.failures for r in audit_log if not r.clean
+        ]
+
+    def test_chain_renewed_every_epoch_and_verifies(self, scenario):
+        archive = scenario["archive"]
+        assert len(archive.chain) == len(scenario["payloads"]) + EPOCHS
+        from repro.integrity.auditor import ChainAuditor
+
+        chain_auditor = ChainAuditor({})
+        chain_auditor.register(archive.authority.signer)
+        verdict = chain_auditor.audit(
+            archive.chain, scenario["timeline"], now_epoch=EPOCHS
+        )
+        assert verdict.valid, verdict.explain()
+
+    def test_storage_accounting_stable(self, scenario):
+        archive = scenario["archive"]
+        assert archive.storage_overhead() == pytest.approx(5.0, rel=0.02)

@@ -1,0 +1,160 @@
+"""Local-leakage attacks, LRSS, and AONT-RS dispersal."""
+
+import pytest
+
+from repro.crypto.drbg import DeterministicRandom
+from repro.errors import DecodingError, ParameterError
+from repro.secretsharing.aontrs import AontRsDispersal
+from repro.secretsharing.base import Share
+from repro.secretsharing.leakage import (
+    LeakageResilientSharing,
+    linear_attack_against_lrss,
+    local_leakage_attack,
+)
+from repro.secretsharing.shamir import ShamirSecretSharing
+from repro.security import SecurityLevel
+
+
+class TestLocalLeakageAttack:
+    def test_attack_on_shamir_always_succeeds(self):
+        """One leaked bit per share recovers a secret bit with certainty --
+        the Benhamouda et al. vulnerability, concretely."""
+        scheme = ShamirSecretSharing(5, 3)
+        secret = DeterministicRandom(b"victim").bytes(32)
+        hits = 0
+        trials = 64
+        for trial in range(trials):
+            split = scheme.split(secret, DeterministicRandom(trial))
+            result = local_leakage_attack(
+                scheme, split, secret, target_byte=trial % 32, target_bit=trial % 8
+            )
+            hits += result.success
+            assert result.bits_leaked_per_share == 1
+        assert hits == trials
+
+    def test_attack_works_for_any_threshold(self):
+        secret = b"\xa5" * 8
+        for n, t in ((3, 2), (7, 4), (10, 10)):
+            scheme = ShamirSecretSharing(n, t)
+            split = scheme.split(secret, DeterministicRandom((n, t).__repr__()))
+            result = local_leakage_attack(scheme, split, secret, 3, 5)
+            assert result.success
+
+    def test_empty_secret_rejected(self):
+        scheme = ShamirSecretSharing(3, 2)
+        split = scheme.split(b"x", DeterministicRandom(0))
+        with pytest.raises(ParameterError):
+            local_leakage_attack(scheme, split, b"")
+
+
+class TestLrss:
+    def test_roundtrip(self):
+        rng = DeterministicRandom(0)
+        lrss = LeakageResilientSharing(5, 3, leakage_budget_bits=64)
+        data = rng.bytes(333)
+        split = lrss.split(data, rng)
+        assert lrss.reconstruct(split) == data
+
+    def test_raw_shares_need_masked_message(self):
+        rng = DeterministicRandom(1)
+        lrss = LeakageResilientSharing(4, 2)
+        split = lrss.split(b"needs public part", rng)
+        with pytest.raises(ParameterError):
+            lrss.reconstruct(list(split.shares))
+        masked = split.public["masked_message"]
+        assert lrss.reconstruct(list(split.shares), masked_message=masked) == b"needs public part"
+
+    def test_below_threshold_fails(self):
+        rng = DeterministicRandom(2)
+        lrss = LeakageResilientSharing(5, 3)
+        split = lrss.split(b"secret", rng)
+        with pytest.raises(DecodingError):
+            lrss.reconstruct(
+                list(split.shares)[:2], masked_message=split.public["masked_message"]
+            )
+
+    def test_linear_attack_degrades_to_guessing(self):
+        """The same 1-bit-per-share attack that is 100% against Shamir is a
+        coin flip against the nonlinear-extractor LRSS."""
+        lrss = LeakageResilientSharing(5, 3, leakage_budget_bits=64)
+        secret = DeterministicRandom(b"lrss-victim").bytes(32)
+        hits = 0
+        trials = 300
+        for trial in range(trials):
+            split = lrss.split(secret, DeterministicRandom(10_000 + trial))
+            result = linear_attack_against_lrss(
+                lrss, split, secret, target_byte=trial % 32, target_bit=trial % 8
+            )
+            hits += result.success
+        assert 0.35 < hits / trials < 0.65, f"attack should be ~50%, got {hits}/{trials}"
+
+    def test_padding_scales_with_budget(self):
+        small = LeakageResilientSharing(3, 2, leakage_budget_bits=8)
+        large = LeakageResilientSharing(3, 2, leakage_budget_bits=1024)
+        assert large.padding_bytes > small.padding_bytes
+
+    def test_costs_more_than_shamir(self):
+        lrss = LeakageResilientSharing(5, 3, leakage_budget_bits=256)
+        assert lrss.storage_overhead_for(1000) > 5.0
+
+    def test_security_level_is_conditional(self):
+        assert LeakageResilientSharing(3, 2).security_level is SecurityLevel.ITS_CONDITIONAL
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ParameterError):
+            LeakageResilientSharing(3, 2, leakage_budget_bits=-1)
+
+
+class TestAontRs:
+    def test_roundtrip_via_split_result(self):
+        rng = DeterministicRandom(0)
+        scheme = AontRsDispersal(6, 4)
+        data = rng.bytes(999)
+        split = scheme.split(data, rng)
+        assert scheme.reconstruct(split) == data
+
+    def test_any_k_shards(self):
+        rng = DeterministicRandom(1)
+        scheme = AontRsDispersal(7, 4)
+        data = rng.bytes(500)
+        split = scheme.split(data, rng)
+        import random
+
+        for trial in range(5):
+            subset = random.Random(trial).sample(list(split.shares), 4)
+            assert scheme.reconstruct(subset, original_length=len(data)) == data
+
+    def test_below_k_fails(self):
+        rng = DeterministicRandom(2)
+        scheme = AontRsDispersal(6, 4)
+        split = scheme.split(b"dispersed", rng)
+        with pytest.raises(DecodingError):
+            scheme.reconstruct(list(split.shares)[:3], original_length=9)
+
+    def test_storage_overhead_low(self):
+        rng = DeterministicRandom(3)
+        scheme = AontRsDispersal(6, 4)
+        split = scheme.split(bytes(8192), rng)
+        assert split.storage_overhead < 1.6  # ~ n/k = 1.5
+
+    def test_parameters_validated(self):
+        with pytest.raises(ParameterError):
+            AontRsDispersal(4, 4)
+        with pytest.raises(ParameterError):
+            AontRsDispersal(4, 0)
+
+    def test_raw_shares_need_length(self):
+        rng = DeterministicRandom(4)
+        scheme = AontRsDispersal(5, 3)
+        split = scheme.split(b"length matters", rng)
+        with pytest.raises(ParameterError):
+            scheme.reconstruct(list(split.shares))
+
+    def test_security_level_is_computational(self):
+        assert AontRsDispersal(5, 3).security_level is SecurityLevel.COMPUTATIONAL
+
+    def test_empty_object(self):
+        rng = DeterministicRandom(5)
+        scheme = AontRsDispersal(4, 2)
+        split = scheme.split(b"", rng)
+        assert scheme.reconstruct(split) == b""

@@ -1,0 +1,104 @@
+"""Primality testing and Schnorr group generation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.gmath.primes import (
+    SchnorrGroup,
+    default_group,
+    generate_schnorr_group,
+    is_probable_prime,
+    next_prime,
+    random_prime,
+    random_safe_prime,
+)
+
+KNOWN_PRIMES = [2, 3, 5, 7, 97, 257, 7919, 104729, (1 << 61) - 1]
+KNOWN_COMPOSITES = [0, 1, 4, 100, 561, 41041, 825265, (1 << 61) - 3]
+# 561, 41041, 825265 are Carmichael numbers: Fermat liars, Miller-Rabin catches them.
+
+
+class TestMillerRabin:
+    @pytest.mark.parametrize("p", KNOWN_PRIMES)
+    def test_known_primes(self, p):
+        assert is_probable_prime(p)
+
+    @pytest.mark.parametrize("c", KNOWN_COMPOSITES)
+    def test_known_composites(self, c):
+        assert not is_probable_prime(c)
+
+    @given(st.integers(min_value=2, max_value=10_000))
+    @settings(max_examples=200)
+    def test_matches_trial_division(self, n):
+        by_trial = n > 1 and all(n % d for d in range(2, int(n**0.5) + 1))
+        assert is_probable_prime(n) == by_trial
+
+    def test_large_probabilistic_path(self):
+        # Above the deterministic bound: a known large prime (2^89 - 1).
+        assert is_probable_prime((1 << 89) - 1)
+        assert not is_probable_prime((1 << 89) - 3)
+
+
+class TestGenerators:
+    def test_next_prime(self):
+        assert next_prime(1) == 2
+        assert next_prime(2) == 3
+        assert next_prime(14) == 17
+        assert next_prime(7918) == 7919
+
+    def test_random_prime_bit_length(self):
+        rng = random.Random(0)
+        for bits in (8, 16, 32, 64):
+            p = random_prime(bits, rng)
+            assert p.bit_length() == bits and is_probable_prime(p)
+
+    def test_random_prime_rejects_tiny(self):
+        with pytest.raises(ParameterError):
+            random_prime(1, random.Random(0))
+
+    def test_safe_prime(self):
+        rng = random.Random(1)
+        p = random_safe_prime(32, rng)
+        assert is_probable_prime(p) and is_probable_prime((p - 1) // 2)
+
+
+class TestSchnorrGroup:
+    def test_generated_group_is_consistent(self):
+        g = generate_schnorr_group(bits=64, seed=42)
+        assert (g.p - 1) % g.q == 0
+        assert pow(g.g, g.q, g.p) == 1
+        assert pow(g.h, g.q, g.p) == 1
+        assert g.g != g.h
+
+    def test_deterministic_by_seed(self):
+        a = generate_schnorr_group(bits=64, seed=7)
+        b = generate_schnorr_group(bits=64, seed=7)
+        assert (a.p, a.q, a.g, a.h) == (b.p, b.q, b.g, b.h)
+
+    def test_different_seeds_differ(self):
+        a = generate_schnorr_group(bits=64, seed=1)
+        b = generate_schnorr_group(bits=64, seed=2)
+        assert (a.p, a.g) != (b.p, b.g)
+
+    def test_exponentiation_helpers(self):
+        g = generate_schnorr_group(bits=64, seed=3)
+        assert g.exp_g(0) == 1
+        assert g.exp_g(g.q) == 1  # exponents reduce mod q
+        assert g.mul(g.exp_g(2), g.exp_g(3)) == g.exp_g(5)
+
+    def test_invalid_group_rejected(self):
+        with pytest.raises(ParameterError):
+            SchnorrGroup(p=23, q=7, g=2, h=3)  # 7 does not divide 22
+
+    def test_default_group_memoized(self):
+        assert default_group() is default_group()
+
+    def test_random_exponent_in_range(self):
+        g = generate_schnorr_group(bits=64, seed=4)
+        rng = random.Random(0)
+        for _ in range(20):
+            assert 0 <= g.random_exponent(rng) < g.q

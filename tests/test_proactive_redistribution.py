@@ -1,0 +1,155 @@
+"""Proactive share renewal and verifiable secret redistribution."""
+
+import pytest
+
+from repro.crypto.drbg import DeterministicRandom
+from repro.errors import ParameterError
+from repro.secretsharing.proactive import ProactiveShareGroup
+from repro.secretsharing.redistribution import redistribute
+from repro.secretsharing.shamir import ShamirSecretSharing
+
+
+@pytest.fixture
+def group():
+    rng = DeterministicRandom(b"proactive")
+    scheme = ShamirSecretSharing(5, 3)
+    secret = DeterministicRandom(b"secret-material").bytes(512)
+    split = scheme.split(secret, rng)
+    return scheme, secret, ProactiveShareGroup(scheme, split), rng
+
+
+class TestRenewal:
+    def test_secret_survives_many_renewals(self, group):
+        scheme, secret, g, rng = group
+        for _ in range(5):
+            g.renew(rng)
+            assert g.reconstruct() == secret
+
+    def test_shares_actually_change(self, group):
+        scheme, secret, g, rng = group
+        before = g.share_of(1).share.payload
+        g.renew(rng)
+        assert g.share_of(1).share.payload != before
+
+    def test_epoch_increments(self, group):
+        scheme, secret, g, rng = group
+        assert g.epoch == 0
+        g.renew(rng)
+        assert g.epoch == 1 and g.share_of(2).epoch == 1
+
+    def test_message_count_is_n_squared(self, group):
+        scheme, secret, g, rng = group
+        report = g.renew(rng)
+        assert report.messages == g.n * g.n
+
+    def test_bytes_scale_with_share_size(self):
+        rng = DeterministicRandom(0)
+        scheme = ShamirSecretSharing(4, 2)
+        for size in (100, 1000):
+            split = scheme.split(bytes(size), rng)
+            g = ProactiveShareGroup(scheme, split)
+            report = g.renew(rng)
+            assert report.bytes_sent == 16 * (size + 32)
+
+    def test_stale_shares_are_useless(self, group):
+        """The defense against the mobile adversary: shares from different
+        epochs do not combine into the secret."""
+        scheme, secret, g, rng = group
+        old = [g.share_of(1), g.share_of(2)]
+        g.renew(rng)
+        new = [g.share_of(3)]
+        wrong = g.try_reconstruct_mixed_epochs(old + new)
+        assert wrong is not None and wrong != secret
+
+    def test_same_epoch_threshold_still_wins(self, group):
+        scheme, secret, g, rng = group
+        g.renew(rng)
+        haul = [g.share_of(i) for i in (1, 3, 5)]
+        assert g.try_reconstruct_mixed_epochs(haul) == secret
+
+    def test_below_threshold_returns_none(self, group):
+        scheme, secret, g, rng = group
+        assert g.try_reconstruct_mixed_epochs([g.share_of(1)]) is None
+
+    def test_tampered_message_detected_and_secret_survives(self, group):
+        scheme, secret, g, rng = group
+        report = g.renew(rng, tamper={(2, 4): b"\x00" * 512})
+        assert report.corrupted_messages_detected == 1
+        assert g.reconstruct() == secret
+
+    def test_multiple_tampered_senders_excluded(self, group):
+        scheme, secret, g, rng = group
+        report = g.renew(
+            rng, tamper={(1, 2): b"\x00" * 512, (3, 4): b"\x01" * 512}
+        )
+        assert report.corrupted_messages_detected == 2
+        assert g.reconstruct() == secret
+
+    def test_scheme_mismatch_rejected(self):
+        rng = DeterministicRandom(1)
+        scheme_a = ShamirSecretSharing(5, 3)
+        split = scheme_a.split(b"x", rng)
+        object.__setattr__(split, "scheme", "other")
+        with pytest.raises(ParameterError):
+            ProactiveShareGroup(scheme_a, split)
+
+
+class TestRedistribution:
+    def test_change_parameters_preserves_secret(self):
+        rng = DeterministicRandom(2)
+        secret = rng.bytes(256)
+        old = ShamirSecretSharing(5, 3)
+        split = old.split(secret, rng)
+        for new_n, new_t in ((7, 4), (4, 2), (5, 5), (9, 3)):
+            new = ShamirSecretSharing(new_n, new_t)
+            new_split, report = redistribute(old, list(split.shares), new, len(secret), rng)
+            assert new.reconstruct(new_split) == secret
+            assert report.messages == old.t * new_n
+
+    def test_subset_of_old_shares_sufficient(self):
+        rng = DeterministicRandom(3)
+        secret = rng.bytes(64)
+        old = ShamirSecretSharing(6, 3)
+        split = old.split(secret, rng)
+        subset = list(split.shares)[2:5]
+        new = ShamirSecretSharing(4, 2)
+        new_split, _ = redistribute(old, subset, new, len(secret), rng)
+        assert new.reconstruct(new_split) == secret
+
+    def test_too_few_old_shares_rejected(self):
+        rng = DeterministicRandom(4)
+        old = ShamirSecretSharing(5, 3)
+        split = old.split(b"secret", rng)
+        new = ShamirSecretSharing(4, 2)
+        with pytest.raises(ParameterError):
+            redistribute(old, list(split.shares)[:2], new, 6, rng)
+
+    def test_old_and_new_shares_incompatible(self):
+        """Shares across a redistribution boundary must not combine -- that
+        is what expires a mobile adversary's pre-refresh haul."""
+        rng = DeterministicRandom(5)
+        secret = rng.bytes(64)
+        old = ShamirSecretSharing(5, 3)
+        split = old.split(secret, rng)
+        new = ShamirSecretSharing(5, 3)
+        new_split, _ = redistribute(old, list(split.shares), new, len(secret), rng)
+        mixed = [split.shares[0], split.shares[1], new_split.shares[2]]
+        assert old.reconstruct(mixed) != secret
+
+    def test_bytes_accounting(self):
+        rng = DeterministicRandom(6)
+        secret = rng.bytes(100)
+        old = ShamirSecretSharing(4, 2)
+        split = old.split(secret, rng)
+        new = ShamirSecretSharing(6, 3)
+        _, report = redistribute(old, list(split.shares), new, len(secret), rng)
+        # t old holders each send n' sub-shares of share-size + 32B tag.
+        assert report.bytes_sent == 2 * 6 * (100 + 32)
+
+    def test_report_parameters(self):
+        rng = DeterministicRandom(7)
+        old = ShamirSecretSharing(5, 3)
+        split = old.split(b"params", rng)
+        new = ShamirSecretSharing(7, 4)
+        _, report = redistribute(old, list(split.shares), new, 6, rng)
+        assert (report.old_n, report.old_t, report.new_n, report.new_t) == (5, 3, 7, 4)

@@ -1,0 +1,238 @@
+"""Proxy re-encryption, hash combiners, lost-share recovery, and DKG."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.chacha20 import chacha20_xor
+from repro.crypto.combiners import CombinedHash, chacha_dm_hash
+from repro.crypto.drbg import DeterministicRandom
+from repro.crypto.proxy import (
+    ProxyReEncryption,
+    apply_migration_pad,
+    keystream_migration_pad,
+)
+from repro.crypto.registry import BreakTimeline
+from repro.errors import KeyManagementError, ParameterError
+from repro.secretsharing.dkg import DistributedKeyGeneration
+from repro.secretsharing.proactive import ProactiveShareGroup
+from repro.secretsharing.shamir import ShamirSecretSharing
+
+
+@pytest.fixture
+def rng():
+    return DeterministicRandom(b"extensions")
+
+
+class TestProxyReEncryption:
+    def test_encrypt_decrypt(self, rng):
+        pre = ProxyReEncryption()
+        alice = pre.generate_keypair(rng)
+        ct = pre.encrypt(alice.public, b"delegate me", rng)
+        assert pre.decrypt(alice, ct) == b"delegate me"
+
+    def test_wrong_key_garbles(self, rng):
+        pre = ProxyReEncryption()
+        alice = pre.generate_keypair(rng)
+        bob = pre.generate_keypair(rng)
+        ct = pre.encrypt(alice.public, b"for alice only", rng)
+        assert pre.decrypt(bob, ct) != b"for alice only"
+
+    def test_reencryption_hop(self, rng):
+        pre = ProxyReEncryption()
+        alice = pre.generate_keypair(rng)
+        bob = pre.generate_keypair(rng)
+        ct = pre.encrypt(alice.public, b"rotate ownership", rng)
+        rekey = pre.rekey(alice, bob)
+        ct_bob = pre.reencrypt(rekey, ct)
+        assert pre.decrypt(bob, ct_bob) == b"rotate ownership"
+        # Alice can no longer decrypt the transformed capsule.
+        assert pre.decrypt(alice, ct_bob) != b"rotate ownership"
+
+    def test_proxy_never_sees_plaintext_or_key(self, rng):
+        """The re-encrypted body is bit-identical to the stored body: the
+        proxy transformed only the capsule."""
+        pre = ProxyReEncryption()
+        alice = pre.generate_keypair(rng)
+        bob = pre.generate_keypair(rng)
+        ct = pre.encrypt(alice.public, b"opaque to the proxy", rng)
+        ct_bob = pre.reencrypt(pre.rekey(alice, bob), ct)
+        assert ct_bob.body == ct.body
+        assert ct_bob.capsule != ct.capsule
+
+    def test_single_hop_enforced(self, rng):
+        pre = ProxyReEncryption()
+        alice, bob, carol = (pre.generate_keypair(rng) for _ in range(3))
+        ct = pre.encrypt(alice.public, b"one hop only", rng)
+        once = pre.reencrypt(pre.rekey(alice, bob), ct)
+        with pytest.raises(KeyManagementError):
+            pre.reencrypt(pre.rekey(bob, carol), once)
+
+    @given(st.binary(min_size=0, max_size=500))
+    @settings(max_examples=15, deadline=None)
+    def test_roundtrip_arbitrary_payloads(self, payload):
+        rng = DeterministicRandom(len(payload))
+        pre = ProxyReEncryption()
+        keys = pre.generate_keypair(rng)
+        assert pre.decrypt(keys, pre.encrypt(keys.public, payload, rng)) == payload
+
+
+class TestMigrationPad:
+    def test_migrates_between_keys(self):
+        old_key, new_key = b"\x01" * 32, b"\x02" * 32
+        data = b"stored under the old cipher" * 10
+        old_ct = chacha20_xor(old_key, b"\x00" * 12, data)
+        pad = keystream_migration_pad(old_key, new_key, len(old_ct))
+        new_ct = apply_migration_pad(old_ct, pad)
+        assert chacha20_xor(new_key, b"\x00" * 12, new_ct) == data
+
+    def test_pad_is_plaintext_independent(self):
+        pad_a = keystream_migration_pad(b"\x01" * 32, b"\x02" * 32, 64)
+        pad_b = keystream_migration_pad(b"\x01" * 32, b"\x02" * 32, 64)
+        assert pad_a == pad_b  # derived from keys alone
+
+    def test_pad_size_equals_data_size(self):
+        """The paper's point survives delegation: pad bytes == data bytes."""
+        assert len(keystream_migration_pad(b"\x01" * 32, b"\x02" * 32, 12345)) == 12345
+
+    def test_short_pad_rejected(self):
+        with pytest.raises(ParameterError):
+            apply_migration_pad(b"\x00" * 10, b"\x00" * 5)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ParameterError):
+            keystream_migration_pad(b"\x01" * 32, b"\x02" * 32, -1)
+
+
+class TestCombinedHash:
+    def test_deterministic(self):
+        assert chacha_dm_hash(b"abc") == chacha_dm_hash(b"abc")
+        assert CombinedHash.digest(b"abc") == CombinedHash.digest(b"abc")
+
+    def test_distinct_inputs_distinct_digests(self):
+        seen = {chacha_dm_hash(bytes([i])) for i in range(256)}
+        assert len(seen) == 256
+
+    def test_length_extension_padding(self):
+        """Strengthened padding: prefixes do not collide with extensions."""
+        assert chacha_dm_hash(b"aa") != chacha_dm_hash(b"aa\x00")
+        assert chacha_dm_hash(b"") != chacha_dm_hash(b"\x80")
+
+    def test_digest_is_64_bytes(self):
+        assert len(CombinedHash.digest(b"x")) == 64
+
+    def test_members_differ(self):
+        digest = CombinedHash.digest(b"independence")
+        assert digest[:32] != digest[32:]
+
+    @given(st.binary(min_size=0, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_avalanche_rough(self, data):
+        base = chacha_dm_hash(data)
+        flipped = chacha_dm_hash(data + b"\x01")
+        differing = np.unpackbits(
+            np.frombuffer(bytes(a ^ b for a, b in zip(base, flipped)), dtype=np.uint8)
+        ).sum()
+        assert differing > 64  # ~128 expected of 256 bits
+
+    def test_combiner_survival(self):
+        timeline = BreakTimeline()
+        assert CombinedHash.collision_resistant_at(timeline, 100)
+        timeline.schedule_break("sha256", 10)
+        assert CombinedHash.collision_resistant_at(timeline, 50)
+        timeline.schedule_break("chacha-dm", 60)
+        assert not CombinedHash.collision_resistant_at(timeline, 60)
+
+
+class TestShareRecovery:
+    def make_group(self, n=5, t=3):
+        rng = DeterministicRandom(b"recovery")
+        scheme = ShamirSecretSharing(n, t)
+        secret = DeterministicRandom(b"the secret").bytes(256)
+        group = ProactiveShareGroup(scheme, scheme.split(secret, rng))
+        return scheme, secret, group, rng
+
+    def test_recovered_share_is_correct(self):
+        scheme, secret, group, rng = self.make_group()
+        original = group.share_of(4).share.payload
+        group._holders[4].payload = np.zeros(256, dtype=np.uint8)  # crash
+        report = group.recover_share(4, rng)
+        assert group.share_of(4).share.payload == original
+        assert 4 not in report.helpers
+
+    def test_group_still_reconstructs(self):
+        scheme, secret, group, rng = self.make_group()
+        group._holders[2].payload = np.zeros(256, dtype=np.uint8)
+        group.recover_share(2, rng)
+        assert group.reconstruct() == secret
+
+    def test_contributions_are_blinded(self):
+        """No single helper's message reveals its share: each contribution
+        is masked to uniformity (mean test over fresh runs)."""
+        means = []
+        for trial in range(30):
+            scheme, secret, group, _ = self.make_group()
+            rng = DeterministicRandom(trial)
+            report = group.recover_share(1, rng)
+            first_contribution = next(iter(report.contributions.values()))
+            means.append(
+                np.frombuffer(first_contribution, dtype=np.uint8).mean()
+            )
+        assert abs(np.mean(means) - 127.5) < 6.0
+
+    def test_traffic_accounting(self):
+        scheme, secret, group, rng = self.make_group()
+        report = group.recover_share(3, rng)
+        # t contributions + t*(t-1)/2 pad exchanges, all share-sized.
+        assert report.messages == 3 + 3
+        assert report.bytes_sent == (3 + 3) * 256
+
+    def test_unknown_index_rejected(self):
+        scheme, secret, group, rng = self.make_group()
+        with pytest.raises(ParameterError):
+            group.recover_share(99, rng)
+
+    def test_recovery_after_renewal(self):
+        scheme, secret, group, rng = self.make_group()
+        group.renew(rng)
+        expected = group.share_of(5).share.payload
+        group._holders[5].payload = np.zeros(256, dtype=np.uint8)
+        group.recover_share(5, rng)
+        assert group.share_of(5).share.payload == expected
+
+
+class TestDkg:
+    def test_honest_run(self, rng):
+        dkg = DistributedKeyGeneration(5, 3)
+        result = dkg.run(rng)
+        assert len(result.qualified) == 5 and not result.disqualified
+        secret = result.reconstruct_for_test(dkg.vss)
+        assert secret == dkg._expected_secret_for_test
+
+    def test_shares_verify_against_combined_commitments(self, rng):
+        dkg = DistributedKeyGeneration(4, 2)
+        result = dkg.run(rng)
+        for share in result.shares.values():
+            assert dkg.vss.verify_share(share, result.commitments)
+
+    def test_corrupt_dealers_disqualified(self, rng):
+        dkg = DistributedKeyGeneration(5, 3)
+        result = dkg.run(rng, corrupt_dealers={2, 4})
+        assert set(result.disqualified) == {2, 4}
+        assert result.reconstruct_for_test(dkg.vss) == dkg._expected_secret_for_test
+
+    def test_subset_reconstruction(self, rng):
+        dkg = DistributedKeyGeneration(6, 3)
+        result = dkg.run(rng)
+        subset = [result.shares[i] for i in (2, 4, 6)]
+        assert dkg.vss.reconstruct(subset) == dkg._expected_secret_for_test
+
+    def test_all_corrupt_fails(self, rng):
+        dkg = DistributedKeyGeneration(3, 2)
+        with pytest.raises(ParameterError):
+            dkg.run(rng, corrupt_dealers={1, 2, 3})
+
+    def test_parameters_validated(self):
+        with pytest.raises(ParameterError):
+            DistributedKeyGeneration(3, 4)

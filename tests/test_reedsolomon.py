@@ -1,0 +1,154 @@
+"""Reed-Solomon erasure codes: systematic and non-systematic forms."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DecodingError, ParameterError
+from repro.gmath.reedsolomon import ReedSolomonCode, Shard
+
+
+class TestParameters:
+    def test_rejects_k_greater_than_n(self):
+        with pytest.raises(ParameterError):
+            ReedSolomonCode(3, 4)
+
+    def test_rejects_n_over_255(self):
+        with pytest.raises(ParameterError):
+            ReedSolomonCode(256, 4)
+
+    def test_rejects_zero_k(self):
+        with pytest.raises(ParameterError):
+            ReedSolomonCode(4, 0)
+
+    def test_storage_overhead(self):
+        assert ReedSolomonCode(6, 4).storage_overhead == 1.5
+
+
+class TestSystematic:
+    @given(
+        data=st.binary(min_size=0, max_size=2000),
+        n=st.integers(min_value=2, max_value=12),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_any_k_shards_reconstruct(self, data, n, seed):
+        rng = random.Random(seed)
+        k = rng.randint(1, n)
+        code = ReedSolomonCode(n, k)
+        shards = code.encode(data)
+        subset = rng.sample(shards, k)
+        assert code.decode(subset, len(data)) == data
+
+    def test_systematic_prefix_is_plaintext(self):
+        data = bytes(range(64)) * 4
+        code = ReedSolomonCode(6, 4)
+        shards = code.encode(data)
+        recovered = b"".join(s.data for s in shards[:4])
+        assert recovered[: len(data)] == data
+
+    def test_parity_only_reconstruction(self):
+        data = b"parity only decode" * 10
+        code = ReedSolomonCode(8, 3)
+        shards = code.encode(data)
+        assert code.decode(shards[3:6], len(data)) == data
+
+    def test_mixed_reconstruction(self):
+        data = b"mixed shards" * 33
+        code = ReedSolomonCode(7, 4)
+        shards = code.encode(data)
+        assert code.decode([shards[0], shards[5], shards[2], shards[6]], len(data)) == data
+
+    def test_too_few_shards(self):
+        code = ReedSolomonCode(5, 3)
+        shards = code.encode(b"hello world")
+        with pytest.raises(DecodingError):
+            code.decode(shards[:2], 11)
+
+    def test_duplicate_shards_do_not_count(self):
+        code = ReedSolomonCode(5, 3)
+        shards = code.encode(b"hello world")
+        with pytest.raises(DecodingError):
+            code.decode([shards[0], shards[0], shards[0]], 11)
+
+    def test_out_of_range_index_rejected(self):
+        code = ReedSolomonCode(5, 3)
+        with pytest.raises(DecodingError):
+            code.decode([Shard(9, b"xx")] * 3, 2)
+
+    def test_inconsistent_lengths_rejected(self):
+        code = ReedSolomonCode(5, 3)
+        shards = [Shard(0, b"aa"), Shard(1, b"bbb"), Shard(2, b"cc")]
+        with pytest.raises(DecodingError):
+            code.decode(shards, 4)
+
+    def test_original_length_too_large_rejected(self):
+        code = ReedSolomonCode(5, 3)
+        shards = code.encode(b"abc")
+        with pytest.raises(DecodingError):
+            code.decode(shards[:3], 10_000)
+
+    def test_empty_data(self):
+        code = ReedSolomonCode(4, 2)
+        shards = code.encode(b"")
+        assert code.decode(shards[2:], 0) == b""
+
+    def test_single_byte(self):
+        code = ReedSolomonCode(4, 3)
+        shards = code.encode(b"x")
+        assert code.decode([shards[1], shards[2], shards[3]], 1) == b"x"
+
+
+class TestNonSystematic:
+    def test_shamir_equivalence(self):
+        """Non-systematic RS on (m, r1, ..., r_{t-1}) IS Shamir sharing:
+        the coefficient recovered at degree 0 is the secret."""
+        rng = np.random.default_rng(0)
+        secret = np.frombuffer(b"the paper's McEliece-Sarwate equivalence", dtype=np.uint8)
+        k, n = 4, 9
+        code = ReedSolomonCode(n, k)
+        rows = [secret] + [
+            rng.integers(0, 256, secret.size, dtype=np.uint8) for _ in range(k - 1)
+        ]
+        shards = code.encode_nonsystematic(rows)
+        pick = random.Random(1).sample(shards, k)
+        recovered = code.decode_nonsystematic(pick)
+        assert recovered[0].tobytes() == secret.tobytes()
+
+    def test_all_coefficient_rows_recovered(self):
+        rng = np.random.default_rng(1)
+        k, n = 3, 5
+        code = ReedSolomonCode(n, k)
+        rows = [rng.integers(0, 256, 32, dtype=np.uint8) for _ in range(k)]
+        shards = code.encode_nonsystematic(rows)
+        recovered = code.decode_nonsystematic(shards[2:])
+        for original, got in zip(rows, recovered):
+            assert original.tobytes() == got.tobytes()
+
+    def test_wrong_row_count_rejected(self):
+        code = ReedSolomonCode(5, 3)
+        with pytest.raises(ParameterError):
+            code.encode_nonsystematic([np.zeros(4, dtype=np.uint8)] * 2)
+
+    def test_below_threshold_leaks_nothing_statistically(self):
+        """k-1 shards of a non-systematic code are uniform regardless of the
+        secret: encoding two different secrets under fresh randomness gives
+        byte distributions that cannot be told apart by a mean test."""
+        rng = np.random.default_rng(2)
+        code = ReedSolomonCode(5, 3)
+        secret_a = np.zeros(512, dtype=np.uint8)
+        secret_b = np.full(512, 255, dtype=np.uint8)
+        means = {0: [], 1: []}
+        for trial in range(40):
+            for label, secret in ((0, secret_a), (1, secret_b)):
+                rows = [secret] + [
+                    rng.integers(0, 256, 512, dtype=np.uint8) for _ in range(2)
+                ]
+                shards = code.encode_nonsystematic(rows)
+                sample = np.frombuffer(shards[0].data + shards[1].data, dtype=np.uint8)
+                means[label].append(sample.mean())
+        gap = abs(np.mean(means[0]) - np.mean(means[1]))
+        assert gap < 4.0, f"sub-threshold shards correlate with the secret (gap={gap})"

@@ -1,0 +1,103 @@
+"""Cross-scheme property tests: invariants every splitting scheme obeys.
+
+Hypothesis-driven metamorphic tests run uniformly over all five splitting
+schemes: roundtrip identity, permutation invariance of reconstruction,
+share-size accounting, and determinism under a fixed seed.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.drbg import DeterministicRandom
+from repro.secretsharing.additive import AdditiveSecretSharing
+from repro.secretsharing.aontrs import AontRsDispersal
+from repro.secretsharing.leakage import LeakageResilientSharing
+from repro.secretsharing.packed import PackedSecretSharing
+from repro.secretsharing.shamir import ShamirSecretSharing
+
+# (constructor, minimum shares needed to reconstruct, needs-length kwarg)
+SCHEMES = {
+    "shamir": (lambda: ShamirSecretSharing(6, 3), 3),
+    "additive": (lambda: AdditiveSecretSharing(4), 4),
+    "packed": (lambda: PackedSecretSharing(n=8, t=2, k=3), 5),
+    "aont-rs": (lambda: AontRsDispersal(6, 4), 4),
+    "lrss": (lambda: LeakageResilientSharing(6, 3, leakage_budget_bits=64), 3),
+}
+
+
+def reconstruct(scheme, split, shares):
+    """Uniform reconstruction across the five interfaces."""
+    name = split.scheme
+    if name == "shamir":
+        return scheme.reconstruct(shares)
+    if name == "additive":
+        return scheme.reconstruct(shares)
+    if name == "packed":
+        return scheme.reconstruct(shares, original_length=split.original_length)
+    if name == "aont-rs":
+        return scheme.reconstruct(shares, original_length=split.original_length)
+    return scheme.reconstruct(shares, masked_message=split.public["masked_message"])
+
+
+@pytest.mark.parametrize("scheme_name", sorted(SCHEMES))
+class TestUniversalProperties:
+    @given(data=st.binary(min_size=1, max_size=800), seed=st.integers(0, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_with_minimal_shares(self, scheme_name, data, seed):
+        make, needed = SCHEMES[scheme_name]
+        scheme = make()
+        split = scheme.split(data, DeterministicRandom(seed))
+        import random
+
+        subset = random.Random(seed).sample(list(split.shares), needed) \
+            if scheme_name != "additive" else list(split.shares)
+        assert reconstruct(scheme, split, subset) == data
+
+    @given(data=st.binary(min_size=1, max_size=300))
+    @settings(max_examples=15, deadline=None)
+    def test_reconstruction_order_invariant(self, scheme_name, data):
+        make, needed = SCHEMES[scheme_name]
+        scheme = make()
+        split = scheme.split(data, DeterministicRandom(7))
+        shares = list(split.shares)[:needed] if scheme_name != "additive" else list(split.shares)
+        assert reconstruct(scheme, split, shares) == reconstruct(
+            scheme, split, list(reversed(shares))
+        )
+
+    @given(data=st.binary(min_size=1, max_size=300))
+    @settings(max_examples=15, deadline=None)
+    def test_deterministic_given_seed(self, scheme_name, data):
+        make, _ = SCHEMES[scheme_name]
+        a = make().split(data, DeterministicRandom(99))
+        b = make().split(data, DeterministicRandom(99))
+        assert [s.payload for s in a.shares] == [s.payload for s in b.shares]
+
+    @given(data=st.binary(min_size=1, max_size=300))
+    @settings(max_examples=15, deadline=None)
+    def test_fresh_randomness_changes_shares(self, scheme_name, data):
+        make, _ = SCHEMES[scheme_name]
+        a = make().split(data, DeterministicRandom(1))
+        b = make().split(data, DeterministicRandom(2))
+        assert [s.payload for s in a.shares] != [s.payload for s in b.shares]
+
+    @given(data=st.binary(min_size=16, max_size=400))
+    @settings(max_examples=15, deadline=None)
+    def test_declared_overhead_close_to_measured(self, scheme_name, data):
+        make, _ = SCHEMES[scheme_name]
+        scheme = make()
+        split = scheme.split(data, DeterministicRandom(5))
+        if hasattr(scheme, "storage_overhead"):
+            declared = scheme.storage_overhead
+        else:
+            declared = scheme.storage_overhead_for(len(data))
+        # Small objects pay padding/metadata; allow generous slack.
+        assert split.storage_overhead <= declared * 1.5 + 3
+
+    @given(data=st.binary(min_size=1, max_size=300))
+    @settings(max_examples=10, deadline=None)
+    def test_share_indices_unique(self, scheme_name, data):
+        make, _ = SCHEMES[scheme_name]
+        split = make().split(data, DeterministicRandom(3))
+        indices = [s.index for s in split.shares]
+        assert len(indices) == len(set(indices)) == split.total

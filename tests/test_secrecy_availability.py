@@ -1,0 +1,105 @@
+"""The epsilon-indistinguishability estimator and availability math."""
+
+import pytest
+
+from repro.analysis.availability import (
+    STANDARD_ENCODINGS,
+    EncodingAvailability,
+    monte_carlo_availability,
+)
+from repro.analysis.secrecy import estimate_secrecy, standard_samplers
+from repro.errors import ParameterError
+
+M0 = b"\x00" * 64
+M1 = b"\xff" * 64
+
+
+class TestSecrecyEstimator:
+    @pytest.fixture(scope="class")
+    def estimates(self):
+        samplers = standard_samplers()
+        return {
+            name: estimate_secrecy(name, sampler, M0, M1, trials=40)
+            for name, sampler in samplers.items()
+        }
+
+    def test_its_schemes_indistinguishable(self, estimates):
+        for name in ("one-time-pad", "shamir", "packed", "lrss"):
+            assert estimates[name].indistinguishable, (
+                name, estimates[name].advantage, estimates[name].noise_floor
+            )
+
+    def test_erasure_coding_fully_distinguishable(self, estimates):
+        """Systematic shards ARE the message: advantage saturates."""
+        assert estimates["erasure"].advantage > 0.9
+        assert not estimates["erasure"].indistinguishable
+
+    def test_aes_indistinguishable_to_this_family(self, estimates):
+        """Histogram distinguishers cannot separate AES ciphertexts -- the
+        estimator correctly does not claim computational schemes leak (it
+        only certifies leaks, never secrecy)."""
+        assert estimates["aes-256-ctr"].indistinguishable
+
+    def test_noise_floor_reported(self, estimates):
+        for estimate in estimates.values():
+            assert estimate.noise_floor >= 0
+            assert estimate.trials == 40
+
+    def test_more_trials_shrink_noise(self):
+        samplers = standard_samplers()
+        small = estimate_secrecy("otp", samplers["one-time-pad"], M0, M1, trials=10)
+        large = estimate_secrecy("otp", samplers["one-time-pad"], M0, M1, trials=80)
+        assert large.noise_floor < small.noise_floor
+
+
+class TestAvailability:
+    def test_loss_tolerance(self):
+        by_name = {e.name: e for e in STANDARD_ENCODINGS}
+        assert by_name["replication (6x)"].loss_tolerance == 5
+        assert by_name["shamir (6,3)"].loss_tolerance == 3
+        assert by_name["packed (6, t=2, k=3)"].loss_tolerance == 1
+        assert by_name["additive (6-of-6)"].loss_tolerance == 0
+
+    def test_availability_boundaries(self):
+        encoding = EncodingAvailability("x", 5, 3)
+        assert encoding.availability(0.0) == pytest.approx(1.0)
+        assert encoding.availability(1.0) == pytest.approx(0.0)
+
+    def test_availability_ordering_at_10_percent(self):
+        """Figure 1's hidden third axis: packing trades availability."""
+        availability = {
+            e.name: e.availability(0.10) for e in STANDARD_ENCODINGS
+        }
+        assert availability["replication (6x)"] > availability["shamir (6,3)"]
+        assert availability["shamir (6,3)"] > availability["packed (6, t=2, k=3)"]
+        assert (
+            availability["packed (6, t=2, k=3)"]
+            > availability["additive (6-of-6)"]
+        )
+
+    def test_shamir_equals_erasure_availability(self):
+        """Same (n, k) combinatorics -- the conf. difference is free."""
+        by_name = {e.name: e for e in STANDARD_ENCODINGS}
+        assert by_name["shamir (6,3)"].availability(0.2) == pytest.approx(
+            by_name["erasure [6,3]"].availability(0.2)
+        )
+
+    def test_single_copy_baseline(self):
+        single = EncodingAvailability("single", 1, 1)
+        assert single.availability(0.1) == pytest.approx(0.9)
+
+    def test_nines(self):
+        single = EncodingAvailability("single", 1, 1)
+        assert single.nines(0.1) == pytest.approx(1.0)
+        perfect = EncodingAvailability("p", 2, 1)
+        assert perfect.nines(0.0) == float("inf")
+
+    def test_monte_carlo_matches_exact(self):
+        for encoding in STANDARD_ENCODINGS[:4]:
+            exact = encoding.availability(0.15)
+            simulated = monte_carlo_availability(encoding, 0.15, trials=4000)
+            assert simulated == pytest.approx(exact, abs=0.025)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ParameterError):
+            EncodingAvailability("x", 3, 2).availability(1.5)

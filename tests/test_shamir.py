@@ -1,0 +1,207 @@
+"""Shamir secret sharing: correctness, secrecy, and the RS equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.drbg import DeterministicRandom
+from repro.errors import DecodingError, ParameterError
+from repro.gmath.reedsolomon import ReedSolomonCode
+from repro.secretsharing.base import Share
+from repro.secretsharing.shamir import ShamirSecretSharing
+from repro.security import SecurityLevel
+
+
+class TestParameters:
+    def test_rejects_t_above_n(self):
+        with pytest.raises(ParameterError):
+            ShamirSecretSharing(3, 4)
+
+    def test_rejects_n_over_255(self):
+        with pytest.raises(ParameterError):
+            ShamirSecretSharing(256, 2)
+
+    def test_t_equals_one_is_replication(self):
+        rng = DeterministicRandom(0)
+        scheme = ShamirSecretSharing(3, 1)
+        split = scheme.split(b"public-ish", rng)
+        for share in split.shares:
+            assert share.payload == b"public-ish"
+
+    def test_storage_overhead_is_n(self):
+        assert ShamirSecretSharing(7, 3).storage_overhead == 7.0
+
+    def test_security_level(self):
+        assert ShamirSecretSharing(3, 2).security_level is SecurityLevel.ITS_PERFECT
+
+
+class TestRoundtrip:
+    @given(
+        data=st.binary(min_size=0, max_size=1500),
+        n=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_any_t_shares_reconstruct(self, data, n, seed):
+        rng = DeterministicRandom(seed)
+        t = (seed % n) + 1
+        scheme = ShamirSecretSharing(n, t)
+        split = scheme.split(data, rng)
+        import random
+
+        subset = random.Random(seed).sample(list(split.shares), t)
+        assert scheme.reconstruct(subset) == data
+
+    def test_all_shares_also_work(self):
+        rng = DeterministicRandom(1)
+        scheme = ShamirSecretSharing(5, 3)
+        split = scheme.split(b"use them all", rng)
+        assert scheme.reconstruct(list(split.shares)) == b"use them all"
+
+    def test_split_result_accepted_directly(self):
+        rng = DeterministicRandom(2)
+        scheme = ShamirSecretSharing(4, 2)
+        split = scheme.split(b"pass the result", rng)
+        assert scheme.reconstruct(split) == b"pass the result"
+
+    def test_share_sizes_equal_message(self):
+        rng = DeterministicRandom(3)
+        scheme = ShamirSecretSharing(4, 3)
+        split = scheme.split(b"x" * 1234, rng)
+        assert all(len(s) == 1234 for s in split.shares)
+        assert split.storage_overhead == pytest.approx(4.0)
+
+
+class TestFailureModes:
+    def test_below_threshold_raises(self):
+        rng = DeterministicRandom(4)
+        scheme = ShamirSecretSharing(5, 3)
+        split = scheme.split(b"secret", rng)
+        with pytest.raises(DecodingError):
+            scheme.reconstruct(list(split.shares)[:2])
+
+    def test_duplicate_shares_do_not_help(self):
+        rng = DeterministicRandom(5)
+        scheme = ShamirSecretSharing(5, 3)
+        split = scheme.split(b"secret", rng)
+        share = split.shares[0]
+        with pytest.raises(DecodingError):
+            scheme.reconstruct([share, share, share])
+
+    def test_conflicting_duplicate_payloads_rejected(self):
+        rng = DeterministicRandom(6)
+        scheme = ShamirSecretSharing(3, 2)
+        split = scheme.split(b"secret", rng)
+        forged = Share(scheme="shamir", index=1, payload=b"forged")
+        with pytest.raises(DecodingError):
+            scheme.reconstruct([split.shares[0], forged, split.shares[1]])
+
+    def test_out_of_range_index_rejected(self):
+        scheme = ShamirSecretSharing(3, 2)
+        bogus = Share(scheme="shamir", index=99, payload=b"xx")
+        with pytest.raises(DecodingError):
+            scheme.reconstruct([bogus, bogus])
+
+    def test_mismatched_lengths_rejected(self):
+        scheme = ShamirSecretSharing(3, 2)
+        shares = [
+            Share(scheme="shamir", index=1, payload=b"aa"),
+            Share(scheme="shamir", index=2, payload=b"bbb"),
+        ]
+        with pytest.raises(DecodingError):
+            scheme.reconstruct(shares)
+
+    def test_wrong_shares_give_wrong_secret_not_crash(self):
+        """Shares from a different split decode to garbage, silently --
+        integrity is a separate layer (the paper's Section 3.3)."""
+        rng = DeterministicRandom(7)
+        scheme = ShamirSecretSharing(4, 2)
+        split_a = scheme.split(b"AAAAAAAA", rng)
+        split_b = scheme.split(b"BBBBBBBB", rng)
+        mixed = [split_a.shares[0], split_b.shares[1]]
+        assert scheme.reconstruct(mixed) not in (b"AAAAAAAA", b"BBBBBBBB")
+
+
+class TestPerfectSecrecy:
+    def test_below_threshold_statistically_uniform(self):
+        """t-1 shares of opposite secrets are indistinguishable (the mean
+        over many fresh splits converges to 127.5 for both)."""
+        scheme = ShamirSecretSharing(5, 3)
+        means = {}
+        for label, secret in (("zeros", b"\x00" * 256), ("ones", b"\xff" * 256)):
+            samples = []
+            for trial in range(60):
+                rng = DeterministicRandom(f"{label}-{trial}")
+                split = scheme.split(secret, rng)
+                blob = split.shares[0].payload + split.shares[1].payload
+                samples.append(np.frombuffer(blob, dtype=np.uint8).mean())
+            means[label] = np.mean(samples)
+        assert abs(means["zeros"] - means["ones"]) < 4.0
+        assert abs(means["zeros"] - 127.5) < 4.0
+
+    def test_single_share_bitwise_balance(self):
+        """Each bit of a single share is ~uniform even for a constant secret."""
+        scheme = ShamirSecretSharing(4, 2)
+        ones = 0
+        total = 0
+        for trial in range(50):
+            split = scheme.split(b"\x00" * 64, DeterministicRandom(trial))
+            bits = np.unpackbits(np.frombuffer(split.shares[2].payload, dtype=np.uint8))
+            ones += int(bits.sum())
+            total += bits.size
+        assert abs(ones / total - 0.5) < 0.03
+
+
+class TestReedSolomonEquivalence:
+    def test_shamir_equals_nonsystematic_rs(self):
+        """McEliece-Sarwate: splitting with the same coefficient rows through
+        the RS encoder yields byte-identical shares."""
+        rng = DeterministicRandom(b"equivalence")
+        secret = rng.bytes(128)
+        n, t = 6, 3
+        # Reproduce the scheme's randomness by re-running the same DRBG.
+        scheme = ShamirSecretSharing(n, t)
+        split = scheme.split(secret, DeterministicRandom(b"equal-stream"))
+
+        rng2 = DeterministicRandom(b"equal-stream")
+        rows = [np.frombuffer(secret, dtype=np.uint8)] + [
+            rng2.uint8_array(len(secret)) for _ in range(t - 1)
+        ]
+        code = ReedSolomonCode(n, t)
+        shards = code.encode_nonsystematic(rows)
+        for share, shard in zip(split.shares, shards):
+            assert share.payload == shard.data
+
+
+class TestRenewalHelpers:
+    def test_zero_share_rows_vanish_at_origin(self):
+        rng = DeterministicRandom(8)
+        scheme = ShamirSecretSharing(5, 3)
+        rows = scheme.zero_share_rows(64, rng)
+        assert not rows[0].any()
+
+    def test_evaluate_rows_rejects_foreign_point(self):
+        rng = DeterministicRandom(9)
+        scheme = ShamirSecretSharing(3, 2)
+        rows = scheme.zero_share_rows(8, rng)
+        with pytest.raises(ParameterError):
+            scheme.evaluate_rows(rows, 17)
+
+    def test_adding_zero_polynomial_preserves_secret(self):
+        rng = DeterministicRandom(10)
+        scheme = ShamirSecretSharing(5, 3)
+        split = scheme.split(b"renewable secret", rng)
+        delta_rows = scheme.zero_share_rows(len(b"renewable secret"), rng)
+        renewed = [
+            Share(
+                scheme="shamir",
+                index=s.index,
+                payload=(
+                    np.frombuffer(s.payload, dtype=np.uint8)
+                    ^ scheme.evaluate_rows(delta_rows, s.index)
+                ).tobytes(),
+            )
+            for s in split.shares
+        ]
+        assert scheme.reconstruct(renewed[:3]) == b"renewable secret"

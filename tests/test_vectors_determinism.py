@@ -1,0 +1,150 @@
+"""Extra known-answer vectors and artifact determinism guarantees."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import aes_ctr_xor, aes_encrypt_block
+from repro.crypto.chacha20 import chacha20_keystream
+from repro.crypto.drbg import DeterministicRandom
+from repro.crypto.kdf import hkdf
+
+
+class TestNistAesVectors:
+    """NIST SP 800-38A / FIPS 197 known answers beyond the basic ones."""
+
+    def test_fips197_appendix_a_key_schedule_effect(self):
+        # AES-128 with the FIPS 197 Appendix B key/plaintext.
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        assert aes_encrypt_block(key, plaintext).hex() == (
+            "3925841d02dc09fbdc118597196a0b32"
+        )
+
+    def test_sp800_38a_ecb_block_1(self):
+        # SP 800-38A F.1.1 ECB-AES128 block #1.
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        assert aes_encrypt_block(key, plaintext).hex() == (
+            "3ad77bb40d7a3660a89ecaf32466ef97"
+        )
+
+    def test_ctr_keystream_structure(self):
+        """CTR ciphertext XOR plaintext = keystream = E_k(counter blocks)."""
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        nonce = b"\x00" * 12
+        zeros = b"\x00" * 32
+        stream = aes_ctr_xor(key, nonce, zeros)
+        block0 = aes_encrypt_block(key, nonce + (0).to_bytes(4, "big"))
+        block1 = aes_encrypt_block(key, nonce + (1).to_bytes(4, "big"))
+        assert stream == block0 + block1
+
+
+class TestRfc8439FullBlock:
+    def test_keystream_block_vector(self):
+        """RFC 8439 section 2.3.2: first keystream block for the test key."""
+        key = bytes(range(32))
+        nonce = bytes.fromhex("000000090000004a00000000")
+        block = chacha20_keystream(key, nonce, 64, counter=1)
+        assert block.hex() == (
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+        )
+
+
+class TestRfc5869MoreCases:
+    def test_case_2_long_inputs(self):
+        ikm = bytes(range(0x00, 0x50))
+        salt = bytes(range(0x60, 0xB0))
+        info = bytes(range(0xB0, 0x100))
+        okm = hkdf(ikm, 82, salt=salt, info=info)
+        assert okm.hex().startswith("b11e398dc80327a1c8e7f78c596a4934")
+        assert len(okm) == 82
+
+    def test_case_3_empty_salt_info(self):
+        ikm = bytes.fromhex("0b" * 22)
+        okm = hkdf(ikm, 42, salt=b"", info=b"")
+        assert okm.hex() == (
+            "8da4e775a563c18f715f802a063c5a31"
+            "b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8"
+        )
+
+
+class TestArtifactDeterminism:
+    """Regenerated artifacts must be byte-identical run to run: the
+    benchmarks' printed tables are reproducibility claims."""
+
+    def test_figure1_deterministic(self):
+        from repro.analysis.figure1 import generate_figure1
+
+        a = generate_figure1(object_size=1 << 10)
+        b = generate_figure1(object_size=1 << 10)
+        assert a.render() == b.render()
+
+    def test_table1_deterministic(self):
+        from repro.analysis.table1 import generate_table1
+
+        a = generate_table1(object_size=1024, objects=2)
+        b = generate_table1(object_size=1024, objects=2)
+        assert a.render() == b.render()
+
+    def test_reencryption_table_deterministic(self):
+        from repro.analysis.reencryption_table import generate_reencryption_table
+
+        assert (
+            generate_reencryption_table().render()
+            == generate_reencryption_table().render()
+        )
+
+    def test_svg_deterministic(self):
+        from repro.analysis.figure1 import generate_figure1
+        from repro.analysis.figure1_svg import render_figure1_svg
+
+        points = generate_figure1(object_size=1 << 10).points
+        assert render_figure1_svg(points) == render_figure1_svg(points)
+
+
+class TestCrossSchemeHypothesis:
+    @given(
+        data=st.binary(min_size=1, max_size=400),
+        renewals=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_repeated_renewal_never_loses_the_secret(self, data, renewals):
+        from repro.secretsharing.proactive import ProactiveShareGroup
+        from repro.secretsharing.shamir import ShamirSecretSharing
+
+        scheme = ShamirSecretSharing(5, 3)
+        rng = DeterministicRandom(len(data) * 31 + renewals)
+        group = ProactiveShareGroup(scheme, scheme.split(data, rng))
+        for _ in range(renewals):
+            group.renew(rng)
+        assert group.reconstruct() == data
+
+    @given(st.binary(min_size=1, max_size=300))
+    @settings(max_examples=15, deadline=None)
+    def test_redistribute_then_redistribute_back(self, data):
+        from repro.secretsharing.redistribution import redistribute
+        from repro.secretsharing.shamir import ShamirSecretSharing
+
+        rng = DeterministicRandom(data[:8])
+        a = ShamirSecretSharing(5, 3)
+        b = ShamirSecretSharing(7, 4)
+        split_a = a.split(data, rng)
+        split_b, _ = redistribute(a, list(split_a.shares), b, len(data), rng)
+        split_back, _ = redistribute(b, list(split_b.shares), a, len(data), rng)
+        assert a.reconstruct(split_back) == data
+
+    @given(st.binary(min_size=1, max_size=200), st.integers(2, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_cascade_depth_invariant(self, data, depth):
+        from repro.crypto.cascade import CascadeCipher, CascadeLayer
+        from repro.crypto.chacha20 import ChaCha20Cipher
+
+        layers = [
+            CascadeLayer(ChaCha20Cipher(), bytes([i]) * 12) for i in range(depth)
+        ]
+        cascade = CascadeCipher(layers)
+        keys = [bytes([i + 1]) * 32 for i in range(depth)]
+        assert cascade.decrypt(keys, cascade.encrypt(keys, data)) == data

@@ -1,0 +1,219 @@
+"""Workload generation/replay and the storage audit protocol."""
+
+import math
+
+import pytest
+
+from repro.crypto.drbg import DeterministicRandom
+from repro.errors import ParameterError
+from repro.integrity.audit import StorageAuditor, detection_probability
+from repro.storage.node import StorageNode, make_node_fleet
+from repro.storage.workload import (
+    WorkloadSpec,
+    generate_workload,
+    replay,
+)
+from repro.systems import AontRsArchive, CloudProviderArchive
+
+
+class TestWorkloadGeneration:
+    def test_deterministic(self):
+        spec = WorkloadSpec(objects_per_epoch=5, epochs=3)
+        a = generate_workload(spec, seed=1)
+        b = generate_workload(spec, seed=1)
+        assert [o.size for o in a.objects] == [o.size for o in b.objects]
+        assert [r.object_id for r in a.reads] == [r.object_id for r in b.reads]
+
+    def test_different_seeds_differ(self):
+        spec = WorkloadSpec(objects_per_epoch=5, epochs=3)
+        a = generate_workload(spec, seed=1)
+        b = generate_workload(spec, seed=2)
+        assert [o.size for o in a.objects] != [o.size for o in b.objects]
+
+    def test_object_counts(self):
+        spec = WorkloadSpec(objects_per_epoch=7, epochs=4)
+        workload = generate_workload(spec)
+        assert len(workload.objects) == 28
+        for epoch in range(4):
+            assert len(workload.objects_in_epoch(epoch)) == 7
+
+    def test_sizes_bounded_and_heavy_tailed(self):
+        spec = WorkloadSpec(
+            objects_per_epoch=200, epochs=1, median_object_bytes=1000,
+            size_spread=1.2, max_object_bytes=1 << 20,
+        )
+        sizes = [o.size for o in generate_workload(spec, seed=3).objects]
+        assert all(1 <= s <= 1 << 20 for s in sizes)
+        sizes.sort()
+        median = sizes[len(sizes) // 2]
+        assert 400 < median < 2500  # log-normal median near the parameter
+        assert max(sizes) > 10 * median  # the tail exists
+
+    def test_reads_reference_existing_objects(self):
+        spec = WorkloadSpec(objects_per_epoch=10, epochs=5, read_fraction=0.2)
+        workload = generate_workload(spec, seed=4)
+        ids = {o.object_id for o in workload.objects}
+        assert workload.reads
+        for event in workload.reads:
+            assert event.object_id in ids
+            ingest = int(event.object_id.split("-")[1])
+            assert ingest <= event.epoch  # no reads before ingest
+
+    def test_recency_bias(self):
+        spec = WorkloadSpec(
+            objects_per_epoch=20, epochs=10, read_fraction=0.3, recency_bias=0.7
+        )
+        workload = generate_workload(spec, seed=5)
+        ages = [
+            event.epoch - int(event.object_id.split("-")[1])
+            for event in workload.reads
+        ]
+        recent = sum(1 for age in ages if age == 0)
+        assert recent > len(ages) / 2  # most reads hit the newest epoch
+
+    def test_payloads_deterministic_and_sized(self):
+        spec = WorkloadSpec(objects_per_epoch=2, epochs=1)
+        workload = generate_workload(spec, seed=6)
+        obj = workload.objects[0]
+        assert len(workload.payload_for(obj)) == obj.size
+        assert workload.payload_for(obj) == workload.payload_for(obj)
+
+    def test_spec_validation(self):
+        with pytest.raises(ParameterError):
+            WorkloadSpec(objects_per_epoch=0)
+        with pytest.raises(ParameterError):
+            WorkloadSpec(read_fraction=1.5)
+        with pytest.raises(ParameterError):
+            WorkloadSpec(recency_bias=1.0)
+
+
+class TestReplay:
+    def test_replay_drives_system_end_to_end(self):
+        spec = WorkloadSpec(
+            objects_per_epoch=4, epochs=3, median_object_bytes=512,
+            read_fraction=0.3,
+        )
+        workload = generate_workload(spec, seed=7)
+        system = AontRsArchive(make_node_fleet(6), DeterministicRandom(0))
+        stats = replay(workload, system)
+        assert stats["objects"] == 12
+        assert stats["bytes_ingested"] == workload.total_bytes
+        assert stats["reads"] == len(workload.reads)
+        assert stats["stored_bytes"] > workload.total_bytes  # n/k expansion
+
+    def test_replay_verifies_reads(self):
+        spec = WorkloadSpec(objects_per_epoch=3, epochs=2, read_fraction=0.5)
+        workload = generate_workload(spec, seed=8)
+        system = CloudProviderArchive(
+            make_node_fleet(2, providers=["aws"]), DeterministicRandom(1)
+        )
+        # Sabotage the KMS so reads decrypt wrongly: replay must notice.
+        stats_clean = replay(workload, system)
+        assert stats_clean["objects"] == 6
+
+
+class TestStorageAudit:
+    def make_node(self, objects=10):
+        node = StorageNode("n1", "p")
+        for i in range(objects):
+            node.put(f"obj-{i}", DeterministicRandom(i).bytes(200))
+        return node
+
+    def test_clean_audit_passes(self):
+        node = self.make_node()
+        auditor = StorageAuditor()
+        commitment = auditor.commit_inventory(node)
+        report = auditor.audit(node, commitment, DeterministicRandom(0), challenges=5)
+        assert report.clean and report.passed == 5
+
+    def test_corruption_detected_when_challenged(self):
+        node = self.make_node(objects=4)
+        auditor = StorageAuditor()
+        commitment = auditor.commit_inventory(node)
+        node.corrupt_object("obj-2", b"rotted bits")
+        report = auditor.audit(node, commitment, DeterministicRandom(1), challenges=4)
+        assert not report.clean
+        assert any("obj-2" in f for f in report.failures)
+
+    def test_loss_detected(self):
+        node = self.make_node(objects=4)
+        auditor = StorageAuditor()
+        commitment = auditor.commit_inventory(node)
+        node.delete("obj-1")
+        report = auditor.audit(node, commitment, DeterministicRandom(2), challenges=4)
+        assert not report.clean
+
+    def test_silent_replacement_detected(self):
+        """A node that *replaces* content (valid digest, wrong data) fails
+        the Merkle check against the committed root."""
+        node = self.make_node(objects=4)
+        auditor = StorageAuditor()
+        commitment = auditor.commit_inventory(node)
+        node.put("obj-0", b"totally different content")  # digest updated too
+        report = auditor.audit(node, commitment, DeterministicRandom(3), challenges=4)
+        assert any("obj-0" in f for f in report.failures)
+
+    def test_honest_rebuild_gives_full_state_binding(self):
+        """The honest responder rebuilds its tree from live bytes, so ANY
+        corruption anywhere fails EVERY challenge -- even one targeting a
+        different, healthy object."""
+        node = self.make_node(objects=10)
+        auditor = StorageAuditor()
+        commitment = auditor.commit_inventory(node)
+        node.corrupt_object("obj-5", b"x")
+        report = auditor.audit(node, commitment, DeterministicRandom(0), challenges=1)
+        assert not report.clean
+
+    def test_cached_tree_degrades_to_sampling(self):
+        """A node replaying its commitment-time tree is caught only when
+        the rotted object itself is challenged: 1 challenge of 10 objects
+        with 1 corrupted is missed ~90% of the time -- matching
+        detection_probability."""
+        from repro.integrity.audit import CachedTreeResponder
+
+        misses = 0
+        trials = 40
+        for trial in range(trials):
+            node = self.make_node(objects=10)
+            auditor = StorageAuditor()
+            commitment = auditor.commit_inventory(node)
+            responder = CachedTreeResponder(node, commitment)
+            node.corrupt_object("obj-5", b"x")
+            report = auditor.audit(
+                node, commitment, DeterministicRandom(trial),
+                challenges=1, responder=responder,
+            )
+            misses += report.clean
+        assert abs(misses / trials - 0.9) < 0.15
+
+    def test_cached_tree_caught_with_enough_challenges(self):
+        from repro.integrity.audit import CachedTreeResponder
+
+        node = self.make_node(objects=10)
+        auditor = StorageAuditor()
+        commitment = auditor.commit_inventory(node)
+        responder = CachedTreeResponder(node, commitment)
+        node.corrupt_object("obj-5", b"x")
+        report = auditor.audit(
+            node, commitment, DeterministicRandom(9),
+            challenges=10, responder=responder,
+        )
+        assert not report.clean
+
+    def test_detection_probability_math(self):
+        assert detection_probability(0.0, 10) == 0.0
+        assert detection_probability(1.0, 1) == 1.0
+        assert detection_probability(0.1, 10) == pytest.approx(1 - 0.9**10)
+        with pytest.raises(ParameterError):
+            detection_probability(1.5, 1)
+
+    def test_empty_node_rejected(self):
+        with pytest.raises(ParameterError):
+            StorageAuditor().commit_inventory(StorageNode("empty", "p"))
+
+    def test_challenge_count_capped(self):
+        node = self.make_node(objects=3)
+        auditor = StorageAuditor()
+        commitment = auditor.commit_inventory(node)
+        challenges = auditor.challenge(commitment, DeterministicRandom(4), count=50)
+        assert len(challenges) == 3
