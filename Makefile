@@ -1,12 +1,23 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench artifacts examples all clean
+.PHONY: install test bench artifacts examples all clean lint-exceptions
 
 install:
 	python setup.py develop
 
-test:
+test: lint-exceptions
 	pytest tests/
+
+# Guard against silent failures: every broad `except Exception` must carry a
+# `# noqa: broad-except-ok` justification or be narrowed to specific classes.
+lint-exceptions:
+	@bad=$$(grep -rn --include='*.py' -E 'except +(Exception|BaseException)\b|except *:' src benchmarks tests examples | grep -v 'noqa: broad-except-ok' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "lint-exceptions: broad except without '# noqa: broad-except-ok' justification:"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi; \
+	echo "lint-exceptions: OK"
 
 bench:
 	pytest benchmarks/ --benchmark-only

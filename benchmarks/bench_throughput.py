@@ -93,11 +93,14 @@ def test_bench_aontrs_split(benchmark, rng):
     assert split.total == 6
 
 
-def test_throughput_summary_artifact(run_once, emit_artifact, rng):
+def test_throughput_summary_artifact(run_once, emit_artifact, rng, snapshot_mbps):
     """One-shot MB/s table (coarse, single run; the pytest-benchmark rows
-    above are the precise numbers)."""
-    import time
+    above are the precise numbers).
 
+    Timings come from the observability registry: each operation runs inside
+    a span and its wall-clock cost is read back from the snapshot, so this
+    artifact exercises the same measurement path the library reports.
+    """
     from repro.analysis.report import render_table
 
     operations = {
@@ -108,12 +111,10 @@ def test_throughput_summary_artifact(run_once, emit_artifact, rng):
         "shamir(5,3) split": lambda: ShamirSecretSharing(5, 3).split(DATA, rng),
         "aont-rs(6,4) split": lambda: AontRsDispersal(6, 4).split(DATA, rng),
     }
-    rows = []
-    for name, operation in operations.items():
-        start = time.perf_counter()
-        operation()
-        elapsed = time.perf_counter() - start
-        rows.append((name, f"{MIB / elapsed / 1e6:.1f}"))
+    rows = [
+        (name, f"{snapshot_mbps(name, operation, MIB):.1f}")
+        for name, operation in operations.items()
+    ]
     run_once(lambda: sha256(DATA))
     emit_artifact(
         "throughput",

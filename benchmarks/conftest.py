@@ -4,11 +4,19 @@ Every benchmark both *times* a representative operation (pytest-benchmark)
 and *regenerates* its paper artifact (the table/figure rows).  The rows are
 printed and also written under ``benchmarks/results/`` so they survive
 pytest's output capture and can be diffed against EXPERIMENTS.md.
+
+Coarse one-shot timings come from the observability registry
+(``repro.obs``): operations run inside a ``span()`` and throughput is read
+back out of the registry snapshot, so the artifact numbers are produced by
+the same instrumentation the library itself reports -- no ad-hoc
+``time.perf_counter()`` bookkeeping in benchmark files.
 """
 
 from pathlib import Path
 
 import pytest
+
+from repro.obs import span, use_registry
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -26,6 +34,37 @@ def run_once(benchmark):
         return benchmark.pedantic(fn, rounds=1, iterations=1)
 
     return _run
+
+
+@pytest.fixture
+def metrics_registry():
+    """A fresh metrics registry installed for the duration of one test.
+
+    Everything the library records during the test -- encode bytes, fetch
+    counts, span timings -- lands here, isolated from other tests; read it
+    back with ``metrics_registry.snapshot()``.
+    """
+    with use_registry() as registry:
+        yield registry
+
+
+@pytest.fixture
+def snapshot_mbps(metrics_registry):
+    """Measure *fn* via a registry span and return throughput in MB/s.
+
+    The callable runs once inside ``span('bench.<name>')``; the wall-clock
+    cost is then read out of the registry snapshot, so the number reported
+    is exactly what the observability layer recorded.
+    """
+
+    def _measure(name: str, fn, n_bytes: int) -> float:
+        with span(f"bench.{name}"):
+            fn()
+        histograms = metrics_registry.snapshot()["histograms"]
+        wall = histograms[f"span_wall_seconds{{span=bench.{name}}}"]["sum"]
+        return n_bytes / wall / 1e6
+
+    return _measure
 
 
 @pytest.fixture(scope="session")

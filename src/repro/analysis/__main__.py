@@ -1,10 +1,13 @@
 """Regenerate every paper artifact from the command line.
 
-    python -m repro.analysis            # all three artifacts
-    python -m repro.analysis figure1    # just one
+    python -m repro.analysis                # all three artifacts
+    python -m repro.analysis figure1        # just one
+    python -m repro.analysis --metrics      # append the observability report
 
 Prints the measured Figure 1, Table 1, and Section 3.2 re-encryption table,
-each followed by its shape verdict.
+each followed by its shape verdict.  With ``--metrics``, a final section
+dumps the metrics registry accumulated while generating the artifacts --
+every encode byte, share fetch, and span timing the run produced.
 """
 
 from __future__ import annotations
@@ -13,7 +16,9 @@ import sys
 
 from repro.analysis.figure1 import generate_figure1
 from repro.analysis.reencryption_table import generate_reencryption_table
+from repro.analysis.report import render_metrics_report
 from repro.analysis.table1 import generate_table1
+from repro.obs import get_registry
 
 
 def _figure1() -> bool:
@@ -46,6 +51,8 @@ _ARTIFACTS = {
 
 
 def main(argv: list[str]) -> int:
+    show_metrics = "--metrics" in argv
+    argv = [arg for arg in argv if arg != "--metrics"]
     requested = argv or list(_ARTIFACTS)
     unknown = [name for name in requested if name not in _ARTIFACTS]
     if unknown:
@@ -56,6 +63,9 @@ def main(argv: list[str]) -> int:
     for name in requested:
         print(f"{'=' * 72}\n{name}\n{'=' * 72}")
         ok = _ARTIFACTS[name]() and ok
+    if show_metrics:
+        print(f"{'=' * 72}\nmetrics\n{'=' * 72}")
+        print(render_metrics_report(get_registry().snapshot()))
     return 0 if ok else 1
 
 

@@ -42,3 +42,66 @@ def _fmt(cell: object) -> str:
     if isinstance(cell, float):
         return f"{cell:.2f}"
     return str(cell)
+
+
+# -- observability report ------------------------------------------------------
+
+
+def render_metrics_report(snapshot: dict) -> str:
+    """Render a :meth:`repro.obs.MetricsRegistry.snapshot` as aligned tables.
+
+    Three sections: counters (sorted by name), gauges, and histogram
+    summaries (count / mean / min / max, durations shown in milliseconds).
+    Used by ``python -m repro.analysis --metrics`` and by benchmarks that
+    want their registry-derived numbers in artifact output.
+    """
+    sections = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        sections.append(
+            render_table(
+                headers=["Counter", "Value"],
+                rows=[(name, _fmt_count(v)) for name, v in counters.items()],
+                title="Counters",
+            )
+        )
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        sections.append(
+            render_table(
+                headers=["Gauge", "Value"],
+                rows=list(gauges.items()),
+                title="Gauges",
+            )
+        )
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        rows = []
+        for name, summary in histograms.items():
+            seconds = name.endswith("_seconds") or "_seconds{" in name
+            scale, unit = (1e3, " ms") if seconds else (1, "")
+            rows.append(
+                (
+                    name,
+                    summary["count"],
+                    f"{summary['mean'] * scale:.3f}{unit}",
+                    f"{(summary['min'] or 0) * scale:.3f}{unit}",
+                    f"{(summary['max'] or 0) * scale:.3f}{unit}",
+                )
+            )
+        sections.append(
+            render_table(
+                headers=["Histogram", "Count", "Mean", "Min", "Max"],
+                rows=rows,
+                title="Histograms",
+            )
+        )
+    if not sections:
+        return "Metrics\n(no metrics recorded)"
+    return "\n\n".join(sections)
+
+
+def _fmt_count(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.2f}"
+    return str(int(value))

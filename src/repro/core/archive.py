@@ -29,6 +29,9 @@ from repro.integrity.timestamp import (
     TimestampAuthority,
     TimestampChain,
 )
+from repro.obs import metrics as _metrics
+from repro.obs.profiling import profiled
+from repro.obs.tracing import span
 from repro.secretsharing.aontrs import AontRsDispersal
 from repro.secretsharing.base import Share
 from repro.secretsharing.leakage import LeakageResilientSharing
@@ -89,9 +92,28 @@ class SecureArchive(ArchivalSystem):
             )
         raise ParameterError(f"unhandled target {policy.target}")
 
+    # -- observability -----------------------------------------------------------------
+
+    @staticmethod
+    def metrics_snapshot() -> dict:
+        """Deterministic snapshot of the active metrics registry.
+
+        The registry is process-wide (instrumentation lives in layers far
+        below the facade), so this reflects everything measured since the
+        registry was installed; wrap work in
+        ``repro.obs.use_registry()`` to scope it to one archive.
+        """
+        return _metrics.get_registry().snapshot()
+
     # -- store / retrieve --------------------------------------------------------------
 
     def store(self, object_id: str, data: bytes) -> StoreReceipt:
+        with span("archive.store", object_id=object_id):
+            return self._store(object_id, data)
+
+    def _store(self, object_id: str, data: bytes) -> StoreReceipt:
+        _metrics.inc("archive_ops_total", op="store")
+        _metrics.inc("archive_store_bytes_total", len(data))
         split = self._scheme.split(data, self.rng)
         payloads = {share.index: share.payload for share in split.shares}
         placement = self._store_shares(object_id, payloads)
@@ -122,9 +144,13 @@ class SecureArchive(ArchivalSystem):
         return self._record(receipt)
 
     def retrieve(self, object_id: str) -> bytes:
-        receipt = self.receipt(object_id)
-        fetched = self._fetch_shares(receipt)
-        return self._decode(receipt, fetched)
+        with span("archive.retrieve", object_id=object_id):
+            _metrics.inc("archive_ops_total", op="retrieve")
+            receipt = self.receipt(object_id)
+            fetched = self._fetch_shares(receipt)
+            data = self._decode(receipt, fetched)
+            _metrics.inc("archive_retrieve_bytes_total", len(data))
+            return data
 
     def _decode(self, receipt: StoreReceipt, fetched: dict[int, bytes]) -> bytes:
         scheme = self._scheme
@@ -134,7 +160,8 @@ class SecureArchive(ArchivalSystem):
         ]
         if len(shares) < receipt.metadata["threshold"]:
             raise DecodingError(
-                f"{len(shares)} shares held, {receipt.metadata['threshold']} needed"
+                f"{receipt.object_id}: {len(shares)} shares held, "
+                f"{receipt.metadata['threshold']} needed"
             )
         if isinstance(scheme, ShamirSecretSharing):
             return scheme.reconstruct(shares)[: receipt.original_length]
@@ -169,9 +196,11 @@ class SecureArchive(ArchivalSystem):
             raise ParameterError("segment size must be positive")
         receipts = []
         count = max(1, -(-len(data) // segment_bytes))
-        for k in range(count):
-            segment = data[k * segment_bytes : (k + 1) * segment_bytes]
-            receipts.append(self.store(f"{object_id}/seg-{k}", segment))
+        with span("archive.store_large", object_id=object_id, segments=count):
+            _metrics.inc("archive_ops_total", op="store_large")
+            for k in range(count):
+                segment = data[k * segment_bytes : (k + 1) * segment_bytes]
+                receipts.append(self.store(f"{object_id}/seg-{k}", segment))
         self._manifests[object_id] = {
             "segments": count,
             "segment_bytes": segment_bytes,
@@ -184,10 +213,11 @@ class SecureArchive(ArchivalSystem):
             manifest = self._manifests[object_id]
         except KeyError:
             raise ObjectNotFoundError(f"no large object {object_id!r}") from None
-        parts = [
-            self.retrieve(f"{object_id}/seg-{k}")
-            for k in range(manifest["segments"])
-        ]
+        with span("archive.retrieve_large", object_id=object_id):
+            parts = [
+                self.retrieve(f"{object_id}/seg-{k}")
+                for k in range(manifest["segments"])
+            ]
         data = b"".join(parts)
         if len(data) != manifest["total_length"]:
             raise DecodingError(
@@ -241,27 +271,33 @@ class SecureArchive(ArchivalSystem):
         new_signer = MerkleChainSigner(self.rng, height=8)
         self.authority = TimestampAuthority(new_signer)
         self.signer_history.append(new_signer)
+        _metrics.inc("archive_signer_rollovers_total")
         report.notes.append(f"signer rolled over (now {len(self.signer_history)})")
 
     def advance_epoch(self) -> MaintenanceReport:
         """Advance the archive clock one epoch and run due maintenance."""
         self.epoch += 1
-        report = MaintenanceReport(epoch=self.epoch)
-        self._rollover_signer_if_needed(report)
-        cadence = self.policy.renew_every_epochs
-        if (
-            self.policy.information_theoretic
-            and cadence is not None
-            and self.epoch % cadence == 0
-        ):
-            for object_id in list(self._receipts):
-                report.renewal_bytes += self._renew_object(object_id)
-                report.objects_renewed += 1
-        # Chain renewal every epoch keeps the head signature fresh.
-        self.authority.renew_chain(self.chain, self.epoch)
-        report.chain_renewed = True
-        return report
+        with span("archive.advance_epoch", epoch=self.epoch):
+            _metrics.inc("archive_ops_total", op="advance_epoch")
+            report = MaintenanceReport(epoch=self.epoch)
+            self._rollover_signer_if_needed(report)
+            cadence = self.policy.renew_every_epochs
+            if (
+                self.policy.information_theoretic
+                and cadence is not None
+                and self.epoch % cadence == 0
+            ):
+                for object_id in list(self._receipts):
+                    report.renewal_bytes += self._renew_object(object_id)
+                    report.objects_renewed += 1
+            _metrics.inc("archive_renewed_objects_total", report.objects_renewed)
+            _metrics.inc("archive_renewal_bytes_total", report.renewal_bytes)
+            # Chain renewal every epoch keeps the head signature fresh.
+            self.authority.renew_chain(self.chain, self.epoch)
+            report.chain_renewed = True
+            return report
 
+    @profiled(name="archive.renew_object")
     def _renew_object(self, object_id: str) -> int:
         """Client-driven share refresh: re-split and replace.
 
@@ -295,7 +331,7 @@ class SecureArchive(ArchivalSystem):
             if len(stolen) >= threshold:
                 return self._decode(receipt, stolen)
             if not stolen:
-                raise DecodingError("adversary holds no shares")
+                raise DecodingError(f"{object_id}: adversary holds no shares")
             self._require_at_rest_broken(timeline, epoch)
             return receipt.escrow["plaintext"]
         # Information-theoretic targets: share counting only.  Note that

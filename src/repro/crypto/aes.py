@@ -21,6 +21,7 @@ import numpy as np
 from repro.crypto.registry import PrimitiveKind, register_primitive
 from repro.errors import ParameterError
 from repro.gmath.gf256 import GF256
+from repro.obs import metrics as _metrics
 
 BLOCK_SIZE = 16
 
@@ -166,6 +167,8 @@ def aes_ctr_keystream(key: bytes, nonce: bytes, length: int, initial_counter: in
     blocks = np.empty((n_blocks, 16), dtype=np.uint8)
     blocks[:, :12] = np.frombuffer(nonce, dtype=np.uint8)
     blocks[:, 12:] = counters.view(np.uint8).reshape(n_blocks, 4)
+    _metrics.inc("crypto_cipher_calls_total", cipher="aes-ctr")
+    _metrics.inc("crypto_cipher_bytes_total", length, cipher="aes-ctr")
     return aes_encrypt_blocks(key, blocks).tobytes()[:length]
 
 

@@ -32,6 +32,7 @@ from repro.crypto.registry import PrimitiveKind, register_primitive
 from repro.crypto.sha256 import sha256
 from repro.errors import IntegrityError, ParameterError
 from repro.crypto.drbg import DeterministicRandom
+from repro.obs import metrics as _metrics
 
 KEY_SIZE = 32
 _ZERO_NONCE = b"\x00" * 12
@@ -56,6 +57,8 @@ def aont_package(data: bytes, rng: DeterministicRandom) -> bytes:
     body = _xor(data, _mask(key, len(data)))
     digest = sha256(body)
     final_block = bytes(k ^ d for k, d in zip(key, digest))
+    _metrics.inc("crypto_aont_ops_total", direction="package")
+    _metrics.inc("crypto_aont_bytes_total", len(data), direction="package")
     return body + final_block
 
 
@@ -66,6 +69,8 @@ def aont_unpackage(package: bytes) -> bytes:
     body, final_block = package[:-KEY_SIZE], package[-KEY_SIZE:]
     digest = sha256(body)
     key = bytes(c ^ d for c, d in zip(final_block, digest))
+    _metrics.inc("crypto_aont_ops_total", direction="unpackage")
+    _metrics.inc("crypto_aont_bytes_total", len(body), direction="unpackage")
     return _xor(body, _mask(key, len(body)))
 
 

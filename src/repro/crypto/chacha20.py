@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.crypto.registry import PrimitiveKind, register_primitive
 from repro.errors import ParameterError
+from repro.obs import metrics as _metrics
 
 KEY_SIZE = 32
 NONCE_SIZE = 12
@@ -51,6 +52,8 @@ def chacha20_keystream(key: bytes, nonce: bytes, length: int, counter: int = 0) 
     n_blocks = -(-length // BLOCK_SIZE)
     if counter + n_blocks > 1 << 32:
         raise ParameterError("ChaCha20 block counter would overflow")
+    _metrics.inc("crypto_cipher_calls_total", cipher="chacha20")
+    _metrics.inc("crypto_cipher_bytes_total", length, cipher="chacha20")
 
     key_words = np.frombuffer(key, dtype="<u4")
     nonce_words = np.frombuffer(nonce, dtype="<u4")

@@ -10,6 +10,7 @@ from __future__ import annotations
 from repro.crypto.hmac_ import hmac_sha256
 from repro.crypto.sha256 import DIGEST_SIZE
 from repro.errors import ParameterError
+from repro.obs import metrics as _metrics
 
 _MAX_OUTPUT = 255 * DIGEST_SIZE
 
@@ -42,6 +43,8 @@ def hkdf(
     info: bytes = b"",
 ) -> bytes:
     """One-shot HKDF: extract then expand."""
+    _metrics.inc("crypto_kdf_calls_total", kdf="hkdf")
+    _metrics.inc("crypto_kdf_bytes_total", length, kdf="hkdf")
     return hkdf_expand(hkdf_extract(salt, input_key_material), info, length)
 
 

@@ -16,6 +16,8 @@ from __future__ import annotations
 import hashlib
 import struct
 
+from repro.obs import metrics as _metrics
+
 _K = (
     0x428A2F98, 0x71374491, 0xB5C0FBCF, 0xE9B5DBA5, 0x3956C25B, 0x59F111F1,
     0x923F82A4, 0xAB1C5ED5, 0xD807AA98, 0x12835B01, 0x243185BE, 0x550C7DC3,
@@ -82,6 +84,8 @@ def sha256_pure(data: bytes) -> bytes:
 def sha256(data: bytes) -> bytes:
     """Fast SHA-256 digest (hashlib-backed; identical output to
     :func:`sha256_pure`, verified by the test suite)."""
+    _metrics.inc("crypto_hash_calls_total", algorithm="sha256")
+    _metrics.inc("crypto_hash_bytes_total", len(data), algorithm="sha256")
     return hashlib.sha256(data).digest()
 
 

@@ -23,6 +23,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.errors import ParameterError
+from repro.obs import metrics as _metrics
 
 #: The AES reduction polynomial x^8 + x^4 + x^3 + x + 1.
 REDUCING_POLYNOMIAL = 0x11B
@@ -103,6 +104,7 @@ class GF256:
     @staticmethod
     def mul(a: int, b: int) -> int:
         """Field multiplication via log/antilog tables."""
+        _metrics.inc("gf256_scalar_ops_total")
         if a == 0 or b == 0:
             return 0
         return int(_EXP[_LOG[a] + _LOG[b]])
@@ -117,6 +119,7 @@ class GF256:
     @classmethod
     def div(cls, a: int, b: int) -> int:
         """Field division a / b."""
+        _metrics.inc("gf256_scalar_ops_total")
         if b == 0:
             raise ZeroDivisionError("division by zero in GF(256)")
         if a == 0:
@@ -161,11 +164,13 @@ class GF256:
     @staticmethod
     def mul_vec(a: np.ndarray, b: np.ndarray | int) -> np.ndarray:
         """Elementwise multiplication via the 64 KiB product table."""
+        _metrics.inc("gf256_vec_ops_total")
         return _MUL_TABLE[a, b]
 
     @staticmethod
     def scalar_mul_vec(scalar: int, vec: np.ndarray) -> np.ndarray:
         """Multiply every element of *vec* by *scalar* (one table row)."""
+        _metrics.inc("gf256_vec_ops_total")
         return _MUL_TABLE[scalar][vec]
 
     @staticmethod
@@ -189,6 +194,8 @@ class GF256:
         acc = coeffs[-1]
         for coefficient in reversed(coeffs[:-1]):
             acc = np.bitwise_xor(row[acc], coefficient)
+        _metrics.inc("gf256_vec_evals_total")
+        _metrics.inc("gf256_vec_bytes_total", acc.size * len(coeffs))
         return acc
 
 

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.errors import DecodingError, ParameterError
 from repro.gmath.gf256 import GF256
+from repro.obs import metrics as _metrics
 from repro.gmath.matrix import FieldMatrix
 from repro.gmath.poly import lagrange_basis_at
 
@@ -95,6 +96,7 @@ class ReedSolomonCode:
 
     def encode(self, data: bytes) -> list[Shard]:
         """Systematically encode *data* into n shards (any k reconstruct)."""
+        _metrics.inc("rs_encode_bytes_total", len(data))
         rows, _ = self._split_rows(data)
         shards = [Shard(i, rows[i].tobytes()) for i in range(self.k)]
         for parity_offset, coeffs in enumerate(self._parity_coeffs):
@@ -107,6 +109,7 @@ class ReedSolomonCode:
 
     def decode(self, shards: list[Shard], original_length: int) -> bytes:
         """Reconstruct the original bytes from any k distinct shards."""
+        _metrics.inc("rs_decode_bytes_total", original_length)
         rows = self._decode_rows(shards)
         flat = np.concatenate(rows)
         if original_length > flat.size:
@@ -120,7 +123,9 @@ class ReedSolomonCode:
         indices = [s.index for s in chosen]
         if indices[: self.k] == list(range(self.k)) and len(indices) >= self.k:
             # Fast path: all systematic shards survived.
+            _metrics.inc("rs_decode_path_total", path="systematic")
             return [np.frombuffer(s.data, dtype=np.uint8) for s in chosen[: self.k]]
+        _metrics.inc("rs_decode_path_total", path="interpolated")
         xs = [self.points[s.index] for s in chosen]
         # Message row i equals the codeword polynomial evaluated at points[i].
         vander = FieldMatrix.vandermonde(GF256, xs, self.k)

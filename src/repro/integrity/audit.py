@@ -24,6 +24,7 @@ from repro.crypto.drbg import DeterministicRandom
 from repro.crypto.sha256 import sha256, sha256_hex
 from repro.errors import IntegrityError, ParameterError
 from repro.integrity.merkle import MerkleProof, MerkleTree
+from repro.obs import metrics as _metrics
 from repro.storage.node import StorageNode
 
 
@@ -152,19 +153,31 @@ class StorageAuditor:
         )
         for challenge in self.challenge(commitment, rng, challenges):
             report.challenges += 1
+            _metrics.inc("audit_challenges_total")
             nonce = rng.bytes(16)
             try:
                 response = responder(challenge, nonce)
             except IntegrityError as exc:
-                report.failures.append(f"{challenge.object_id}: {exc}")
+                self._record_failure(report, challenge, type(exc).__name__, str(exc))
                 continue
-            except Exception as exc:  # lost object, offline node...
-                report.failures.append(f"{challenge.object_id}: {type(exc).__name__}")
+            # The responder is caller-supplied (possibly adversarial) code;
+            # any failure to answer IS the audit verdict, never a crash --
+            # but the full message must survive into the report.
+            except Exception as exc:  # noqa: broad-except-ok
+                self._record_failure(
+                    report,
+                    challenge,
+                    type(exc).__name__,
+                    f"{type(exc).__name__}: {exc}",
+                )
                 continue
             leaf = _leaf(response.object_id, response.digest_hex)
             if not MerkleTree.verify(commitment.root, leaf, response.proof):
-                report.failures.append(
-                    f"{challenge.object_id}: proof does not match committed root"
+                self._record_failure(
+                    report,
+                    challenge,
+                    "proof-mismatch",
+                    "proof does not match committed root",
                 )
                 continue
             # Spot retrieval: the challenged object's live bytes must hash
@@ -172,15 +185,31 @@ class StorageAuditor:
             # cannot fake for a rotted object.
             data = node.raw_bytes(challenge.object_id)
             if sha256_hex(data) != response.digest_hex:
-                report.failures.append(
-                    f"{challenge.object_id}: live bytes do not match committed digest"
+                self._record_failure(
+                    report,
+                    challenge,
+                    "digest-mismatch",
+                    "live bytes do not match committed digest",
                 )
                 continue
             if sha256(nonce + data) != response.freshness_tag:
-                report.failures.append(f"{challenge.object_id}: stale freshness tag")
+                self._record_failure(
+                    report, challenge, "stale-freshness", "stale freshness tag"
+                )
                 continue
             report.passed += 1
+            _metrics.inc("audit_passes_total")
         return report
+
+    @staticmethod
+    def _record_failure(
+        report: AuditReport,
+        challenge: AuditChallenge,
+        failure_class: str,
+        detail: str,
+    ) -> None:
+        report.failures.append(f"{challenge.object_id}: {detail}")
+        _metrics.inc("audit_failures_total", failure_class=failure_class)
 
 
 class CachedTreeResponder:

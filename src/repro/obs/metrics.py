@@ -1,0 +1,270 @@
+"""Process-wide metrics: counters, gauges, and exponential-bucket histograms.
+
+The archival pipeline is a byte-touching machine whose costs the paper
+tabulates (Figure 1's storage axis, Table 1's bands, the Section 3.2
+re-encryption arithmetic); this module is how the reproduction *measures*
+instead of estimating.  It is dependency-free (stdlib only) so every layer
+-- down to the GF(256) substrate -- can record into it without import
+cycles or optional extras.
+
+Naming convention (enforced socially, documented in DESIGN.md):
+
+    <subsystem>_<noun>_<unit>
+
+e.g. ``secretsharing_encode_bytes_total``, ``storage_shares_lost_total``,
+``span_wall_seconds``.  Counters end in ``_total``; histograms end in their
+unit (``_seconds``, ``_bytes``).  Labels qualify a metric without changing
+its identity: ``storage_shares_lost_total{reason=offline}``.
+
+Registry discipline: one process-wide registry by default (instrumentation
+deep in the library has no instance to hang state on), swappable for test
+isolation via :func:`use_registry` / :func:`set_registry`.  Snapshots are
+deterministic: plain dicts with sorted keys, no timestamps.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from contextlib import contextmanager
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "exponential_buckets",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "inc",
+    "observe",
+    "set_gauge",
+]
+
+
+class Counter:
+    """A monotonically increasing count (events, bytes, shares...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ParameterError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (objects held, nodes online...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+
+def exponential_buckets(start: float, factor: float, count: int) -> tuple[float, ...]:
+    """Bucket upper bounds ``start * factor**i`` for ``i in range(count)``.
+
+    Exponential buckets cover the microsecond-to-seconds span archival
+    operations actually occupy with a fixed, small bucket count.
+    """
+    if start <= 0 or factor <= 1 or count < 1:
+        raise ParameterError("need start > 0, factor > 1, count >= 1")
+    return tuple(start * factor**i for i in range(count))
+
+
+#: Default duration buckets: 1 us .. ~4 s in x4 steps (12 buckets + overflow).
+DEFAULT_BUCKETS = exponential_buckets(1e-6, 4.0, 12)
+
+
+class Histogram:
+    """Distribution sketch: exponential buckets plus count/sum/min/max."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ParameterError("histogram bounds must be sorted and non-empty")
+        self.bounds = tuple(float(b) for b in bounds)
+        # One extra bucket for observations above the last bound.
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+def _label_key(labels: dict[str, object]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_name(name: str, label_key: tuple[tuple[str, str], ...]) -> str:
+    if not label_key:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in label_key)
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Holds every metric of one measurement domain (usually: the process)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[tuple, Counter] = {}
+        self._gauges: dict[tuple, Gauge] = {}
+        self._histograms: dict[tuple, Histogram] = {}
+
+    # -- metric accessors (create on first use) --------------------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        key = (name, _label_key(labels))
+        metric = self._counters.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._counters.setdefault(key, Counter())
+        return metric
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = (name, _label_key(labels))
+        metric = self._gauges.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._gauges.setdefault(key, Gauge())
+        return metric
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS, **labels
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        metric = self._histograms.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._histograms.setdefault(key, Histogram(bounds))
+        return metric
+
+    # -- bulk operations -------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop every metric (test isolation; benchmarks between runs)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def snapshot(self) -> dict:
+        """A deterministic, JSON-able view of every metric.
+
+        Counters/gauges map rendered name -> value; histograms map rendered
+        name -> ``{count, sum, mean, min, max, buckets}`` where ``buckets``
+        is a list of ``[upper_bound, count]`` pairs (only non-empty buckets,
+        ``None`` bound for the overflow bucket).
+        """
+        counters = {
+            _render_name(name, labels): metric.value
+            for (name, labels), metric in self._counters.items()
+        }
+        gauges = {
+            _render_name(name, labels): metric.value
+            for (name, labels), metric in self._gauges.items()
+        }
+        histograms = {}
+        for (name, labels), metric in self._histograms.items():
+            bounds = list(metric.bounds) + [None]
+            histograms[_render_name(name, labels)] = {
+                "count": metric.count,
+                "sum": metric.sum,
+                "mean": metric.mean,
+                "min": metric.min if metric.count else None,
+                "max": metric.max if metric.count else None,
+                "buckets": [
+                    [bounds[i], c]
+                    for i, c in enumerate(metric.bucket_counts)
+                    if c
+                ],
+            }
+        return {
+            "counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "histograms": dict(sorted(histograms.items())),
+        }
+
+
+#: The process-wide registry deep instrumentation records into.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The currently active registry."""
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the active registry; returns the previous one."""
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = registry
+    return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry | None = None):
+    """Temporarily install *registry* (a fresh one by default) as active.
+
+    The idiom for isolated measurement::
+
+        with use_registry() as reg:
+            archive.store("doc", data)
+        reg.snapshot()
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+
+
+# -- module-level shorthands used by instrumentation sites ---------------------
+#
+# These resolve the active registry per call, so code that pre-imports them
+# still records into whatever registry a test has installed.
+
+
+def inc(name: str, amount: int | float = 1, **labels) -> None:
+    _REGISTRY.counter(name, **labels).inc(amount)
+
+
+def observe(name: str, value: float, **labels) -> None:
+    _REGISTRY.histogram(name, **labels).observe(value)
+
+
+def set_gauge(name: str, value: float, **labels) -> None:
+    _REGISTRY.gauge(name, **labels).set(value)

@@ -24,7 +24,7 @@ from repro.crypto.drbg import DeterministicRandom
 from repro.crypto.registry import PrimitiveKind, register_primitive
 from repro.errors import DecodingError, ParameterError
 from repro.gmath.reedsolomon import ReedSolomonCode, Shard
-from repro.secretsharing.base import Share, SplitResult
+from repro.secretsharing.base import Share, SplitResult, record_reconstruct, record_split
 from repro.security import SecurityLevel
 
 
@@ -53,6 +53,7 @@ class AontRsDispersal:
             Share(scheme=self.name, index=shard.index, payload=shard.data)
             for shard in shards
         )
+        record_split(self.name, len(data), self.n)
         return SplitResult(
             scheme=self.name,
             shares=shares,
@@ -79,7 +80,9 @@ class AontRsDispersal:
         if len({s.index for s in shards}) < self.k:
             raise DecodingError(f"AONT-RS needs {self.k} distinct shards")
         package = self.code.decode(shards, package_length)
-        return aont_unpackage(package)
+        plain = aont_unpackage(package)
+        record_reconstruct(self.name, len(plain))
+        return plain
 
 
 def package_length_bytes(length: int) -> bytes:

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Protocol, Sequence
 
 from repro.crypto.drbg import DeterministicRandom
+from repro.obs import metrics as _metrics
 from repro.security import SecurityLevel
 
 
@@ -76,3 +77,19 @@ class SecretSharingScheme(Protocol):
     def split(self, data: bytes, rng: DeterministicRandom) -> SplitResult: ...
 
     def reconstruct(self, result_or_shares: SplitResult | Sequence[Share], **kwargs) -> bytes: ...
+
+
+# -- instrumentation helpers shared by every scheme ----------------------------
+
+
+def record_split(scheme: str, plaintext_bytes: int, shares_produced: int) -> None:
+    """Account one split: plaintext consumed and shares emitted."""
+    _metrics.inc("secretsharing_splits_total", scheme=scheme)
+    _metrics.inc("secretsharing_encode_bytes_total", plaintext_bytes, scheme=scheme)
+    _metrics.inc("secretsharing_shares_produced_total", shares_produced, scheme=scheme)
+
+
+def record_reconstruct(scheme: str, plaintext_bytes: int) -> None:
+    """Account one reconstruction: plaintext recovered."""
+    _metrics.inc("secretsharing_reconstructs_total", scheme=scheme)
+    _metrics.inc("secretsharing_decode_bytes_total", plaintext_bytes, scheme=scheme)

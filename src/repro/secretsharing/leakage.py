@@ -42,7 +42,7 @@ from repro.crypto.registry import PrimitiveKind, register_primitive
 from repro.errors import DecodingError, ParameterError
 from repro.gmath.gf256 import GF256
 from repro.gmath.poly import lagrange_coefficients_at_zero
-from repro.secretsharing.base import Share, SplitResult
+from repro.secretsharing.base import Share, SplitResult, record_reconstruct, record_split
 from repro.secretsharing.shamir import ShamirSecretSharing
 from repro.security import SecurityLevel
 
@@ -156,6 +156,7 @@ class LeakageResilientSharing:
             Share(scheme=self.name, index=s.index, payload=s.payload)
             for s in inner.shares
         )
+        record_split(self.name, len(data), self.n)
         return SplitResult(
             scheme=self.name,
             shares=shares,
@@ -181,6 +182,7 @@ class LeakageResilientSharing:
         if len(source) < len(masked_message):
             raise DecodingError("reconstructed source shorter than message")
         mask = self._extract_mask(source, len(masked_message))
+        record_reconstruct(self.name, len(masked_message))
         return (
             np.frombuffer(masked_message, dtype=np.uint8)
             ^ np.frombuffer(mask[: len(masked_message)], dtype=np.uint8)

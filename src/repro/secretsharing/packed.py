@@ -28,7 +28,7 @@ from repro.crypto.registry import PrimitiveKind, register_primitive
 from repro.errors import DecodingError, ParameterError
 from repro.gmath.gf256 import GF256
 from repro.gmath.poly import lagrange_basis_at
-from repro.secretsharing.base import Share, SplitResult
+from repro.secretsharing.base import Share, SplitResult, record_reconstruct, record_split
 from repro.security import SecurityLevel
 
 
@@ -78,6 +78,7 @@ class PackedSecretSharing:
             else:
                 payload = self._interpolate_rows(self.anchor_points, anchor_rows, x)
             shares.append(Share(scheme=self.name, index=x, payload=payload.tobytes()))
+        record_split(self.name, original, self.n)
         return SplitResult(
             scheme=self.name,
             shares=tuple(shares),
@@ -105,6 +106,7 @@ class PackedSecretSharing:
         flat = np.concatenate(chunk_rows)
         if original_length > flat.size:
             raise DecodingError("original_length exceeds reconstructed size")
+        record_reconstruct(self.name, original_length)
         return flat[:original_length].tobytes()
 
     # -- helpers ---------------------------------------------------------------------

@@ -29,7 +29,7 @@ from repro.crypto.registry import PrimitiveKind, register_primitive
 from repro.errors import DecodingError, ParameterError
 from repro.gmath.gf256 import GF256
 from repro.gmath.poly import lagrange_coefficients_at_zero
-from repro.secretsharing.base import Share, SplitResult
+from repro.secretsharing.base import Share, SplitResult, record_reconstruct, record_split
 from repro.security import SecurityLevel
 
 _MAX_SHARES = 255
@@ -70,6 +70,7 @@ class ShamirSecretSharing:
             )
             for x in self.points
         )
+        record_split(self.name, len(data), self.n)
         return SplitResult(
             scheme=self.name,
             shares=shares,
@@ -92,6 +93,7 @@ class ShamirSecretSharing:
                 acc ^= GF256.scalar_mul_vec(
                     coefficient, np.frombuffer(share.payload, dtype=np.uint8)
                 )
+        record_reconstruct(self.name, acc.size)
         return acc.tobytes()
 
     def _select(self, shares: Sequence[Share]) -> list[Share]:

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.crypto.sha256 import sha256_hex
 from repro.errors import IntegrityError, NodeUnavailableError, ObjectNotFoundError
+from repro.obs import metrics as _metrics
 
 
 @dataclass
@@ -68,6 +69,8 @@ class StorageNode:
         )
         self.stats.puts += 1
         self.stats.bytes_written += len(data)
+        _metrics.inc("storage_puts_total")
+        _metrics.inc("storage_put_bytes_total", len(data))
 
     def get(self, object_id: str) -> bytes:
         self._require_online()
@@ -78,6 +81,8 @@ class StorageNode:
             )
         self.stats.gets += 1
         self.stats.bytes_read += len(obj.data)
+        _metrics.inc("storage_gets_total")
+        _metrics.inc("storage_get_bytes_total", len(obj.data))
         return obj.data
 
     def raw_bytes(self, object_id: str) -> bytes:
@@ -111,6 +116,11 @@ class StorageNode:
     # -- fault and adversary hooks ---------------------------------------------
 
     def set_online(self, online: bool) -> None:
+        if online != self.online:
+            _metrics.inc(
+                "storage_node_transitions_total",
+                to="online" if online else "offline",
+            )
         self.online = online
 
     def corrupt_object(self, object_id: str, new_data: bytes) -> None:

@@ -10,10 +10,20 @@ redistribution, and reason about what a compromised provider exposes.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
-from repro.errors import ParameterError, StorageError
+from repro.errors import (
+    IntegrityError,
+    NodeUnavailableError,
+    ObjectNotFoundError,
+    ParameterError,
+    StorageError,
+)
+from repro.obs import metrics as _metrics
 from repro.storage.node import StorageNode
+
+logger = logging.getLogger("repro.storage")
 
 
 @dataclass(frozen=True)
@@ -86,20 +96,49 @@ class PlacementPolicy:
 
     def fetch_available(self, placement: Placement) -> dict[int, bytes]:
         """Fetch every share that is currently retrievable (online node,
-        digest-intact object); unavailable shares are simply absent."""
+        digest-intact object); unavailable shares are simply absent.
+
+        Only the three *expected* archival loss modes are absorbed -- node
+        offline, object missing, object corrupted -- each recorded in the
+        metrics registry with its reason and logged at WARNING.  Anything
+        else (a bad placement map, a programming error inside a node)
+        propagates: a typo must not masquerade as "share unavailable".
+        """
         out: dict[int, bytes] = {}
         for index, node_id in placement.node_by_share.items():
             node = self.node(node_id)
-            if not node.online:
-                continue
             object_id = _share_object_id(placement.object_id, index)
-            if not node.contains(object_id):
+            _metrics.inc("storage_fetch_attempts_total")
+            if not node.online:
+                self._record_share_loss(node, object_id, "offline", "node offline")
                 continue
             try:
-                out[index] = node.get(object_id)
-            except Exception:
-                continue  # corrupted or lost share: treated as unavailable
+                payload = node.get(object_id)
+            except NodeUnavailableError as exc:
+                self._record_share_loss(node, object_id, "offline", exc)
+            except ObjectNotFoundError as exc:
+                self._record_share_loss(node, object_id, "missing", exc)
+            except IntegrityError as exc:
+                self._record_share_loss(node, object_id, "corrupted", exc)
+            else:
+                out[index] = payload
+                _metrics.inc("storage_shares_fetched_total")
+                _metrics.inc("storage_fetch_bytes_total", len(payload))
         return out
+
+    @staticmethod
+    def _record_share_loss(
+        node: StorageNode, object_id: str, reason: str, detail: object
+    ) -> None:
+        _metrics.inc("storage_shares_lost_total", reason=reason)
+        logger.warning(
+            "share %s unavailable on node %s (provider %s): %s: %s",
+            object_id,
+            node.node_id,
+            node.provider,
+            reason,
+            detail,
+        )
 
     def delete(self, placement: Placement) -> None:
         for index, node_id in placement.node_by_share.items():

@@ -56,7 +56,8 @@ class AontRsArchive(ArchivalSystem):
         shares = self._fetch_shares(receipt)
         if len(shares) < self.dispersal.k:
             raise DecodingError(
-                f"only {len(shares)} shards available, need {self.dispersal.k}"
+                f"{object_id}: only {len(shares)} shards available, "
+                f"need {self.dispersal.k}"
             )
         from repro.secretsharing.base import Share
 
@@ -87,7 +88,7 @@ class AontRsArchive(ArchivalSystem):
                 share_objs, original_length=receipt.original_length
             )
         if not stolen:
-            raise DecodingError("adversary holds no shards")
+            raise DecodingError(f"{object_id}: adversary holds no shards")
         # Sub-threshold theft: needs the cipher and hash broken.
         self._require_at_rest_broken(timeline, epoch)
         return receipt.escrow["plaintext"]

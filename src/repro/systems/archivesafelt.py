@@ -192,7 +192,7 @@ class ArchiveSafeLT(ArchivalSystem):
         after the theft does not protect the harvested copy.
         """
         if not stolen:
-            raise DecodingError("adversary holds no replicas")
+            raise DecodingError(f"{object_id}: adversary holds no replicas")
         layer_count, body = self._unseal(next(iter(stolen.values())))
         layer_names = [
             name for name, _, _ in self._key_history[object_id][:layer_count]

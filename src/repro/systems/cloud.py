@@ -73,7 +73,7 @@ class CloudProviderArchive(ArchivalSystem):
     ) -> bytes:
         """Any single stolen replica suffices -- once AES falls."""
         if not stolen:
-            raise DecodingError("adversary holds no replicas")
+            raise DecodingError(f"{object_id}: adversary holds no replicas")
         self._require_at_rest_broken(timeline, epoch)
         receipt = self.receipt(object_id)
         key, nonce = receipt.escrow["key"], receipt.escrow["nonce"]

@@ -111,7 +111,8 @@ class ElsaStyleArchive(ArchivalSystem):
         fetched = self._fetch_shares(receipt)
         if len(fetched) < self.code.k:
             raise DecodingError(
-                f"only {len(fetched)} shards available, need {self.code.k}"
+                f"{object_id}: only {len(fetched)} shards available, "
+                f"need {self.code.k}"
             )
         shards = [Shard(index=i, data=p) for i, p in fetched.items()]
         ciphertext = self.code.decode(shards, receipt.metadata["ciphertext_length"])
@@ -139,7 +140,10 @@ class ElsaStyleArchive(ArchivalSystem):
     ) -> bytes:
         receipt = self.receipt(object_id)
         if len(stolen) < self.code.k:
-            raise DecodingError(f"adversary needs {self.code.k} shards for the ciphertext")
+            raise DecodingError(
+                f"{object_id}: adversary needs {self.code.k} shards "
+                f"for the ciphertext"
+            )
         shards = [Shard(index=i, data=p) for i, p in stolen.items()]
         ciphertext = self.code.decode(shards, receipt.metadata["ciphertext_length"])
         nonce = bytes.fromhex(receipt.metadata["nonce"])

@@ -120,7 +120,9 @@ class HasDpss(ArchivalSystem):
         ]
         scheme = ShamirSecretSharing(receipt.metadata["n"], receipt.metadata["t"])
         if len(shares) < scheme.t:
-            raise DecodingError(f"need {scheme.t} shares, have {len(shares)}")
+            raise DecodingError(
+                f"{object_id}: need {scheme.t} shares, have {len(shares)}"
+            )
         data = scheme.reconstruct(shares)[: receipt.original_length]
         expected = hmac_sha256(self.derive_path_key(object_id), data)
         if expected.hex() != receipt.metadata["tag"]:

@@ -96,7 +96,8 @@ class Lincos(ArchivalSystem):
         ]
         if len(shares) < self.scheme.t:
             raise DecodingError(
-                f"only {len(shares)} shares available, need {self.scheme.t}"
+                f"{object_id}: only {len(shares)} shares available, "
+                f"need {self.scheme.t}"
             )
         return self.scheme.reconstruct(shares)[: receipt.original_length]
 

@@ -127,7 +127,7 @@ class Pasis(ArchivalSystem):
     ) -> bytes:
         params = self._parameters[object_id]
         if not shares:
-            raise DecodingError("no shares available")
+            raise DecodingError(f"{object_id}: no shares available")
         if params.policy is PasisPolicy.REPLICATION:
             return next(iter(shares.values()))[:original_length]
         if params.policy is PasisPolicy.ERASURE:

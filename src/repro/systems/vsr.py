@@ -68,7 +68,9 @@ class VsrArchive(ArchivalSystem):
         ]
         scheme = self._scheme_for(receipt)
         if len(shares) < scheme.t:
-            raise DecodingError(f"need {scheme.t} shares, have {len(shares)}")
+            raise DecodingError(
+                f"{object_id}: need {scheme.t} shares, have {len(shares)}"
+            )
         return scheme.reconstruct(shares)[: receipt.original_length]
 
     def _scheme_for(self, receipt: StoreReceipt) -> ShamirSecretSharing:
