@@ -1,12 +1,26 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench artifacts examples all clean lint-exceptions
+# Let every target work from a bare checkout (no `make install` needed).
+export PYTHONPATH := src
+
+.PHONY: install test test-chaos bench artifacts examples all clean \
+	lint-exceptions coverage-storage
 
 install:
 	python setup.py develop
 
-test: lint-exceptions
+test: lint-exceptions coverage-storage
 	pytest tests/
+
+# Seeded fault-injection property suite (excluded from the default run by
+# the `-m 'not chaos'` addopts; the explicit -m here overrides it).
+test-chaos:
+	pytest -m chaos tests/
+
+# Enforce the >= 90% line-coverage floor over src/repro/storage using the
+# stdlib trace module (also runs the storage-facing test files).
+coverage-storage:
+	python tools/storage_coverage.py
 
 # Guard against silent failures: every broad `except Exception` must carry a
 # `# noqa: broad-except-ok` justification or be narrowed to specific classes.

@@ -3,17 +3,23 @@
     python -m repro.analysis                # all three artifacts
     python -m repro.analysis figure1        # just one
     python -m repro.analysis --metrics      # append the observability report
+    python -m repro.analysis --faults       # replay the chaos scenario too
+    python -m repro.analysis --faults=99    # ... with a specific seed
 
 Prints the measured Figure 1, Table 1, and Section 3.2 re-encryption table,
 each followed by its shape verdict.  With ``--metrics``, a final section
 dumps the metrics registry accumulated while generating the artifacts --
-every encode byte, share fetch, and span timing the run produced.
+every encode byte, share fetch, and span timing the run produced.  With
+``--faults``, a seeded fault-injection scenario (transient outages plus
+silent bit-rot on an AONT-RS fleet) runs after the artifacts and reports
+the retries, degraded-read shape, and repair-on-read behavior.
 """
 
 from __future__ import annotations
 
 import sys
 
+from repro.analysis.faults_scenario import DEFAULT_SEED, run_chaos_scenario
 from repro.analysis.figure1 import generate_figure1
 from repro.analysis.reencryption_table import generate_reencryption_table
 from repro.analysis.report import render_metrics_report
@@ -50,9 +56,24 @@ _ARTIFACTS = {
 }
 
 
+def _parse_faults_flag(argv: list[str]) -> tuple[list[str], int | None]:
+    """Strip ``--faults`` / ``--faults=SEED``; returns (rest, seed or None)."""
+    rest: list[str] = []
+    seed: int | None = None
+    for arg in argv:
+        if arg == "--faults":
+            seed = DEFAULT_SEED
+        elif arg.startswith("--faults="):
+            seed = int(arg.split("=", 1)[1])
+        else:
+            rest.append(arg)
+    return rest, seed
+
+
 def main(argv: list[str]) -> int:
     show_metrics = "--metrics" in argv
     argv = [arg for arg in argv if arg != "--metrics"]
+    argv, faults_seed = _parse_faults_flag(argv)
     requested = argv or list(_ARTIFACTS)
     unknown = [name for name in requested if name not in _ARTIFACTS]
     if unknown:
@@ -63,6 +84,13 @@ def main(argv: list[str]) -> int:
     for name in requested:
         print(f"{'=' * 72}\n{name}\n{'=' * 72}")
         ok = _ARTIFACTS[name]() and ok
+    if faults_seed is not None:
+        print(f"{'=' * 72}\nfaults\n{'=' * 72}")
+        scenario = run_chaos_scenario(seed=faults_seed)
+        print(scenario.render())
+        verdict = "SURVIVED" if scenario.healthy else "DEGRADED BEYOND REPAIR"
+        print(f"\n=> Chaos scenario {verdict}\n")
+        ok = scenario.healthy and ok
     if show_metrics:
         print(f"{'=' * 72}\nmetrics\n{'=' * 72}")
         print(render_metrics_report(get_registry().snapshot()))

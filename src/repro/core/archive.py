@@ -147,8 +147,13 @@ class SecureArchive(ArchivalSystem):
         with span("archive.retrieve", object_id=object_id):
             _metrics.inc("archive_ops_total", op="retrieve")
             receipt = self.receipt(object_id)
-            fetched = self._fetch_shares(receipt)
+            # Degraded read: stop at the scheme's decode threshold; shares
+            # that failed their digests get repaired after the decode.
+            fetched = self._fetch_shares(
+                receipt, need=receipt.metadata["threshold"]
+            )
             data = self._decode(receipt, fetched)
+            data = self._finish_read(object_id, data)
             _metrics.inc("archive_retrieve_bytes_total", len(data))
             return data
 
@@ -310,11 +315,25 @@ class SecureArchive(ArchivalSystem):
         receipt = self.receipt(object_id)
         data = self.retrieve(object_id)
         self.placement_policy.delete(receipt.placement)
+        return self._resplit_and_replace(receipt, data)
+
+    def _resplit_and_replace(self, receipt: StoreReceipt, data: bytes) -> int:
+        """Re-encode *data* under a fresh split and replace the placement
+        (shared by proactive renewal and repair-on-read)."""
         split = self._scheme.split(data, self.rng)
         payloads = {share.index: share.payload for share in split.shares}
-        receipt.placement = self._store_shares(object_id, payloads)
+        receipt.placement = self._store_shares(receipt.object_id, payloads)
         receipt.metadata["public"] = dict(split.public)
         return sum(len(p) for p in payloads.values())
+
+    def _repair_on_read(self, object_id, data, report) -> None:
+        """Repair a degraded object without re-timestamping: drop the old
+        placement (including the rotted shares) and re-split in place."""
+        receipt = self.receipt(object_id)
+        self.placement_policy.delete(receipt.placement)
+        self._resplit_and_replace(receipt, data)
+        report.shares_repaired = len(report.repair_candidates)
+        _metrics.inc("repairs_on_read_total", report.shares_repaired)
 
     # -- adversary -------------------------------------------------------------------------
 

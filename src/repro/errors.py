@@ -52,6 +52,16 @@ class ObjectNotFoundError(StorageError, KeyError):
     """No object with the requested identifier exists on the node."""
 
 
+class DeadlineExceededError(StorageError):
+    """A storage operation's (simulated) latency exceeded its deadline.
+
+    Raised by the fault-injection layer when an injected latency rule pushes
+    one operation past the per-op deadline priced from the
+    :mod:`repro.storage.archive_model` throughput figures.  Transient by
+    definition: the retry policy treats it like an offline node.
+    """
+
+
 class ChannelError(ReproError):
     """A secure channel could not be established or has been exhausted."""
 

@@ -11,6 +11,8 @@
 - ``simulator`` -- a discrete-event cross-check of the analytic model with
   ingest/read contention.
 - ``failures`` -- failure schedules and availability accounting.
+- ``faults`` -- deterministic fault injection (seeded FaultPlans over
+  wrapped nodes), retry/backoff policies, and degraded-read reports.
 """
 
 from repro.storage.node import StorageNode, StoredObject
@@ -19,7 +21,16 @@ from repro.storage.placement import PlacementPolicy, Placement
 from repro.storage.archive_model import (
     ArchiveProfile,
     PAPER_ARCHIVES,
+    op_deadline_s,
     reencryption_estimate,
+)
+from repro.storage.faults import (
+    DegradedReadReport,
+    FaultPlan,
+    FaultRule,
+    FaultyNode,
+    RetryPolicy,
+    default_retry_policy,
 )
 
 __all__ = [
@@ -31,5 +42,12 @@ __all__ = [
     "Placement",
     "ArchiveProfile",
     "PAPER_ARCHIVES",
+    "op_deadline_s",
     "reencryption_estimate",
+    "DegradedReadReport",
+    "FaultPlan",
+    "FaultRule",
+    "FaultyNode",
+    "RetryPolicy",
+    "default_retry_policy",
 ]

@@ -98,6 +98,30 @@ PAPER_ARCHIVES: tuple[ArchiveProfile, ...] = (
 )
 
 
+def op_deadline_s(
+    payload_bytes: int,
+    profile: ArchiveProfile | None = None,
+    slack: float = 4.0,
+    floor_s: float = 0.05,
+) -> float:
+    """Price a per-operation deadline from an archive's latency figures.
+
+    The same arithmetic the Section 3.2 model uses for whole-archive reads,
+    applied to one object: time to move *payload_bytes* at the archive's
+    aggregate read rate, times a *slack* factor for queueing and seeks, with
+    a *floor_s* floor so tiny objects still get a realistic media-latency
+    budget.  The default profile is Pergamum (disk), the paper's
+    low-latency reference point; tape profiles price much looser deadlines.
+    """
+    if payload_bytes < 0:
+        raise ParameterError("payload_bytes must be >= 0")
+    if slack < 1 or floor_s <= 0:
+        raise ParameterError("need slack >= 1 and floor_s > 0")
+    profile = profile or PAPER_ARCHIVES[3]  # Pergamum: the disk profile
+    read_s = (payload_bytes / 1e12) / profile.read_throughput_tb_per_day * 86_400.0
+    return max(floor_s, slack * read_s)
+
+
 @dataclass(frozen=True)
 class ReencryptionEstimate:
     """Breakdown of a whole-archive re-encryption duration."""

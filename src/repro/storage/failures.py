@@ -69,6 +69,28 @@ class FailureSchedule:
     def online_count(self) -> int:
         return sum(1 for node in self.nodes if node.online)
 
+    def downtime_windows(self) -> list[tuple[str, int, int]]:
+        """Per-node downtime as ``(node_id, start_epoch, end_epoch)`` pairs
+        (end exclusive; still-open outages end at the current epoch + 1).
+
+        This is the bridge to deterministic replay: feed the windows to
+        :func:`repro.storage.faults.outage_rules_from_windows` to re-run the
+        same availability pattern as injected faults under a fresh fleet.
+        """
+        windows: list[tuple[str, int, int]] = []
+        open_since: dict[str, int] = {}
+        for event in self.events:
+            if event.kind == "offline":
+                open_since[event.node_id] = event.epoch
+            elif event.kind == "repair" and event.node_id in open_since:
+                windows.append(
+                    (event.node_id, open_since.pop(event.node_id), event.epoch)
+                )
+        for node_id, start in sorted(open_since.items()):
+            windows.append((node_id, start, self.epoch + 1))
+        windows.sort()
+        return windows
+
 
 def survivable_loss(total_shares: int, threshold: int) -> int:
     """How many shares an encoding can lose and still reconstruct."""

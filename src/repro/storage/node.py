@@ -60,7 +60,7 @@ class StorageNode:
     # -- basic object store ----------------------------------------------------
 
     def put(self, object_id: str, data: bytes, epoch: int = 0) -> None:
-        self._require_online()
+        self._require_online(f"put {object_id}")
         self._objects[object_id] = StoredObject(
             object_id=object_id,
             data=bytes(data),
@@ -73,7 +73,7 @@ class StorageNode:
         _metrics.inc("storage_put_bytes_total", len(data))
 
     def get(self, object_id: str) -> bytes:
-        self._require_online()
+        self._require_online(f"get {object_id}")
         obj = self._lookup(object_id)
         if sha256_hex(obj.data) != obj.digest:
             raise IntegrityError(
@@ -94,11 +94,11 @@ class StorageNode:
         root -- a rotted object must produce a failing proof, not a local
         exception on an unrelated challenge.
         """
-        self._require_online()
+        self._require_online(f"raw_bytes {object_id}")
         return self._lookup(object_id).data
 
     def delete(self, object_id: str) -> None:
-        self._require_online()
+        self._require_online(f"delete {object_id}")
         self._lookup(object_id)
         del self._objects[object_id]
         self.stats.deletes += 1
@@ -142,9 +142,13 @@ class StorageNode:
 
     # -- internals ----------------------------------------------------------------
 
-    def _require_online(self) -> None:
+    def _require_online(self, context: str = "") -> None:
+        # Offline and missing must stay *distinguishable* typed errors, each
+        # carrying the node id and (via context) the object id: retry logic
+        # treats only the former as transient.
         if not self.online:
-            raise NodeUnavailableError(f"node {self.node_id} is offline")
+            suffix = f" (cannot {context})" if context else ""
+            raise NodeUnavailableError(f"node {self.node_id} is offline{suffix}")
 
     def _lookup(self, object_id: str) -> StoredObject:
         try:

@@ -13,7 +13,9 @@ from __future__ import annotations
 import logging
 from dataclasses import dataclass, field
 
+from repro.crypto.drbg import DeterministicRandom
 from repro.errors import (
+    DeadlineExceededError,
     IntegrityError,
     NodeUnavailableError,
     ObjectNotFoundError,
@@ -21,6 +23,11 @@ from repro.errors import (
     StorageError,
 )
 from repro.obs import metrics as _metrics
+from repro.storage.faults import (
+    DegradedReadReport,
+    RetryPolicy,
+    default_retry_policy,
+)
 from repro.storage.node import StorageNode
 
 logger = logging.getLogger("repro.storage")
@@ -40,13 +47,23 @@ class Placement:
 class PlacementPolicy:
     """Round-robin placement with a provider-independence constraint."""
 
-    def __init__(self, nodes: list[StorageNode], require_distinct_providers: bool = True):
+    def __init__(
+        self,
+        nodes: list[StorageNode],
+        require_distinct_providers: bool = True,
+        retry_policy: RetryPolicy | None = None,
+        retry_seed: bytes | int | str = b"placement-backoff",
+    ):
         if not nodes:
             raise ParameterError("placement needs at least one node")
         self.nodes = {node.node_id: node for node in nodes}
         if len(self.nodes) != len(nodes):
             raise ParameterError("duplicate node ids")
         self.require_distinct_providers = require_distinct_providers
+        self.retry_policy = retry_policy or default_retry_policy()
+        # Backoff jitter comes from a seeded rng owned by the policy object,
+        # so two identically-seeded runs replay the same delays.
+        self._retry_rng = DeterministicRandom(retry_seed)
         self._rotation = 0
 
     def node(self, node_id: str) -> StorageNode:
@@ -88,43 +105,108 @@ class PlacementPolicy:
         for index, node_id in placement.node_by_share.items():
             if index not in payload_by_share:
                 raise ParameterError(f"no payload for share index {index}")
-            self.node(node_id).put(
+            self.put_with_retry(
+                self.node(node_id),
                 _share_object_id(placement.object_id, index),
                 payload_by_share[index],
                 epoch=epoch,
             )
 
-    def fetch_available(self, placement: Placement) -> dict[int, bytes]:
-        """Fetch every share that is currently retrievable (online node,
-        digest-intact object); unavailable shares are simply absent.
+    def put_with_retry(
+        self, node: StorageNode, object_id: str, data: bytes, epoch: int = 0
+    ) -> None:
+        """Store one object, retrying transient unavailability with backoff."""
 
-        Only the three *expected* archival loss modes are absorbed -- node
-        offline, object missing, object corrupted -- each recorded in the
-        metrics registry with its reason and logged at WARNING.  Anything
-        else (a bad placement map, a programming error inside a node)
-        propagates: a typo must not masquerade as "share unavailable".
+        def on_retry(attempt: int, delay_s: float) -> None:
+            _metrics.inc("store_retries_total")
+            _metrics.observe("storage_backoff_delay_seconds", delay_s)
+
+        self.retry_policy.call(
+            lambda: node.put(object_id, data, epoch=epoch),
+            self._retry_rng,
+            on_retry=on_retry,
+        )
+
+    def fetch_available(self, placement: Placement) -> dict[int, bytes]:
+        """Fetch every share that is currently retrievable; unavailable
+        shares are simply absent.  Thin wrapper over :meth:`fetch_degraded`
+        for callers that only want the bytes."""
+        return self.fetch_degraded(placement)[0]
+
+    def fetch_degraded(
+        self, placement: Placement, need: int | None = None
+    ) -> tuple[dict[int, bytes], DegradedReadReport]:
+        """Degraded-read-aware fetch: stop as soon as *need* shares arrived.
+
+        Transient faults (node unavailable, injected latency past the
+        deadline) are retried under the placement's :class:`RetryPolicy`
+        with seeded-jitter backoff; only after retries are exhausted is the
+        share recorded lost.  The four *expected* archival loss modes are
+        absorbed -- offline, missing, corrupted, timeout -- each recorded in
+        the metrics registry with its reason and logged at WARNING.
+        Anything else (a bad placement map, a programming error inside a
+        node) propagates on the first raise: a typo must not masquerade as
+        "share unavailable".
+
+        Returns the fetched payloads plus a :class:`DegradedReadReport` of
+        shares tried/failed, retries, and total simulated wait.
         """
         out: dict[int, bytes] = {}
-        for index, node_id in placement.node_by_share.items():
+        report = DegradedReadReport(
+            object_id=placement.object_id,
+            shares_total=len(placement.node_by_share),
+        )
+
+        def on_retry(attempt: int, delay_s: float) -> None:
+            _metrics.inc("fetch_retries_total")
+            _metrics.observe("storage_backoff_delay_seconds", delay_s)
+            report.retries += 1
+            report.simulated_wait_s += delay_s
+
+        for index in sorted(placement.node_by_share):
+            if need is not None and len(out) >= need:
+                report.stopped_early = True
+                break
+            node_id = placement.node_by_share[index]
             node = self.node(node_id)
             object_id = _share_object_id(placement.object_id, index)
-            _metrics.inc("storage_fetch_attempts_total")
+            report.shares_tried += 1
             if not node.online:
+                _metrics.inc("storage_fetch_attempts_total")
                 self._record_share_loss(node, object_id, "offline", "node offline")
+                report.shares_failed[index] = "offline"
                 continue
+
+            def attempt_get() -> bytes:
+                _metrics.inc("storage_fetch_attempts_total")
+                return node.get(object_id)
+
             try:
-                payload = node.get(object_id)
+                payload = self.retry_policy.call(
+                    attempt_get, self._retry_rng, on_retry=on_retry
+                )
             except NodeUnavailableError as exc:
                 self._record_share_loss(node, object_id, "offline", exc)
+                report.shares_failed[index] = "offline"
+            except DeadlineExceededError as exc:
+                self._record_share_loss(node, object_id, "timeout", exc)
+                report.shares_failed[index] = "timeout"
             except ObjectNotFoundError as exc:
                 self._record_share_loss(node, object_id, "missing", exc)
+                report.shares_failed[index] = "missing"
             except IntegrityError as exc:
                 self._record_share_loss(node, object_id, "corrupted", exc)
+                report.shares_failed[index] = "corrupted"
             else:
                 out[index] = payload
+                report.shares_ok += 1
                 _metrics.inc("storage_shares_fetched_total")
                 _metrics.inc("storage_fetch_bytes_total", len(payload))
-        return out
+            finally:
+                plan = getattr(node, "fault_plan", None)
+                if plan is not None:
+                    report.simulated_wait_s += plan.drain_wait_s()
+        return out, report
 
     @staticmethod
     def _record_share_loss(

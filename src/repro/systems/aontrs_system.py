@@ -53,7 +53,8 @@ class AontRsArchive(ArchivalSystem):
 
     def retrieve(self, object_id: str) -> bytes:
         receipt = self.receipt(object_id)
-        shares = self._fetch_shares(receipt)
+        # Degraded read: any k decodable shards suffice.
+        shares = self._fetch_shares(receipt, need=self.dispersal.k)
         if len(shares) < self.dispersal.k:
             raise DecodingError(
                 f"{object_id}: only {len(shares)} shards available, "
@@ -64,9 +65,10 @@ class AontRsArchive(ArchivalSystem):
         share_objs = [
             Share(scheme="aont-rs", index=i, payload=p) for i, p in shares.items()
         ]
-        return self.dispersal.reconstruct(
+        data = self.dispersal.reconstruct(
             share_objs, original_length=receipt.original_length
         )
+        return self._finish_read(object_id, data)
 
     def attempt_recovery(
         self,

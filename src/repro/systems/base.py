@@ -33,7 +33,9 @@ from repro.channels.tls import TlsLikeChannel
 from repro.crypto.drbg import DeterministicRandom
 from repro.crypto.registry import BreakTimeline
 from repro.errors import ObjectNotFoundError, ParameterError
+from repro.obs import metrics as _metrics
 from repro.security import SecurityNotion, StorageCostBand
+from repro.storage.faults import DegradedReadReport
 from repro.storage.node import StorageNode
 from repro.storage.placement import Placement, PlacementPolicy
 
@@ -87,6 +89,8 @@ class ArchivalSystem(abc.ABC):
         self._receipts: dict[str, StoreReceipt] = {}
         self._plaintext_bytes = 0
         self.epoch = 0
+        #: Degraded-read report of the most recent fetch (None before any).
+        self.last_read_report: DegradedReadReport | None = None
 
     # -- transit -------------------------------------------------------------------
 
@@ -107,7 +111,9 @@ class ArchivalSystem(abc.ABC):
             )
         )
         delivered = self.transit.receive(transmission)
-        node.put(f"{object_id}/share-{index}", delivered, epoch=self.epoch)
+        self.placement_policy.put_with_retry(
+            node, f"{object_id}/share-{index}", delivered, epoch=self.epoch
+        )
 
     def _store_shares(
         self, object_id: str, payload_by_index: dict[int, bytes]
@@ -122,8 +128,61 @@ class ArchivalSystem(abc.ABC):
             )
         return placement
 
-    def _fetch_shares(self, receipt: StoreReceipt) -> dict[int, bytes]:
-        return self.placement_policy.fetch_available(receipt.placement)
+    def _fetch_shares(
+        self, receipt: StoreReceipt, need: int | None = None
+    ) -> dict[int, bytes]:
+        """Degraded-read fetch: stop once *need* decodable shares arrived.
+
+        The per-fetch :class:`DegradedReadReport` lands in
+        :attr:`last_read_report`; systems finish their retrieve with
+        :meth:`_finish_read` so corrupted shares get repaired on read.
+        """
+        shares, report = self.placement_policy.fetch_degraded(
+            receipt.placement, need=need
+        )
+        self.last_read_report = report
+        return shares
+
+    def _finish_read(self, object_id: str, data: bytes) -> bytes:
+        """Post-decode hook every retrieve runs: schedule repair-on-read
+        for shares whose integrity check failed during the fetch."""
+        report = self.last_read_report
+        if report is not None and report.repair_candidates and not report.shares_repaired:
+            self._repair_on_read(object_id, data, report)
+            self.last_read_report = report
+        return data
+
+    def _repair_on_read(
+        self, object_id: str, data: bytes, report: DegradedReadReport
+    ) -> None:
+        """Replace a degraded object's shares with a fresh encoding.
+
+        The generic repair is a re-store: drop the old placement (including
+        the rotted shares that failed their digests) and run the system's
+        own ``store`` pipeline again with the just-decoded plaintext.
+        Subclasses with a cheaper re-encode path override this.
+        """
+        receipt = self.receipt(object_id)
+        self.placement_policy.delete(receipt.placement)
+        plaintext_bytes = self._plaintext_bytes
+        self._repair_store(object_id, data)
+        # A repair is not new ingest; keep the overhead accounting honest.
+        self._plaintext_bytes = plaintext_bytes
+        report.shares_repaired = len(report.repair_candidates)
+        _metrics.inc("repairs_on_read_total", report.shares_repaired)
+
+    def _repair_store(self, object_id: str, data: bytes) -> None:
+        """The store call a repair uses; systems whose ``store`` takes
+        per-object parameters override this to preserve them."""
+        self.store(object_id, data)
+
+    def retrieve_with_report(
+        self, object_id: str
+    ) -> tuple[bytes, DegradedReadReport | None]:
+        """Retrieve plus the degraded-read report of that retrieval."""
+        self.last_read_report = None
+        data = self.retrieve(object_id)
+        return data, self.last_read_report
 
     # -- public API ------------------------------------------------------------------
 

@@ -57,12 +57,13 @@ class CloudProviderArchive(ArchivalSystem):
 
     def retrieve(self, object_id: str) -> bytes:
         receipt = self.receipt(object_id)
-        shares = self._fetch_shares(receipt)
+        # Degraded read: the first intact replica is enough.
+        shares = self._fetch_shares(receipt, need=1)
         if not shares:
             raise DecodingError(f"no replica of {object_id} is available")
         ciphertext = next(iter(shares.values()))
         key, nonce = self._kms[object_id]
-        return self.cipher.decrypt(key, nonce, ciphertext)
+        return self._finish_read(object_id, self.cipher.decrypt(key, nonce, ciphertext))
 
     def attempt_recovery(
         self,

@@ -108,7 +108,8 @@ class ElsaStyleArchive(ArchivalSystem):
 
     def retrieve(self, object_id: str) -> bytes:
         receipt = self.receipt(object_id)
-        fetched = self._fetch_shares(receipt)
+        # Degraded read: any k erasure shards decode the ciphertext.
+        fetched = self._fetch_shares(receipt, need=self.code.k)
         if len(fetched) < self.code.k:
             raise DecodingError(
                 f"{object_id}: only {len(fetched)} shards available, "
@@ -118,7 +119,9 @@ class ElsaStyleArchive(ArchivalSystem):
         ciphertext = self.code.decode(shards, receipt.metadata["ciphertext_length"])
         key = self._recover_key(object_id)
         nonce = bytes.fromhex(receipt.metadata["nonce"])
-        return self.cipher.decrypt(key, nonce, ciphertext)
+        return self._finish_read(
+            object_id, self.cipher.decrypt(key, nonce, ciphertext)
+        )
 
     # -- adversary --------------------------------------------------------------------
 

@@ -114,7 +114,8 @@ class HasDpss(ArchivalSystem):
 
     def retrieve(self, object_id: str) -> bytes:
         receipt = self.receipt(object_id)
-        fetched = self._fetch_shares(receipt)
+        # Degraded read: any t committee shares reconstruct.
+        fetched = self._fetch_shares(receipt, need=receipt.metadata["t"])
         shares = [
             Share(scheme="shamir", index=i, payload=p) for i, p in fetched.items()
         ]
@@ -127,7 +128,7 @@ class HasDpss(ArchivalSystem):
         expected = hmac_sha256(self.derive_path_key(object_id), data)
         if expected.hex() != receipt.metadata["tag"]:
             raise IntegrityError(f"{object_id}: authentication tag mismatch")
-        return data
+        return self._finish_read(object_id, data)
 
     # -- dynamism ------------------------------------------------------------------------------
 

@@ -90,7 +90,8 @@ class Lincos(ArchivalSystem):
 
     def retrieve(self, object_id: str) -> bytes:
         receipt = self.receipt(object_id)
-        fetched = self._fetch_shares(receipt)
+        # Degraded read: any t shares reconstruct the polynomial.
+        fetched = self._fetch_shares(receipt, need=self.scheme.t)
         shares = [
             Share(scheme="shamir", index=i, payload=p) for i, p in fetched.items()
         ]
@@ -99,7 +100,8 @@ class Lincos(ArchivalSystem):
                 f"{object_id}: only {len(shares)} shares available, "
                 f"need {self.scheme.t}"
             )
-        return self.scheme.reconstruct(shares)[: receipt.original_length]
+        data = self.scheme.reconstruct(shares)[: receipt.original_length]
+        return self._finish_read(object_id, data)
 
     def attempt_recovery(
         self,

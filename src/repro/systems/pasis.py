@@ -118,9 +118,15 @@ class Pasis(ArchivalSystem):
 
     def retrieve(self, object_id: str) -> bytes:
         receipt = self.receipt(object_id)
-        return self._decode(
-            object_id, self._fetch_shares(receipt), receipt.original_length
+        # Degraded read: the per-object policy's threshold is the quorum.
+        fetched = self._fetch_shares(receipt, need=receipt.metadata["threshold"])
+        return self._finish_read(
+            object_id, self._decode(object_id, fetched, receipt.original_length)
         )
+
+    def _repair_store(self, object_id: str, data: bytes) -> None:
+        # Repair must keep the object's own policy, not the default one.
+        self.store(object_id, data, self._parameters[object_id])
 
     def _decode(
         self, object_id: str, shares: dict[int, bytes], original_length: int

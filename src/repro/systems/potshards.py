@@ -86,8 +86,11 @@ class Potshards(ArchivalSystem):
 
     def retrieve(self, object_id: str) -> bytes:
         receipt = self.receipt(object_id)
+        # Two-level assembly has no single quorum; try every placed shard.
         shares = self._fetch_shares(receipt)
-        return self._assemble(shares, receipt.original_length)
+        return self._finish_read(
+            object_id, self._assemble(shares, receipt.original_length)
+        )
 
     # -- the adversary path: pure share-counting, never timeline-gated ----------------
 

@@ -62,16 +62,18 @@ class VsrArchive(ArchivalSystem):
 
     def retrieve(self, object_id: str) -> bytes:
         receipt = self.receipt(object_id)
-        fetched = self._fetch_shares(receipt)
+        scheme = self._scheme_for(receipt)
+        # Degraded read: any t shares of the current generation suffice.
+        fetched = self._fetch_shares(receipt, need=scheme.t)
         shares = [
             Share(scheme="shamir", index=i, payload=p) for i, p in fetched.items()
         ]
-        scheme = self._scheme_for(receipt)
         if len(shares) < scheme.t:
             raise DecodingError(
                 f"{object_id}: need {scheme.t} shares, have {len(shares)}"
             )
-        return scheme.reconstruct(shares)[: receipt.original_length]
+        data = scheme.reconstruct(shares)[: receipt.original_length]
+        return self._finish_read(object_id, data)
 
     def _scheme_for(self, receipt: StoreReceipt) -> ShamirSecretSharing:
         return ShamirSecretSharing(receipt.metadata["n"], receipt.metadata["t"])
