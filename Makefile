@@ -3,13 +3,13 @@
 # Let every target work from a bare checkout (no `make install` needed).
 export PYTHONPATH := src
 
-.PHONY: install test test-chaos bench artifacts examples all clean \
-	lint-exceptions coverage-storage
+.PHONY: install test test-chaos bench bench-json artifacts examples all clean \
+	lint-exceptions lint-imports coverage-storage
 
 install:
 	python setup.py develop
 
-test: lint-exceptions coverage-storage
+test: lint-exceptions lint-imports coverage-storage
 	pytest tests/
 
 # Seeded fault-injection property suite (excluded from the default run by
@@ -33,8 +33,19 @@ lint-exceptions:
 	fi; \
 	echo "lint-exceptions: OK"
 
+# Dead-import gate: every imported name must be used (or carry a
+# `# noqa: unused-import-ok` justification / appear in `__all__`).
+lint-imports:
+	python tools/lint_imports.py
+
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Machine-readable throughput summary (BENCH_throughput.json at repo root):
+# regenerate the throughput artifact, then summarize op -> MB/s + commit.
+bench-json:
+	pytest benchmarks/bench_throughput.py --benchmark-only -q
+	python tools/bench_summary.py
 
 # Regenerate the paper's three artifacts on stdout.
 artifacts:
@@ -46,7 +57,7 @@ examples:
 		python $$script || exit 1; \
 	done
 
-all: install test bench artifacts
+all: install test bench bench-json artifacts
 
 clean:
 	rm -rf build src/repro.egg-info .pytest_cache

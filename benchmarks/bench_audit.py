@@ -6,7 +6,6 @@ probability 1-(1-f)^k), and checks the measured catch rates against the
 analytic curve.
 """
 
-import pytest
 
 from repro.analysis.report import render_table
 from repro.crypto.drbg import DeterministicRandom

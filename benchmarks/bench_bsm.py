@@ -6,7 +6,6 @@ key length (measured vs analytic), agreement success, and throughput of the
 broadcast processing at laptop scale.
 """
 
-import pytest
 
 from repro.analysis.report import render_table
 from repro.channels.bsm import BoundedStorageChannel, BsmAdversary

@@ -9,7 +9,6 @@ Measures the two sides of the paper's assessment:
   history grows per layer.
 """
 
-import pytest
 
 from repro.analysis.report import render_table
 from repro.crypto.aes import AesCtrCipher

@@ -5,7 +5,6 @@ DESIGN.md experiment index).  The benchmark times the full measurement sweep
 and asserts the paper's orderings hold.
 """
 
-import pytest
 
 from repro.analysis.figure1 import generate_figure1
 

@@ -6,7 +6,6 @@ everything (wire + at rest) at epoch 0, every computational primitive breaks
 at epoch 10, and we record when (if ever) each system's data falls.
 """
 
-import pytest
 
 from repro.adversary.harvest import HarvestingAdversary
 from repro.analysis.report import render_table

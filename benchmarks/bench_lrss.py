@@ -7,7 +7,6 @@ evaluation at laptop scale: attack success rate (Shamir ~100% vs LRSS ~50%)
 and the storage price LRSS pays for it.
 """
 
-import pytest
 
 from repro.analysis.report import render_table
 from repro.crypto.drbg import DeterministicRandom

@@ -6,7 +6,6 @@ minimal upkeep, and the century-scale TCO winner; tape the incumbent; HDD
 excluded on cost/security grounds.
 """
 
-import pytest
 
 from repro.analysis.report import render_table
 from repro.storage.media import MEDIA_CATALOG, rank_media_by_tco

@@ -10,7 +10,6 @@ epochs fall out of the arithmetic.  The artifact tables show:
   horizon, under three adversary trajectories.
 """
 
-import pytest
 
 from repro.adversary.computation import (
     DEFAULT_STRENGTHS,

@@ -10,7 +10,6 @@ Two halves of the paper's Section 3.2 argument:
    which shows messages growing as n^2 and bytes as n^2 x object size.
 """
 
-import pytest
 
 from repro.adversary.mobile import MobileAdversary, run_mobile_campaign
 from repro.analysis.report import render_table

@@ -5,7 +5,6 @@ rest and the storage-cost band are derived from live components and
 measured bytes, then checked row-by-row against the paper's table.
 """
 
-import pytest
 
 from repro.analysis.table1 import generate_table1
 

@@ -12,7 +12,6 @@ read+write of the object -- delegation removes the trust problem, not the
 Section 3.2 byte count.
 """
 
-import pytest
 
 from repro.analysis.report import render_table
 from repro.crypto.chacha20 import chacha20_xor

@@ -7,7 +7,6 @@ measured storage expansion.  The replay verifies every read, so this is
 also the broadest integration test in the repository.
 """
 
-import pytest
 
 from repro.analysis.report import render_table
 from repro.crypto.drbg import DeterministicRandom

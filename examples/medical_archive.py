@@ -27,7 +27,6 @@ from repro import (
 from repro.adversary.harvest import HarvestingAdversary
 from repro.core.scheduler import EpochScheduler
 from repro.crypto.registry import global_registry
-from repro.errors import ReproError
 
 RECORDS = {
     "records/1924-0001": b"admission notes " * 64,

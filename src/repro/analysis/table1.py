@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from repro.analysis.report import render_table
 from repro.core.classifier import SecurityClassifier, SystemClassification
 from repro.crypto.drbg import DeterministicRandom
-from repro.security import SecurityNotion, StorageCostBand
+from repro.security import StorageCostBand
 from repro.storage.node import make_node_fleet
 from repro.systems import (
     AontRsArchive,

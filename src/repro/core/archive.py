@@ -13,9 +13,14 @@ adversary harnesses (HNDL, mobile) and the classifier work on it directly.
 
 from __future__ import annotations
 
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.core.policy import ArchivePolicy, ConfidentialityTarget
+from repro.crypto.drbg import DeterministicRandom
 from repro.crypto.commitments import PedersenCommitment
 from repro.crypto.registry import BreakTimeline
 from repro.errors import (
@@ -111,10 +116,17 @@ class SecureArchive(ArchivalSystem):
         with span("archive.store", object_id=object_id):
             return self._store(object_id, data)
 
-    def _store(self, object_id: str, data: bytes) -> StoreReceipt:
+    def _store(self, object_id: str, data: bytes, split=None) -> StoreReceipt:
+        """Disperse, timestamp and record one object.
+
+        *split* lets the batch path hand in a share split computed off the
+        archive's own rng (store_batch encodes items on worker threads,
+        each with a child DRBG); when absent the archive rng is used.
+        """
         _metrics.inc("archive_ops_total", op="store")
         _metrics.inc("archive_store_bytes_total", len(data))
-        split = self._scheme.split(data, self.rng)
+        if split is None:
+            split = self._scheme.split(data, self.rng)
         payloads = {share.index: share.payload for share in split.shares}
         placement = self._store_shares(object_id, payloads)
         link, opening = self.authority.timestamp_document(
@@ -178,6 +190,92 @@ class SecureArchive(ArchivalSystem):
             )
         return scheme.reconstruct(shares, original_length=receipt.original_length)
 
+    # -- batch ingest ------------------------------------------------------------------
+
+    #: Worker threads for batch encode/decode.  The encoders release the
+    #: GIL inside numpy/hashlib, so modest parallelism is real.
+    _BATCH_WORKERS = min(8, os.cpu_count() or 1)
+
+    def store_batch(
+        self, items: Sequence[tuple[str, bytes]]
+    ) -> list[StoreReceipt]:
+        """Store many objects; receipts come back in input order.
+
+        The pipeline has three phases chosen to keep results deterministic
+        regardless of thread scheduling:
+
+        1. *seed* -- one 32-byte child seed per item is drawn from the
+           archive rng **sequentially in input order**, so the randomness
+           each item sees is a pure function of (archive seed, position);
+        2. *encode* -- splits run on a thread pool, each item encoding
+           under its own child DRBG (the CPU-bound phase);
+        3. *finalize* -- placement, timestamping and receipt recording run
+           sequentially in input order (they mutate shared placement and
+           chain state and must consume the archive rng in a fixed order).
+        """
+        items = list(items)
+        ids = [object_id for object_id, _ in items]
+        if len(set(ids)) != len(ids):
+            raise ParameterError("store_batch object ids must be distinct")
+        start = time.perf_counter()
+        with span("archive.store_batch", count=len(items)):
+            _metrics.inc("archive_ops_total", op="store_batch")
+            child_rngs = [
+                DeterministicRandom(self.rng.bytes(32)) for _ in items
+            ]
+            with ThreadPoolExecutor(max_workers=self._BATCH_WORKERS) as pool:
+                splits = list(
+                    pool.map(
+                        lambda pair: self._scheme.split(pair[0][1], pair[1]),
+                        zip(items, child_rngs),
+                    )
+                )
+            receipts = [
+                self._store(object_id, data, split=split)
+                for (object_id, data), split in zip(items, splits)
+            ]
+        _metrics.observe(
+            "archive_batch_seconds", time.perf_counter() - start, op="store"
+        )
+        return receipts
+
+    def retrieve_batch(self, object_ids: Sequence[str]) -> list[bytes]:
+        """Retrieve many objects; plaintexts come back in input order.
+
+        Fetching stays sequential (placement retry state is shared), the
+        decode fan-out runs on the thread pool, and repair-on-read runs
+        sequentially afterwards with each object's own degraded-read
+        report restored.
+        """
+        object_ids = list(object_ids)
+        start = time.perf_counter()
+        with span("archive.retrieve_batch", count=len(object_ids)):
+            fetched_by_id = []
+            for object_id in object_ids:
+                _metrics.inc("archive_ops_total", op="retrieve")
+                receipt = self.receipt(object_id)
+                fetched = self._fetch_shares(
+                    receipt, need=receipt.metadata["threshold"]
+                )
+                fetched_by_id.append((receipt, fetched, self.last_read_report))
+            with ThreadPoolExecutor(max_workers=self._BATCH_WORKERS) as pool:
+                decoded = list(
+                    pool.map(
+                        lambda entry: self._decode(entry[0], entry[1]),
+                        fetched_by_id,
+                    )
+                )
+            results = []
+            for (receipt, _, report), data in zip(fetched_by_id, decoded):
+                self.last_read_report = report
+                data = self._finish_read(receipt.object_id, data)
+                _metrics.inc("archive_retrieve_bytes_total", len(data))
+                results.append(data)
+        _metrics.observe(
+            "archive_batch_seconds", time.perf_counter() - start, op="retrieve"
+        )
+        return results
+
     # -- large objects: segmented storage --------------------------------------------------
 
     #: Default segment size for store_large (1 MiB keeps share buffers and
@@ -199,13 +297,18 @@ class SecureArchive(ArchivalSystem):
             segment_bytes = self.SEGMENT_BYTES
         if segment_bytes < 1:
             raise ParameterError("segment size must be positive")
-        receipts = []
         count = max(1, -(-len(data) // segment_bytes))
         with span("archive.store_large", object_id=object_id, segments=count):
             _metrics.inc("archive_ops_total", op="store_large")
-            for k in range(count):
-                segment = data[k * segment_bytes : (k + 1) * segment_bytes]
-                receipts.append(self.store(f"{object_id}/seg-{k}", segment))
+            receipts = self.store_batch(
+                [
+                    (
+                        f"{object_id}/seg-{k}",
+                        data[k * segment_bytes : (k + 1) * segment_bytes],
+                    )
+                    for k in range(count)
+                ]
+            )
         self._manifests[object_id] = {
             "segments": count,
             "segment_bytes": segment_bytes,
@@ -219,10 +322,9 @@ class SecureArchive(ArchivalSystem):
         except KeyError:
             raise ObjectNotFoundError(f"no large object {object_id!r}") from None
         with span("archive.retrieve_large", object_id=object_id):
-            parts = [
-                self.retrieve(f"{object_id}/seg-{k}")
-                for k in range(manifest["segments"])
-            ]
+            parts = self.retrieve_batch(
+                [f"{object_id}/seg-{k}" for k in range(manifest["segments"])]
+            )
         data = b"".join(parts)
         if len(data) != manifest["total_length"]:
             raise DecodingError(

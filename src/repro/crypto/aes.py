@@ -14,7 +14,7 @@ at-rest cipher of the commercial-cloud baseline in Table 1.
 
 from __future__ import annotations
 
-import struct
+from functools import lru_cache
 
 import numpy as np
 
@@ -59,8 +59,15 @@ _INV_SHIFT_ROWS = np.argsort(_SHIFT_ROWS)
 _RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36, 0x6C, 0xD8)
 
 
+@lru_cache(maxsize=128)
 def _expand_key(key: bytes) -> np.ndarray:
-    """FIPS 197 key schedule; returns (rounds+1, 16) uint8 round keys."""
+    """FIPS 197 key schedule; returns (rounds+1, 16) uint8 round keys.
+
+    Cached per key: archives encrypt many segments under one key, and the
+    schedule is pure-Python (the slowest part of a short AES call).  The
+    returned array is frozen read-only so cache hits cannot be corrupted
+    by a caller mutating it in place.
+    """
     if len(key) == 16:
         n_k, rounds = 4, 10
     elif len(key) == 32:
@@ -81,6 +88,7 @@ def _expand_key(key: bytes) -> np.ndarray:
         words.append([a ^ b for a, b in zip(words[i - n_k], temp)])
 
     flat = np.array(words, dtype=np.uint8).reshape(rounds + 1, 16)
+    flat.setflags(write=False)
     return flat
 
 

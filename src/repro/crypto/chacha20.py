@@ -8,8 +8,6 @@ second.  Correctness is pinned to the RFC 8439 test vector in the test suite.
 
 from __future__ import annotations
 
-import struct
-
 import numpy as np
 
 from repro.crypto.registry import PrimitiveKind, register_primitive

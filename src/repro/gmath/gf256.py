@@ -103,8 +103,14 @@ class GF256:
 
     @staticmethod
     def mul(a: int, b: int) -> int:
-        """Field multiplication via log/antilog tables."""
-        _metrics.inc("gf256_scalar_ops_total")
+        """Field multiplication via log/antilog tables.
+
+        Deliberately unmetered: protocol code (matrix inversion, Lagrange
+        plans) calls this O(k^3) times per operation, and a registry
+        round-trip per scalar op dominated the pure-Python paths.  Callers
+        aggregate into ``gf256_scalar_ops_total`` at their boundaries
+        (see :mod:`repro.gmath.kernel` and :class:`FieldMatrix`).
+        """
         if a == 0 or b == 0:
             return 0
         return int(_EXP[_LOG[a] + _LOG[b]])
@@ -118,8 +124,7 @@ class GF256:
 
     @classmethod
     def div(cls, a: int, b: int) -> int:
-        """Field division a / b."""
-        _metrics.inc("gf256_scalar_ops_total")
+        """Field division a / b (unmetered; see :meth:`mul`)."""
         if b == 0:
             raise ZeroDivisionError("division by zero in GF(256)")
         if a == 0:

@@ -1,0 +1,247 @@
+"""Batched GF(256) linear algebra: the one kernel every codec calls.
+
+Every encoding in this library -- Shamir, packed sharing, systematic and
+non-systematic Reed-Solomon, proactive renewal -- is the same operation:
+multiply a *small* scalar matrix (share counts, so < 256 on a side) by a
+*wide* matrix of byte-rows (one row per polynomial coefficient or share,
+one column per byte of the object).  This module provides that product,
+:func:`gf256_matmul`, plus an LRU-cached **plan layer** for the small
+matrices themselves, so steady-state encode/decode never rebuilds a
+Vandermonde matrix, inverts one in pure Python, or re-derives Lagrange
+coefficients.
+
+Kernel shape
+------------
+
+``gf256_matmul(A, B)`` computes the ``(m, L)`` product of an ``(m, k)``
+scalar matrix with a ``(k, L)`` byte matrix.  Each output row is an
+XOR-accumulation of table-row gathers (``np.take`` into a preallocated
+scratch row), with two short-circuits worth real throughput: coefficient
+``0`` contributes nothing and coefficient ``1`` is a plain XOR.  The
+measured alternative -- one 3-D fancy-index ``_MUL_TABLE[A[:, :, None],
+B[None, :, :]]`` followed by ``np.bitwise_xor.reduce`` -- materializes an
+``(m, k, L)`` intermediate and benches ~2x slower on MiB-scale rows, so
+the gather loop is the kernel.  Both are exact field arithmetic; results
+are byte-identical.
+
+Plan-cache invariants (documented in DESIGN.md "Performance")
+-------------------------------------------------------------
+
+- Every cached plan is a **pure function of its key**: evaluation points,
+  matrix width, survivor-index tuples.  No plan depends on payload bytes,
+  archive state, or the rng, so a hit can never change an output.
+- Cached arrays are returned **read-only** (``writeable=False``); callers
+  that need to mutate must copy.  This makes sharing across threads safe.
+- Caches are **bounded LRUs** (``functools.lru_cache``), sized for fleets
+  far larger than any benchmark: eviction is correctness-neutral, only a
+  re-derivation cost.
+- Plan builds record **no metrics**: a counter that fires only on a cache
+  miss would make two identically seeded runs produce different registry
+  snapshots (the chaos suite pins snapshot determinism).  Observability of
+  the plan layer is per-*request* instead --
+  ``codec_plan_requests_total{plan=...}`` counts every lookup, which is a
+  pure function of the workload; cache temperature shows up only in
+  :func:`plan_cache_info`, never in the metrics registry.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.gmath.gf256 import _MUL_TABLE, GF256
+from repro.gmath.matrix import FieldMatrix
+from repro.gmath.poly import lagrange_basis_at
+from repro.obs import metrics as _metrics
+
+#: Plans are tiny (at most ~64 KiB each); 512 entries comfortably covers
+#: every (n, k) x survivor-set mix a large fleet cycles through.
+_PLAN_CACHE_SIZE = 512
+
+
+# -- the kernel ----------------------------------------------------------------
+
+
+def gf256_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Product of an ``(m, k)`` scalar matrix and a ``(k, L)`` byte matrix.
+
+    ``a`` holds GF(256) scalars (the codec plan); ``b`` holds one byte-row
+    per input symbol.  Returns the ``(m, L)`` uint8 product -- one output
+    byte-row per output symbol -- computed entirely in vectorized table
+    gathers, no per-byte Python.
+    """
+    a = np.asarray(a, dtype=np.uint8)
+    if a.ndim != 2:
+        raise ParameterError(f"plan matrix must be 2-D, got shape {a.shape}")
+    b = np.asarray(b)
+    if b.dtype != np.uint8:
+        raise ParameterError("GF(256) byte rows must be uint8")
+    if b.ndim != 2:
+        raise ParameterError(f"byte matrix must be 2-D, got shape {b.shape}")
+    m, k = a.shape
+    k2, width = b.shape
+    if k != k2:
+        raise ParameterError(f"matmul dimension mismatch: ({m},{k}) x {b.shape}")
+    out = np.zeros((m, width), dtype=np.uint8)
+    scratch = np.empty(width, dtype=np.uint8)
+    for i in range(m):
+        acc = out[i]
+        for j in range(k):
+            coefficient = a[i, j]
+            if coefficient == 0:
+                continue
+            if coefficient == 1:
+                acc ^= b[j]
+                continue
+            np.take(_MUL_TABLE[coefficient], b[j], out=scratch, mode="clip")
+            acc ^= scratch
+    _metrics.inc("gf256_vec_ops_total")
+    _metrics.inc("gf256_vec_bytes_total", m * k * width)
+    return out
+
+
+def rows_as_matrix(
+    rows: list[np.ndarray] | tuple[np.ndarray, ...] | np.ndarray,
+) -> np.ndarray:
+    """Stack equal-length uint8 byte-rows into the kernel's (k, L) shape.
+
+    Already-2-D arrays pass through untouched; hot paths that can produce
+    a contiguous (k, L) matrix directly should do so and skip the copy.
+    """
+    if isinstance(rows, np.ndarray) and rows.ndim == 2:
+        return rows
+    if len(rows) == 0:
+        raise ParameterError("cannot stack zero rows")
+    return np.stack(rows)
+
+
+# -- cached codec plans --------------------------------------------------------
+
+
+@lru_cache(maxsize=_PLAN_CACHE_SIZE)
+def _vandermonde_cached(xs: tuple[int, ...], width: int) -> np.ndarray:
+    return _freeze(FieldMatrix.vandermonde(GF256, list(xs), width).rows)
+
+
+def vandermonde_plan(xs: tuple[int, ...], width: int) -> np.ndarray:
+    """Rows ``[1, x, ..., x^(width-1)]`` for each evaluation point, cached.
+
+    This is the split/evaluation plan: ``shares = V @ coefficient_rows``.
+    """
+    _metrics.inc("codec_plan_requests_total", plan="vandermonde")
+    return _vandermonde_cached(xs, width)
+
+
+@lru_cache(maxsize=_PLAN_CACHE_SIZE)
+def _vandermonde_inverse_cached(xs: tuple[int, ...], width: int) -> np.ndarray:
+    matrix = FieldMatrix.vandermonde(GF256, list(xs), width).inverse(record=False)
+    return _freeze(matrix.rows)
+
+
+def vandermonde_inverse_plan(xs: tuple[int, ...], width: int) -> np.ndarray:
+    """Inverse Vandermonde for the surviving points, cached by survivor set.
+
+    The pure-Python Gauss-Jordan inversion is O(width^3) scalar field ops;
+    caching by the survivor-index tuple means a degraded read pays it once
+    per loss pattern, not once per object.
+    """
+    _metrics.inc("codec_plan_requests_total", plan="vandermonde-inverse")
+    return _vandermonde_inverse_cached(xs, width)
+
+
+@lru_cache(maxsize=_PLAN_CACHE_SIZE)
+def _lagrange_matrix_cached(
+    xs: tuple[int, ...], targets: tuple[int, ...]
+) -> np.ndarray:
+    rows = [
+        [lagrange_basis_at(GF256, list(xs), j, x) for j in range(len(xs))]
+        for x in targets
+    ]
+    return _freeze(rows)
+
+
+def lagrange_matrix_plan(
+    xs: tuple[int, ...], targets: tuple[int, ...]
+) -> np.ndarray:
+    """Rows of Lagrange coefficients mapping values at *xs* to each target.
+
+    Row r is ``[l_0(target_r), ..., l_{k-1}(target_r)]``: the plan that
+    re-evaluates the interpolating polynomial at the target points.  With
+    ``targets = (0,)`` this is Shamir reconstruction; with the packed
+    scheme's secret points it is packed reconstruction; with share points
+    it is packed splitting.
+    """
+    _metrics.inc("codec_plan_requests_total", plan="lagrange")
+    return _lagrange_matrix_cached(xs, targets)
+
+
+@lru_cache(maxsize=_PLAN_CACHE_SIZE)
+def _lagrange_zero_cached(xs: tuple[int, ...]) -> tuple[int, ...]:
+    return tuple(int(v) for v in _lagrange_matrix_cached(xs, (0,))[0])
+
+
+def lagrange_zero_plan(xs: tuple[int, ...]) -> tuple[int, ...]:
+    """Lagrange coefficients at zero, cached by the xs tuple.
+
+    The scalar-protocol twin of :func:`lagrange_matrix_plan`: callers that
+    combine share *scalars* (leakage masks, redistribution) want plain ints.
+    """
+    _metrics.inc("codec_plan_requests_total", plan="lagrange-zero")
+    return _lagrange_zero_cached(xs)
+
+
+@lru_cache(maxsize=_PLAN_CACHE_SIZE)
+def _rs_decode_cached(
+    xs: tuple[int, ...], systematic_points: tuple[int, ...]
+) -> np.ndarray:
+    width = len(xs)
+    inverse = _vandermonde_inverse_cached(xs, width)
+    evaluate = _vandermonde_cached(systematic_points, width)
+    composed = FieldMatrix(GF256, evaluate.tolist()).matmul(
+        FieldMatrix(GF256, inverse.tolist()), record=False
+    )
+    return _freeze(composed.rows)
+
+
+def rs_decode_plan(
+    xs: tuple[int, ...], systematic_points: tuple[int, ...]
+) -> np.ndarray:
+    """One matrix taking surviving codeword rows straight to message rows.
+
+    Composes the cached Vandermonde inverse (codeword rows -> coefficient
+    rows) with re-evaluation at the systematic points (coefficient rows ->
+    message rows).  Field arithmetic is exact, so folding the two steps
+    into one matmul is byte-identical to running them separately.
+    """
+    _metrics.inc("codec_plan_requests_total", plan="rs-decode")
+    return _rs_decode_cached(xs, systematic_points)
+
+
+def _freeze(rows: list[list[int]]) -> np.ndarray:
+    array = np.array(rows, dtype=np.uint8)
+    array.setflags(write=False)
+    return array
+
+
+# -- cache management ----------------------------------------------------------
+
+_PLAN_FUNCTIONS = {
+    "vandermonde_plan": _vandermonde_cached,
+    "vandermonde_inverse_plan": _vandermonde_inverse_cached,
+    "lagrange_matrix_plan": _lagrange_matrix_cached,
+    "lagrange_zero_plan": _lagrange_zero_cached,
+    "rs_decode_plan": _rs_decode_cached,
+}
+
+
+def plan_cache_info() -> dict[str, object]:
+    """Hit/miss statistics for every plan cache (tests and diagnostics)."""
+    return {name: fn.cache_info()._asdict() for name, fn in _PLAN_FUNCTIONS.items()}
+
+
+def clear_plan_caches() -> None:
+    """Drop every cached plan (test isolation; never needed for correctness)."""
+    for fn in _PLAN_FUNCTIONS.values():
+        fn.cache_clear()

@@ -11,8 +11,11 @@ Two variants, matching the paper's usage:
   ``[n, t]`` RS code applied to ``(m, r_1, ..., r_{t-1})``; we expose this
   form so the equivalence is testable.
 
-All bulk data paths are numpy-vectorized: a stripe of *k* byte-rows is
-extended to *n* byte-rows with ``k * (n - k)`` table-row lookups.
+Every bulk data path is one call into the batched GF(256) kernel
+(:func:`repro.gmath.kernel.gf256_matmul`): a stripe of *k* byte-rows becomes
+*n* byte-rows with a single cached-plan matrix product -- no per-coefficient
+Python loop, and the Vandermonde inverses that degraded reads need are
+LRU-cached by survivor set instead of re-derived O(k^3) per read.
 """
 
 from __future__ import annotations
@@ -23,9 +26,15 @@ import numpy as np
 
 from repro.errors import DecodingError, ParameterError
 from repro.gmath.gf256 import GF256
+from repro.gmath.kernel import (
+    gf256_matmul,
+    lagrange_matrix_plan,
+    rows_as_matrix,
+    rs_decode_plan,
+    vandermonde_inverse_plan,
+    vandermonde_plan,
+)
 from repro.obs import metrics as _metrics
-from repro.gmath.matrix import FieldMatrix
-from repro.gmath.poly import lagrange_basis_at
 
 _MAX_SYMBOLS = 255  # evaluation points are the nonzero field elements
 
@@ -61,15 +70,12 @@ class ReedSolomonCode:
         self.n = n
         self.k = k
         self.points = list(range(1, n + 1))
-        # Precompute the parity generator: for each parity point x, the
-        # Lagrange coefficients mapping the k systematic rows to row(x).
-        self._parity_coeffs = [
-            [
-                lagrange_basis_at(GF256, self.points[: k], j, x)
-                for j in range(k)
-            ]
-            for x in self.points[k:]
-        ]
+        # The parity plan: for each parity point x, the Lagrange coefficients
+        # mapping the k systematic rows to row(x).  Shared LRU cache, so all
+        # [n, k] code instances reuse one plan.
+        self._parity_plan = lagrange_matrix_plan(
+            tuple(self.points[:k]), tuple(self.points[k:])
+        )
 
     # -- helpers ---------------------------------------------------------------
 
@@ -78,18 +84,23 @@ class ReedSolomonCode:
         """Stored bytes per plaintext byte (n / k)."""
         return self.n / self.k
 
-    def _split_rows(self, data: bytes) -> tuple[list[np.ndarray], int]:
-        """Pad *data* and split into k equal byte-rows.
+    def _split_rows(self, data: bytes) -> tuple[np.ndarray, int]:
+        """Pad *data* and reshape into a (k, row_len) byte matrix.
 
-        Returns the rows and the original length (needed to strip padding on
-        decode).  Padding is zeros; the true length is carried out-of-band by
-        the caller (the Shard container's metadata lives at a higher layer).
+        Returns the matrix and the original length (needed to strip padding
+        on decode).  Padding is zeros; the true length is carried out-of-band
+        by the caller (the Shard container's metadata lives at a higher
+        layer).  When the data length is already divisible by k the matrix is
+        a zero-copy view of the input buffer.
         """
         original = len(data)
         row_len = max(1, -(-original // self.k))
-        padded = np.zeros(row_len * self.k, dtype=np.uint8)
-        padded[:original] = np.frombuffer(data, dtype=np.uint8)
-        rows = [padded[i * row_len : (i + 1) * row_len] for i in range(self.k)]
+        if row_len * self.k == original:
+            rows = np.frombuffer(data, dtype=np.uint8).reshape(self.k, row_len)
+        else:
+            padded = np.zeros(row_len * self.k, dtype=np.uint8)
+            padded[:original] = np.frombuffer(data, dtype=np.uint8)
+            rows = padded.reshape(self.k, row_len)
         return rows, original
 
     # -- systematic form --------------------------------------------------------
@@ -99,45 +110,43 @@ class ReedSolomonCode:
         _metrics.inc("rs_encode_bytes_total", len(data))
         rows, _ = self._split_rows(data)
         shards = [Shard(i, rows[i].tobytes()) for i in range(self.k)]
-        for parity_offset, coeffs in enumerate(self._parity_coeffs):
-            acc = np.zeros_like(rows[0])
-            for coefficient, row in zip(coeffs, rows):
-                if coefficient:
-                    acc ^= GF256.scalar_mul_vec(coefficient, row)
-            shards.append(Shard(self.k + parity_offset, acc.tobytes()))
+        if self.n > self.k:
+            parity = gf256_matmul(self._parity_plan, rows)
+            shards.extend(
+                Shard(self.k + offset, parity[offset].tobytes())
+                for offset in range(self.n - self.k)
+            )
         return shards
 
     def decode(self, shards: list[Shard], original_length: int) -> bytes:
         """Reconstruct the original bytes from any k distinct shards."""
         _metrics.inc("rs_decode_bytes_total", original_length)
         rows = self._decode_rows(shards)
-        flat = np.concatenate(rows)
+        flat = rows.reshape(-1)
         if original_length > flat.size:
             raise DecodingError(
                 f"original_length {original_length} exceeds decoded size {flat.size}"
             )
         return flat[:original_length].tobytes()
 
-    def _decode_rows(self, shards: list[Shard]) -> list[np.ndarray]:
+    def _decode_rows(self, shards: list[Shard]) -> np.ndarray:
         chosen = self._select_shards(shards)
         indices = [s.index for s in chosen]
         if indices[: self.k] == list(range(self.k)) and len(indices) >= self.k:
             # Fast path: all systematic shards survived.
             _metrics.inc("rs_decode_path_total", path="systematic")
-            return [np.frombuffer(s.data, dtype=np.uint8) for s in chosen[: self.k]]
+            return rows_as_matrix(
+                [np.frombuffer(s.data, dtype=np.uint8) for s in chosen[: self.k]]
+            )
         _metrics.inc("rs_decode_path_total", path="interpolated")
-        xs = [self.points[s.index] for s in chosen]
-        # Message row i equals the codeword polynomial evaluated at points[i].
-        vander = FieldMatrix.vandermonde(GF256, xs, self.k)
-        inv = vander.inverse()
-        payload = [np.frombuffer(s.data, dtype=np.uint8) for s in chosen]
-        # coefficient rows = inv @ payload, then re-evaluate at systematic pts
-        coeff_rows = _gf_mat_apply(inv.rows, payload)
-        out = []
-        for i in range(self.k):
-            x = self.points[i]
-            out.append(_poly_rows_eval(coeff_rows, x))
-        return out
+        xs = tuple(self.points[s.index] for s in chosen)
+        # One cached plan takes surviving codeword rows straight to message
+        # rows: (evaluate at systematic points) o (Vandermonde inverse).
+        plan = rs_decode_plan(xs, tuple(self.points[: self.k]))
+        payload = rows_as_matrix(
+            [np.frombuffer(s.data, dtype=np.uint8) for s in chosen]
+        )
+        return gf256_matmul(plan, payload)
 
     def _select_shards(self, shards: list[Shard]) -> list[Shard]:
         seen: dict[int, Shard] = {}
@@ -161,32 +170,36 @@ class ReedSolomonCode:
         secret recovered at x = 0, this *is* Shamir's scheme."""
         if len(coefficient_rows) != self.k:
             raise ParameterError(f"expected {self.k} coefficient rows")
+        plan = vandermonde_plan(tuple(self.points), self.k)
+        evaluated = gf256_matmul(plan, rows_as_matrix(coefficient_rows))
         return [
-            Shard(i, _poly_rows_eval(coefficient_rows, x).tobytes())
-            for i, x in enumerate(self.points)
+            Shard(i, evaluated[i].tobytes()) for i in range(self.n)
         ]
 
     def decode_nonsystematic(self, shards: list[Shard]) -> list[np.ndarray]:
         """Recover the k coefficient rows from any k distinct shards."""
         chosen = self._select_shards(shards)
-        xs = [self.points[s.index] for s in chosen]
-        inv = FieldMatrix.vandermonde(GF256, xs, self.k).inverse()
-        payload = [np.frombuffer(s.data, dtype=np.uint8) for s in chosen]
-        return _gf_mat_apply(inv.rows, payload)
+        xs = tuple(self.points[s.index] for s in chosen)
+        inverse = vandermonde_inverse_plan(xs, self.k)
+        payload = rows_as_matrix(
+            [np.frombuffer(s.data, dtype=np.uint8) for s in chosen]
+        )
+        coefficients = gf256_matmul(inverse, payload)
+        return [coefficients[i] for i in range(self.k)]
 
 
 def _gf_mat_apply(matrix_rows: list[list[int]], vec_rows: list[np.ndarray]) -> list[np.ndarray]:
-    """Apply a small scalar GF(256) matrix to a vector of byte-rows."""
-    out = []
-    for row in matrix_rows:
-        acc = np.zeros_like(vec_rows[0])
-        for coefficient, data in zip(row, vec_rows):
-            if coefficient:
-                acc ^= GF256.scalar_mul_vec(coefficient, data)
-        out.append(acc)
-    return out
+    """Apply a small scalar GF(256) matrix to a vector of byte-rows.
+
+    Retained as the kernel call's list-in/list-out form for protocol code
+    (verifiable redistribution) that works with loose rows.
+    """
+    out = gf256_matmul(
+        np.array(matrix_rows, dtype=np.uint8), rows_as_matrix(vec_rows)
+    )
+    return [out[i] for i in range(out.shape[0])]
 
 
 def _poly_rows_eval(coefficient_rows: list[np.ndarray], x: int) -> np.ndarray:
-    """Evaluate polynomial with byte-row coefficients at scalar x (Horner)."""
+    """Evaluate polynomial with byte-row coefficients at scalar x (kernel)."""
     return GF256.poly_eval_vec(list(coefficient_rows), x)

@@ -27,7 +27,7 @@ from repro.crypto.drbg import DeterministicRandom
 from repro.crypto.registry import PrimitiveKind, register_primitive
 from repro.errors import DecodingError, ParameterError
 from repro.gmath.gf256 import GF256
-from repro.gmath.poly import lagrange_basis_at
+from repro.gmath.kernel import gf256_matmul, lagrange_matrix_plan, rows_as_matrix
 from repro.secretsharing.base import Share, SplitResult, record_reconstruct, record_split
 from repro.security import SecurityLevel
 
@@ -68,15 +68,22 @@ class PackedSecretSharing:
     def split(self, data: bytes, rng: DeterministicRandom) -> SplitResult:
         chunk_rows, original = self._chunk(data)
         random_rows = [rng.uint8_array(chunk_rows[0].size) for _ in range(self.t)]
-        anchor_rows = chunk_rows + random_rows
+        anchor_rows = rows_as_matrix(chunk_rows + random_rows)
 
+        # P(x) for the first t share points *is* the random value; the
+        # remaining n - t shares are one cached-plan kernel call.
+        tail_points = tuple(self.share_points[self.t :])
+        tail = (
+            gf256_matmul(
+                lagrange_matrix_plan(tuple(self.anchor_points), tail_points),
+                anchor_rows,
+            )
+            if tail_points
+            else None
+        )
         shares = []
         for i, x in enumerate(self.share_points):
-            if i < self.t:
-                # P(x) for the first t share points *is* the random value.
-                payload = random_rows[i]
-            else:
-                payload = self._interpolate_rows(self.anchor_points, anchor_rows, x)
+            payload = random_rows[i] if i < self.t else tail[i - self.t]
             shares.append(Share(scheme=self.name, index=x, payload=payload.tobytes()))
         record_split(self.name, original, self.n)
         return SplitResult(
@@ -97,13 +104,14 @@ class PackedSecretSharing:
             if original_length is None:
                 raise ParameterError("original_length required when passing raw shares")
         chosen = self._select(share_list)
-        xs = [s.index for s in chosen]
-        rows = [np.frombuffer(s.payload, dtype=np.uint8) for s in chosen]
-        chunk_rows = [
-            self._interpolate_rows(xs, rows, secret_point)
-            for secret_point in self.secret_points
-        ]
-        flat = np.concatenate(chunk_rows)
+        xs = tuple(s.index for s in chosen)
+        rows = rows_as_matrix(
+            [np.frombuffer(s.payload, dtype=np.uint8) for s in chosen]
+        )
+        chunk_rows = gf256_matmul(
+            lagrange_matrix_plan(xs, tuple(self.secret_points)), rows
+        )
+        flat = chunk_rows.reshape(-1)
         if original_length > flat.size:
             raise DecodingError("original_length exceeds reconstructed size")
         record_reconstruct(self.name, original_length)
@@ -163,12 +171,8 @@ class PackedSecretSharing:
     @staticmethod
     def _interpolate_rows(xs: list[int], rows: list[np.ndarray], x: int) -> np.ndarray:
         """Evaluate at *x* the polynomial through (xs[i], rows[i])."""
-        acc = np.zeros_like(rows[0])
-        for j, row in enumerate(rows):
-            coefficient = lagrange_basis_at(GF256, xs, j, x)
-            if coefficient:
-                acc ^= GF256.scalar_mul_vec(coefficient, row)
-        return acc
+        plan = lagrange_matrix_plan(tuple(xs), (x,))
+        return gf256_matmul(plan, rows_as_matrix(rows))[0]
 
     def _select(self, shares: Sequence[Share]) -> list[Share]:
         seen: dict[int, Share] = {}

@@ -153,12 +153,15 @@ class ProactiveShareGroup:
         excluded_senders: set[int] = set()
 
         # Phase 1+2: every holder deals a zero-secret polynomial and sends
-        # sub-shares with integrity tags.
+        # sub-shares with integrity tags.  All n sub-shares of one dealer
+        # come out of a single batched kernel call.
         deliveries: dict[int, dict[int, np.ndarray]] = {i: {} for i in self._holders}
-        for sender in sorted(self._holders):
+        receivers = sorted(self._holders)
+        for sender in receivers:
             delta_rows = self.scheme.zero_share_rows(share_len, rng)
-            for receiver in sorted(self._holders):
-                sub_share = self.scheme.evaluate_rows(delta_rows, receiver)
+            sub_shares = self.scheme.evaluate_rows_at(delta_rows, receivers)
+            for position, receiver in enumerate(receivers):
+                sub_share = sub_shares[position]
                 tag = sha256(sub_share.tobytes())
                 wire_payload = tamper.get((sender, receiver), sub_share.tobytes())
                 messages += 1
@@ -212,13 +215,14 @@ class ProactiveShareGroup:
                 f"need {self.scheme.t} healthy helpers, have {len(helpers)}"
             )
         from repro.gmath.gf256 import GF256
-        from repro.gmath.poly import lagrange_basis_at
+        from repro.gmath.kernel import lagrange_matrix_plan
 
         share_len = len(self._holders[helpers[0]].payload)
-        # Lagrange coefficients targeting x = lost_index instead of zero.
+        # Lagrange coefficients targeting x = lost_index instead of zero
+        # (cached plan: repeated recoveries of one index reuse the row).
         lambdas = [
-            lagrange_basis_at(GF256, helpers, j, lost_index)
-            for j in range(len(helpers))
+            int(v)
+            for v in lagrange_matrix_plan(tuple(helpers), (lost_index,))[0]
         ]
 
         # Pairwise pads: helpers i < k share pad p_{ik}; i XORs it in, k

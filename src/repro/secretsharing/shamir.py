@@ -27,8 +27,12 @@ import numpy as np
 from repro.crypto.drbg import DeterministicRandom
 from repro.crypto.registry import PrimitiveKind, register_primitive
 from repro.errors import DecodingError, ParameterError
-from repro.gmath.gf256 import GF256
-from repro.gmath.poly import lagrange_coefficients_at_zero
+from repro.gmath.kernel import (
+    gf256_matmul,
+    lagrange_matrix_plan,
+    rows_as_matrix,
+    vandermonde_plan,
+)
 from repro.secretsharing.base import Share, SplitResult, record_reconstruct, record_split
 from repro.security import SecurityLevel
 
@@ -57,18 +61,26 @@ class ShamirSecretSharing:
     # -- splitting ----------------------------------------------------------------
 
     def split(self, data: bytes, rng: DeterministicRandom) -> SplitResult:
-        """Split *data* into n shares, any t of which reconstruct it."""
+        """Split *data* into n shares, any t of which reconstruct it.
+
+        One batched kernel call: the share matrix is the cached (n, t)
+        Vandermonde plan applied to the coefficient rows ``[secret, r_1,
+        ..., r_{t-1}]`` -- n Horner passes collapsed into a single matmul.
+        """
         secret = np.frombuffer(data, dtype=np.uint8)
-        coefficient_rows = [secret] + [
-            rng.uint8_array(secret.size) for _ in range(self.t - 1)
-        ]
+        coefficients = np.empty((self.t, secret.size), dtype=np.uint8)
+        coefficients[0] = secret
+        if self.t > 1:
+            # One bulk draw; byte-identical to t-1 consecutive row draws.
+            coefficients[1:] = rng.uint8_array(
+                (self.t - 1) * secret.size
+            ).reshape(self.t - 1, secret.size)
+        evaluated = gf256_matmul(
+            vandermonde_plan(tuple(self.points), self.t), coefficients
+        )
         shares = tuple(
-            Share(
-                scheme=self.name,
-                index=x,
-                payload=GF256.poly_eval_vec(coefficient_rows, x).tobytes(),
-            )
-            for x in self.points
+            Share(scheme=self.name, index=x, payload=evaluated[i].tobytes())
+            for i, x in enumerate(self.points)
         )
         record_split(self.name, len(data), self.n)
         return SplitResult(
@@ -85,14 +97,12 @@ class ShamirSecretSharing:
         """Recover the secret from any t distinct shares."""
         share_list = list(shares.shares) if isinstance(shares, SplitResult) else list(shares)
         chosen = self._select(share_list)
-        xs = [s.index for s in chosen]
-        lambdas = lagrange_coefficients_at_zero(GF256, xs)
-        acc = np.zeros(len(chosen[0].payload), dtype=np.uint8)
-        for coefficient, share in zip(lambdas, chosen):
-            if coefficient:
-                acc ^= GF256.scalar_mul_vec(
-                    coefficient, np.frombuffer(share.payload, dtype=np.uint8)
-                )
+        xs = tuple(s.index for s in chosen)
+        payload = rows_as_matrix(
+            [np.frombuffer(s.payload, dtype=np.uint8) for s in chosen]
+        )
+        # Cached Lagrange-at-zero plan: reconstruction is one (1, t) matmul.
+        acc = gf256_matmul(lagrange_matrix_plan(xs, (0,)), payload)[0]
         record_reconstruct(self.name, acc.size)
         return acc.tobytes()
 
@@ -129,7 +139,19 @@ class ShamirSecretSharing:
         """Evaluate vector-coefficient polynomial at share point x."""
         if x not in self.points:
             raise ParameterError(f"x={x} is not a share point of this scheme")
-        return GF256.poly_eval_vec(coefficient_rows, x)
+        plan = vandermonde_plan((x,), len(coefficient_rows))
+        return gf256_matmul(plan, rows_as_matrix(coefficient_rows))[0]
+
+    def evaluate_rows_at(
+        self, coefficient_rows: list[np.ndarray], xs: Sequence[int]
+    ) -> np.ndarray:
+        """Evaluate vector-coefficient polynomial at many share points at
+        once (one kernel call; proactive renewal's per-receiver loop)."""
+        for x in xs:
+            if x not in self.points:
+                raise ParameterError(f"x={x} is not a share point of this scheme")
+        plan = vandermonde_plan(tuple(xs), len(coefficient_rows))
+        return gf256_matmul(plan, rows_as_matrix(coefficient_rows))
 
 
 register_primitive(

@@ -9,7 +9,7 @@ to knock nodes out.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.crypto.drbg import DeterministicRandom
 from repro.errors import ParameterError

@@ -15,7 +15,7 @@ independent storage provider site:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.crypto.sha256 import sha256_hex
 from repro.errors import IntegrityError, NodeUnavailableError, ObjectNotFoundError

@@ -11,7 +11,7 @@ redistribution, and reason about what a compromised provider exposes.
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.crypto.drbg import DeterministicRandom
 from repro.errors import (

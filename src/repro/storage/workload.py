@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterator
 
 from repro.crypto.drbg import DeterministicRandom
 from repro.errors import ParameterError

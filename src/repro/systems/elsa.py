@@ -23,7 +23,6 @@ cleanest illustration of the paper's trade-off *inside* one design:
 from __future__ import annotations
 
 from repro.crypto.aes import AesCtrCipher
-from repro.crypto.drbg import DeterministicRandom
 from repro.crypto.registry import BreakTimeline
 from repro.errors import DecodingError, ParameterError
 from repro.gmath.reedsolomon import ReedSolomonCode, Shard

@@ -24,7 +24,6 @@ Modeled components:
 
 from __future__ import annotations
 
-from repro.crypto.drbg import DeterministicRandom
 from repro.crypto.hmac_ import hmac_sha256
 from repro.crypto.kdf import derive_subkey
 from repro.crypto.registry import BreakTimeline

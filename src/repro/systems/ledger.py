@@ -14,7 +14,7 @@ client code paths.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.crypto.sha256 import sha256_hex
 from repro.errors import IntegrityError, ParameterError

@@ -25,7 +25,6 @@ Faithful structural features:
 
 from __future__ import annotations
 
-from repro.crypto.drbg import DeterministicRandom
 from repro.crypto.registry import BreakTimeline
 from repro.errors import DecodingError, ParameterError
 from repro.secretsharing.additive import AdditiveSecretSharing

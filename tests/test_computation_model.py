@@ -1,6 +1,5 @@
 """The rate-bounded computation model and derived break timelines."""
 
-import math
 
 import pytest
 

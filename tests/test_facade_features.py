@@ -5,7 +5,6 @@ import pytest
 from repro import ArchivePolicy, ConfidentialityTarget, DeterministicRandom, SecureArchive, make_node_fleet
 from repro.core.policy import CENTURY_SAFE
 from repro.errors import (
-    DecodingError,
     ObjectNotFoundError,
     ParameterError,
     RetentionLockedError,

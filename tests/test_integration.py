@@ -1,6 +1,5 @@
 """Cross-module integration scenarios: the paper's arguments, end to end."""
 
-import pytest
 
 from repro.adversary.harvest import HarvestingAdversary
 from repro.adversary.mobile import MobileAdversary, run_mobile_campaign

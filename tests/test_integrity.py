@@ -9,7 +9,7 @@ from repro.crypto.drbg import DeterministicRandom
 from repro.crypto.registry import BreakTimeline
 from repro.errors import IntegrityError, ParameterError
 from repro.integrity.auditor import ChainAuditor, forged_link_after_break
-from repro.integrity.merkle import MerkleProof, MerkleTree
+from repro.integrity.merkle import MerkleTree
 from repro.integrity.timestamp import (
     MerkleChainSigner,
     RsaChainSigner,

@@ -5,7 +5,6 @@ import pytest
 from repro.crypto.drbg import DeterministicRandom
 from repro.errors import DecodingError, ParameterError
 from repro.secretsharing.aontrs import AontRsDispersal
-from repro.secretsharing.base import Share
 from repro.secretsharing.leakage import (
     LeakageResilientSharing,
     linear_attack_against_lrss,

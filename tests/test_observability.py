@@ -25,7 +25,6 @@ from repro.errors import ParameterError, StorageError
 from repro.integrity.audit import StorageAuditor
 from repro.obs import (
     Histogram,
-    MetricsRegistry,
     current_span,
     exponential_buckets,
     get_registry,

@@ -1,13 +1,11 @@
 """Primitive registry / break timeline, DRBG, entropic encryption."""
 
-import numpy as np
 import pytest
 
 from repro.crypto.drbg import DeterministicRandom
 from repro.crypto.entropic import EntropicEncryption
 from repro.crypto.registry import (
     BreakTimeline,
-    PrimitiveInfo,
     PrimitiveKind,
     PrimitiveRegistry,
     global_registry,

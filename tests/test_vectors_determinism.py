@@ -1,6 +1,5 @@
 """Extra known-answer vectors and artifact determinism guarantees."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

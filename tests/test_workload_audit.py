@@ -1,6 +1,5 @@
 """Workload generation/replay and the storage audit protocol."""
 
-import math
 
 import pytest
 

@@ -1,0 +1,73 @@
+"""Machine-readable benchmark summary: BENCH_throughput.json at repo root.
+
+Parses ``benchmarks/results/throughput.txt`` (the artifact the throughput
+benchmark regenerates) into ``{operation: MB/s}`` and stamps the commit and
+date, so CI can diff throughput across revisions without scraping tables.
+
+Run ``make bench-json`` (which regenerates the artifact first) or invoke
+directly to summarize an existing results file.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+RESULTS = REPO / "benchmarks" / "results" / "throughput.txt"
+OUTPUT = REPO / "BENCH_throughput.json"
+
+
+def parse_throughput(text: str) -> dict[str, float]:
+    """Extract ``{operation: MB/s}`` from the rendered throughput table."""
+    rows: dict[str, float] = {}
+    for line in text.splitlines():
+        parts = line.rstrip().rsplit(None, 1)
+        if len(parts) != 2:
+            continue
+        name, value = parts
+        try:
+            rows[name.strip()] = float(value)
+        except ValueError:
+            continue  # header / rule lines
+    if not rows:
+        raise SystemExit(f"bench-summary: no throughput rows parsed from {RESULTS}")
+    return rows
+
+
+def git_commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def main() -> int:
+    if not RESULTS.is_file():
+        raise SystemExit(
+            f"bench-summary: {RESULTS} missing -- run "
+            "`pytest benchmarks/bench_throughput.py --benchmark-only` first"
+        )
+    summary = {
+        "commit": git_commit(),
+        "date": datetime.date.today().isoformat(),
+        "units": "MB/s (1 MiB object, single run)",
+        "throughput": parse_throughput(RESULTS.read_text()),
+    }
+    OUTPUT.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    print(f"bench-summary: wrote {OUTPUT}")
+    print(json.dumps(summary["throughput"], indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
