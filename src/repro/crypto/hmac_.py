@@ -19,13 +19,26 @@ def hmac_sha256(key: bytes, message: bytes) -> bytes:
     return sha256(o_key_pad + sha256(i_key_pad + message))
 
 
-def verify_hmac_sha256(key: bytes, message: bytes, tag: bytes) -> bool:
-    """Constant-time-ish tag comparison (timing is irrelevant in simulation,
-    but the idiom is kept so the code reads like production crypto)."""
-    expected = hmac_sha256(key, message)
-    if len(expected) != len(tag):
+def constant_time_eq(a: bytes | str, b: bytes | str) -> bool:
+    """Data-independent equality for tags/digests/keys (ARCH004's target).
+
+    Accepts ``str`` for hex-encoded digests.  No early exit on mismatch, so
+    the number of matching leading bytes never shows up in timing (timing is
+    irrelevant in simulation, but the idiom is kept -- and now lint-enforced
+    -- so the code reads like production crypto).
+    """
+    if isinstance(a, str):
+        a = a.encode()
+    if isinstance(b, str):
+        b = b.encode()
+    if len(a) != len(b):
         return False
     diff = 0
-    for a, b in zip(expected, tag):
-        diff |= a ^ b
+    for x, y in zip(a, b):
+        diff |= x ^ y
     return diff == 0
+
+
+def verify_hmac_sha256(key: bytes, message: bytes, tag: bytes) -> bool:
+    """Verify HMAC-SHA256(key, message) against *tag* in constant time."""
+    return constant_time_eq(hmac_sha256(key, message), tag)

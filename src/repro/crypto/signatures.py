@@ -159,7 +159,9 @@ class MerkleSignature:
             else:
                 node_hash = _merkle_parent(sibling, node_hash)
             node //= 2
-        return node_hash == public_root
+        # The Merkle public-key root is, definitionally, public key material;
+        # both compared values are known to any verifier.
+        return node_hash == public_root  # noqa: ARCH004 - public key root
 
 
 # -- Toy RSA (the breakable scheme) -------------------------------------------------
@@ -213,7 +215,10 @@ class ToyRsaSignature:
 
     def verify(self, public: tuple[int, int], message: bytes, signature: int) -> bool:
         n, e = public
-        return pow(signature, e, n) == self._digest_int(message, n)
+        # RSA verification operates entirely on public values (signature,
+        # public exponent, modulus, message digest) -- nothing secret leaks
+        # through comparison timing.
+        return pow(signature, e, n) == self._digest_int(message, n)  # noqa: ARCH004 - public verification math
 
     # -- the attack -------------------------------------------------------------
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.crypto.drbg import DeterministicRandom
+from repro.crypto.hmac_ import constant_time_eq
 from repro.crypto.sha256 import sha256, sha256_hex
 from repro.errors import IntegrityError, ParameterError
 from repro.integrity.merkle import MerkleProof, MerkleTree
@@ -184,7 +185,7 @@ class StorageAuditor:
             # to the committed digest -- this is what a replayed tree
             # cannot fake for a rotted object.
             data = node.raw_bytes(challenge.object_id)
-            if sha256_hex(data) != response.digest_hex:
+            if not constant_time_eq(sha256_hex(data), response.digest_hex):
                 self._record_failure(
                     report,
                     challenge,
@@ -192,7 +193,7 @@ class StorageAuditor:
                     "live bytes do not match committed digest",
                 )
                 continue
-            if sha256(nonce + data) != response.freshness_tag:
+            if not constant_time_eq(sha256(nonce + data), response.freshness_tag):
                 self._record_failure(
                     report, challenge, "stale-freshness", "stale freshness tag"
                 )

@@ -76,7 +76,9 @@ class MerkleTree:
                 node = _node_hash(sibling, node)
             else:
                 node = _node_hash(node, sibling)
-        return node == root
+        # Merkle roots are published commitments, not secrets: the verifier
+        # already holds both values, so a timing-safe compare buys nothing.
+        return node == root  # noqa: ARCH004 - public commitment comparison
 
     @staticmethod
     def require_member(root: bytes, leaf: bytes, proof: MerkleProof) -> None:

@@ -135,7 +135,9 @@ class TimestampChain:
 
     def append(self, link: TimestampLink) -> None:
         expected_prev = self.head_digest
-        if link.prev_digest != expected_prev:
+        # Hash-chain heads are public ledger state, recomputable by anyone
+        # from the published links; constant-time comparison buys nothing.
+        if link.prev_digest != expected_prev:  # noqa: ARCH004 - public chain link
             raise IntegrityError("link does not extend the current head")
         if link.index != len(self.links):
             raise IntegrityError("link index out of sequence")

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.crypto.drbg import DeterministicRandom
+from repro.crypto.hmac_ import constant_time_eq
 from repro.crypto.sha256 import sha256
 from repro.errors import IntegrityError, ParameterError
 from repro.secretsharing.base import Share, SplitResult
@@ -166,7 +167,7 @@ class ProactiveShareGroup:
                 wire_payload = tamper.get((sender, receiver), sub_share.tobytes())
                 messages += 1
                 bytes_sent += len(wire_payload) + len(tag)
-                if sha256(wire_payload) != tag:
+                if not constant_time_eq(sha256(wire_payload), tag):
                     detected += 1
                     excluded_senders.add(sender)
                     continue

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.crypto.hmac_ import constant_time_eq
 from repro.crypto.sha256 import sha256_hex
 from repro.errors import IntegrityError, NodeUnavailableError, ObjectNotFoundError
 from repro.obs import metrics as _metrics
@@ -75,7 +76,7 @@ class StorageNode:
     def get(self, object_id: str) -> bytes:
         self._require_online(f"get {object_id}")
         obj = self._lookup(object_id)
-        if sha256_hex(obj.data) != obj.digest:
+        if not constant_time_eq(sha256_hex(obj.data), obj.digest):
             raise IntegrityError(
                 f"object {object_id} on node {self.node_id} fails its digest"
             )

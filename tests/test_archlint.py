@@ -1,0 +1,482 @@
+"""Tests for tools/archlint: every rule fires, every suppression path works.
+
+Each rule gets three fixture cases driven through the real engine against
+inline snippets: one that triggers, one silenced by ``# noqa: ARCHxxx``,
+one exempted by a config allowlist.  On top of that the suite pins the
+repo-level contract (``src/repro`` lints clean with the committed
+pyproject policy), the legacy suppression aliases from the pre-archlint
+gates, the baseline ratchet, and the CLI/JSON surface ``make lint`` uses.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from archlint.baseline import write_baseline  # noqa: E402 - path bootstrap above
+from archlint.config import load_config  # noqa: E402
+from archlint.core import Config, Finding, RuleConfig, is_suppressed  # noqa: E402
+from archlint.engine import run_lint  # noqa: E402
+from archlint.rules import ALL_RULES, RULES_BY_CODE  # noqa: E402
+
+ALL_CODES = ("ARCH001", "ARCH002", "ARCH003", "ARCH004", "ARCH005", "ARCH006")
+
+
+def lint_snippet(
+    tmp_path: Path,
+    source: str,
+    code: str,
+    rule_config: RuleConfig | None = None,
+    filename: str = "snippet.py",
+):
+    """Run exactly one rule over one snippet in a scratch project."""
+    target = tmp_path / filename
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source))
+    config = Config(roots=(".",))
+    if rule_config is not None:
+        config.rules[code] = rule_config
+    return run_lint(tmp_path, config, ALL_RULES, paths=[filename], select={code})
+
+
+class TestFramework:
+    def test_rule_catalogue_complete(self):
+        assert tuple(sorted(RULES_BY_CODE)) == ALL_CODES
+        for rule in ALL_RULES:
+            assert rule.description, rule.code
+
+    def test_bare_noqa_suppresses_any_code(self):
+        finding = Finding("x.py", 1, 0, "ARCH004", "msg")
+        assert is_suppressed(finding, "tag == other  # noqa")
+        assert is_suppressed(finding, "tag == other  # noqa: ARCH004")
+        assert is_suppressed(finding, "tag == other  # noqa: ARCH001, ARCH004")
+        assert not is_suppressed(finding, "tag == other  # noqa: ARCH001")
+        assert not is_suppressed(finding, "tag == other")
+
+    def test_legacy_aliases_still_honored(self):
+        broad = Finding("x.py", 1, 0, "ARCH001", "msg")
+        dead = Finding("x.py", 1, 0, "ARCH002", "msg")
+        assert is_suppressed(broad, "except Exception:  # noqa: broad-except-ok")
+        assert is_suppressed(dead, "import os  # noqa: unused-import-ok")
+        # Aliases are per-code: the old tags don't leak across rules.
+        assert not is_suppressed(dead, "import os  # noqa: broad-except-ok")
+
+    def test_unparseable_file_is_an_error(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        report = run_lint(tmp_path, Config(roots=(".",)), ALL_RULES)
+        assert not report.ok
+        assert report.errors and "broken.py" in report.errors[0][0]
+
+    def test_baseline_ratchet(self, tmp_path):
+        (tmp_path / "old.py").write_text("def f(xs=[]):\n    return xs\n")
+        config = Config(roots=(".",), baseline="baseline.json")
+        first = run_lint(tmp_path, config, ALL_RULES, select={"ARCH006"})
+        assert len(first.findings) == 1
+        write_baseline(tmp_path, "baseline.json", first.findings)
+        second = run_lint(tmp_path, config, ALL_RULES, select={"ARCH006"})
+        assert second.ok and second.baselined == 1
+
+
+class TestArch001BroadExcept:
+    TRIGGER = """
+        def f():
+            try:
+                return 1
+            except Exception:
+                return None
+    """
+
+    def test_triggers(self, tmp_path):
+        report = lint_snippet(tmp_path, self.TRIGGER, "ARCH001")
+        assert [f.code for f in report.findings] == ["ARCH001"]
+
+    def test_tuple_and_bare_forms(self, tmp_path):
+        source = """
+            def f():
+                try:
+                    return 1
+                except (ValueError, Exception):
+                    return None
+
+            def g():
+                try:
+                    return 1
+                except:
+                    return None
+        """
+        report = lint_snippet(tmp_path, source, "ARCH001")
+        assert len(report.findings) == 2
+
+    def test_noqa(self, tmp_path):
+        source = """
+            def f():
+                try:
+                    return 1
+                except Exception:  # noqa: ARCH001 - boundary firewall
+                    return None
+        """
+        report = lint_snippet(tmp_path, source, "ARCH001")
+        assert report.ok and report.suppressed == 1
+
+    def test_allowlist(self, tmp_path):
+        cfg = RuleConfig(allow=("snippet.py",))
+        report = lint_snippet(tmp_path, self.TRIGGER, "ARCH001", rule_config=cfg)
+        assert report.ok and report.suppressed == 0
+
+    def test_narrow_except_clean(self, tmp_path):
+        source = """
+            def f():
+                try:
+                    return 1
+                except (ValueError, KeyError):
+                    return None
+        """
+        assert lint_snippet(tmp_path, source, "ARCH001").ok
+
+
+class TestArch002DeadImport:
+    TRIGGER = """
+        import os
+        import json
+
+        def f():
+            return json.dumps({})
+    """
+
+    def test_triggers(self, tmp_path):
+        report = lint_snippet(tmp_path, self.TRIGGER, "ARCH002")
+        assert len(report.findings) == 1
+        assert "'os' imported but unused" in report.findings[0].message
+
+    def test_noqa(self, tmp_path):
+        source = """
+            import os  # noqa: ARCH002 - imported for its side effects
+        """
+        report = lint_snippet(tmp_path, source, "ARCH002")
+        assert report.ok and report.suppressed == 1
+
+    def test_allowlist(self, tmp_path):
+        cfg = RuleConfig(allow=("snippet.py",))
+        assert lint_snippet(tmp_path, self.TRIGGER, "ARCH002", rule_config=cfg).ok
+
+    def test_exemptions(self, tmp_path):
+        source = """
+            import os
+            from json import dumps as dumps
+
+            __all__ = ["os"]
+        """
+        assert lint_snippet(tmp_path, source, "ARCH002").ok
+
+    def test_init_py_skipped(self, tmp_path):
+        report = lint_snippet(
+            tmp_path, "import os\n", "ARCH002", filename="pkg/__init__.py"
+        )
+        assert report.ok
+
+    def test_attribute_root_counts_as_use(self, tmp_path):
+        source = """
+            import numpy as np
+
+            def f(rows):
+                return np.take(rows, 0)
+        """
+        assert lint_snippet(tmp_path, source, "ARCH002").ok
+
+
+class TestArch003Nondeterminism:
+    TRIGGER = """
+        import time
+
+        def stamp():
+            return time.time()
+    """
+
+    def test_triggers(self, tmp_path):
+        report = lint_snippet(tmp_path, self.TRIGGER, "ARCH003")
+        assert len(report.findings) == 1
+        assert "time.time" in report.findings[0].message
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "from time import time\n\ndef f():\n    return time()\n",
+            "from os import urandom\n\ndef f():\n    return urandom(8)\n",
+            "import random\n\ndef f():\n    return random.random()\n",
+            "import random\n\ndef f():\n    return random.Random()\n",
+            "import numpy as np\n\ndef f():\n    return np.random.rand(3)\n",
+            "import numpy as np\n\ndef f():\n    return np.random.default_rng()\n",
+            "from datetime import datetime\n\ndef f():\n    return datetime.now()\n",
+        ],
+    )
+    def test_resolved_import_forms_trigger(self, tmp_path, source):
+        report = lint_snippet(tmp_path, source, "ARCH003")
+        assert len(report.findings) == 1, source
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            # Seeded constructions are the sanctioned idiom.
+            "import random\n\ndef f(seed):\n    return random.Random(seed)\n",
+            "import numpy as np\n\ndef f(seed):\n    return np.random.default_rng(seed)\n",
+            "import numpy as np\n\ndef f(s):\n    return np.random.Generator(np.random.PCG64(s))\n",
+            # A local name shadowing a banned module is not resolved.
+            "def f(time):\n    return time.time()\n",
+        ],
+    )
+    def test_seeded_and_unresolved_forms_clean(self, tmp_path, source):
+        assert lint_snippet(tmp_path, source, "ARCH003").ok, source
+
+    def test_noqa(self, tmp_path):
+        source = """
+            import time
+
+            def stamp():
+                return time.time()  # noqa: ARCH003 - wall-clock label only
+        """
+        report = lint_snippet(tmp_path, source, "ARCH003")
+        assert report.ok and report.suppressed == 1
+
+    def test_allowlist_mirrors_entropy_boundary(self, tmp_path):
+        # Same shape as pyproject's allow of crypto/drbg.py and obs/*.
+        cfg = RuleConfig(allow=("entropy/*",))
+        report = lint_snippet(
+            tmp_path, self.TRIGGER, "ARCH003", rule_config=cfg,
+            filename="entropy/boundary.py",
+        )
+        assert report.ok
+
+    def test_scope_excludes_other_trees(self, tmp_path):
+        cfg = RuleConfig(scope=("src/*",))
+        report = lint_snippet(
+            tmp_path, self.TRIGGER, "ARCH003", rule_config=cfg,
+            filename="tests/helper.py",
+        )
+        assert report.ok
+
+
+class TestArch004SecretComparison:
+    TRIGGER = """
+        def check(tag, expected_tag):
+            return tag == expected_tag
+    """
+
+    def test_triggers(self, tmp_path):
+        report = lint_snippet(tmp_path, self.TRIGGER, "ARCH004")
+        assert len(report.findings) == 1
+        assert "constant_time_eq" in report.findings[0].message
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "def f(link, prev_digest):\n    return link.digest != prev_digest\n",
+            "def f(data, mac, h):\n    if h(data) != mac:\n        raise ValueError\n",
+            "def f(key, stored_key):\n    return key == stored_key\n",
+        ],
+    )
+    def test_attribute_call_and_key_forms_trigger(self, tmp_path, source):
+        assert len(lint_snippet(tmp_path, source, "ARCH004").findings) == 1, source
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            # Structural metadata about secrets is not secret material.
+            "def f(key_size):\n    return key_size == 16\n",
+            "def f(key, key_bytes):\n    return len(key) != key_bytes\n",
+            "def f(tag):\n    return tag == None\n",
+            # asserts are the test/demo oracle idiom (ARCH006 bans them in src).
+            "def f(secret, recovered_secret):\n    assert recovered_secret == secret\n",
+            # Routed through the constant-time helper: nothing to flag.
+            "def f(cte, a_tag, b_tag):\n    return cte(a_tag, b_tag)\n",
+        ],
+    )
+    def test_exempt_forms_clean(self, tmp_path, source):
+        assert lint_snippet(tmp_path, source, "ARCH004").ok, source
+
+    def test_noqa(self, tmp_path):
+        source = """
+            def verify(node, root):
+                return node == root  # noqa: ARCH004 - public commitment
+        """
+        report = lint_snippet(tmp_path, source, "ARCH004")
+        assert report.ok and report.suppressed == 1
+
+    def test_allowlist(self, tmp_path):
+        cfg = RuleConfig(allow=("snippet.py",))
+        assert lint_snippet(tmp_path, self.TRIGGER, "ARCH004", rule_config=cfg).ok
+
+
+class TestArch005DynamicMetricLabel:
+    TRIGGER = """
+        def record(metrics, object_id):
+            metrics.inc("storage_puts_total", node=f"node-{object_id}")
+    """
+
+    def test_triggers(self, tmp_path):
+        report = lint_snippet(tmp_path, self.TRIGGER, "ARCH005")
+        assert len(report.findings) == 1
+        assert "cardinality" in report.findings[0].message
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "def f(m, exc):\n    m.inc('errors_total', kind=type(exc))\n",
+            "def f(observe, op, x):\n    observe('t_seconds', x, op='pre-' + op)\n",
+            "def f(reg, shard):\n    reg.counter('ops_total', shard=str(shard))\n",
+        ],
+    )
+    def test_call_and_concat_label_forms_trigger(self, tmp_path, source):
+        assert len(lint_snippet(tmp_path, source, "ARCH005").findings) == 1, source
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            # Variables may carry a bounded vocabulary; construction can't.
+            "def f(m, reason):\n    m.inc('lost_total', reason=reason)\n",
+            "def f(m):\n    m.inc('puts_total')\n",
+            # histogram bounds= is a parameter, not a label.
+            "def f(reg, b):\n    reg.histogram('t_seconds', bounds=tuple(b))\n",
+            # Unrelated callables named like metrics methods but positional.
+            "def f(counter):\n    counter.inc(1)\n",
+        ],
+    )
+    def test_bounded_forms_clean(self, tmp_path, source):
+        assert lint_snippet(tmp_path, source, "ARCH005").ok, source
+
+    def test_noqa(self, tmp_path):
+        source = """
+            def record(metrics, epoch):
+                metrics.inc("renewals_total", epoch=f"e{epoch}")  # noqa: ARCH005
+        """
+        report = lint_snippet(tmp_path, source, "ARCH005")
+        assert report.ok and report.suppressed == 1
+
+    def test_allowlist(self, tmp_path):
+        cfg = RuleConfig(allow=("snippet.py",))
+        assert lint_snippet(tmp_path, self.TRIGGER, "ARCH005", rule_config=cfg).ok
+
+
+class TestArch006MutableDefaultAndAssert:
+    TRIGGER = """
+        def gather(shares=[]):
+            return shares
+    """
+
+    def test_mutable_default_triggers(self, tmp_path):
+        report = lint_snippet(tmp_path, self.TRIGGER, "ARCH006")
+        assert len(report.findings) == 1
+        assert "mutable default" in report.findings[0].message
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "def f(m={}):\n    return m\n",
+            "def f(s=set()):\n    return s\n",
+            "def f(*, xs=list()):\n    return xs\n",
+        ],
+    )
+    def test_other_mutable_forms_trigger(self, tmp_path, source):
+        assert len(lint_snippet(tmp_path, source, "ARCH006").findings) == 1, source
+
+    def test_assert_flagged_only_inside_assert_scope(self, tmp_path):
+        source = "def f(n):\n    assert n > 0\n    return n\n"
+        in_scope = lint_snippet(tmp_path, source, "ARCH006", filename="src/mod.py")
+        assert len(in_scope.findings) == 1
+        assert "typed error" in in_scope.findings[0].message
+        out_of_scope = lint_snippet(
+            tmp_path, source, "ARCH006", filename="tests/test_mod.py"
+        )
+        assert out_of_scope.ok
+
+    def test_noqa(self, tmp_path):
+        source = """
+            def gather(shares=[]):  # noqa: ARCH006 - never mutated, doc default
+                return shares
+        """
+        report = lint_snippet(tmp_path, source, "ARCH006")
+        assert report.ok and report.suppressed == 1
+
+    def test_allowlist(self, tmp_path):
+        cfg = RuleConfig(allow=("snippet.py",))
+        assert lint_snippet(tmp_path, self.TRIGGER, "ARCH006", rule_config=cfg).ok
+
+    def test_none_default_clean(self, tmp_path):
+        source = "def f(xs=None):\n    return xs or []\n"
+        assert lint_snippet(tmp_path, source, "ARCH006").ok
+
+
+class TestRepoContract:
+    """The tree itself must satisfy the policy pyproject.toml declares."""
+
+    def test_src_repro_lints_clean(self):
+        config = load_config(REPO_ROOT)
+        report = run_lint(REPO_ROOT, config, ALL_RULES, paths=["src/repro"])
+        assert report.errors == []
+        assert report.findings == [], "\n".join(
+            finding.render() for finding in report.findings
+        )
+        assert report.rules_run == list(ALL_CODES)
+        assert report.files_checked > 50
+
+    def test_entropy_boundary_is_allowlisted(self):
+        config = load_config(REPO_ROOT)
+        arch003 = config.rule("ARCH003")
+        rule = RULES_BY_CODE["ARCH003"]
+        assert not rule.applies_to("src/repro/crypto/drbg.py", arch003)
+        assert not rule.applies_to("src/repro/obs/metrics.py", arch003)
+        assert rule.applies_to("src/repro/storage/faults.py", arch003)
+        # and the boundary is scoped to the library, not the whole repo
+        assert not rule.applies_to("tests/test_faults.py", arch003)
+
+
+class TestCli:
+    def _make_project(self, tmp_path: Path) -> Path:
+        (tmp_path / "pyproject.toml").write_text(
+            '[tool.archlint]\nroots = ["pkg"]\n'
+        )
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text("def f(xs=[]):\n    return xs\n")
+        (pkg / "good.py").write_text("def g():\n    return 1\n")
+        return tmp_path
+
+    def _run(self, args: list[str], cwd: Path) -> subprocess.CompletedProcess:
+        return subprocess.run(
+            [sys.executable, "-m", "archlint", *args],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(REPO_ROOT / "tools"), "PATH": "/usr/bin:/bin"},
+        )
+
+    def test_json_report_and_exit_codes(self, tmp_path):
+        project = self._make_project(tmp_path)
+        result = self._run(["--format", "json", "--output", "report.json"], project)
+        assert result.returncode == 1, result.stderr
+        payload = json.loads(result.stdout)
+        assert payload["tool"] == "archlint"
+        assert payload["counts"]["findings"] == 1
+        assert payload["findings"][0]["code"] == "ARCH006"
+        assert payload["findings"][0]["path"] == "pkg/bad.py"
+        on_disk = json.loads((project / "report.json").read_text())
+        assert on_disk == payload
+
+    def test_select_skips_other_rules(self, tmp_path):
+        project = self._make_project(tmp_path)
+        result = self._run(["--select", "ARCH001"], project)
+        assert result.returncode == 0, result.stdout
+        assert "ARCH001" in result.stdout
+
+    def test_list_rules(self, tmp_path):
+        result = self._run(["--list-rules"], tmp_path)
+        assert result.returncode == 0
+        for code in ALL_CODES:
+            assert code in result.stdout

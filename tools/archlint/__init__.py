@@ -1,0 +1,45 @@
+"""archlint: the repo's unified AST static-analysis framework.
+
+The reproduction's thesis (after the paper it follows) is that secure
+archival fails through *operational* mistakes -- silent failures, key
+handling slips, unauditable nondeterminism -- not broken primitives.  The
+codebase therefore carries invariants that ordinary linters don't know
+about: the 200-seed chaos suite only replays if nothing reads ambient
+entropy or wall-clock time; metric snapshots only diff cleanly if label
+sets stay bounded; tag verification only resists timing probes if nobody
+"optimizes" it back to ``==``.  archlint turns those house rules into
+machine-checked ones.
+
+Layout:
+
+- :mod:`archlint.core`      -- Finding/Checker/Config dataclasses, noqa logic
+- :mod:`archlint.config`    -- ``[tool.archlint]`` pyproject loader
+- :mod:`archlint.engine`    -- file discovery + rule driving + suppression
+- :mod:`archlint.baseline`  -- optional ratchet file for adopting rules
+- :mod:`archlint.reporters` -- human and ``--format json`` renderers
+- :mod:`archlint.rules`     -- the rule plugins (ARCH001..ARCH006)
+- :mod:`archlint.cli`       -- argument parsing / ``python -m archlint``
+
+Run ``python -m archlint --list-rules`` for the rule catalogue, or see the
+"Static analysis" sections of README.md and DESIGN.md for the rationale
+behind each code.
+"""
+
+from archlint.core import Checker, Config, FileContext, Finding, RuleConfig
+from archlint.engine import Report, run_lint
+from archlint.rules import ALL_RULES, RULES_BY_CODE
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_RULES",
+    "Checker",
+    "Config",
+    "FileContext",
+    "Finding",
+    "Report",
+    "RuleConfig",
+    "RULES_BY_CODE",
+    "run_lint",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""``python -m archlint`` entry point."""
+
+import sys
+
+from archlint.cli import main
+
+sys.exit(main())

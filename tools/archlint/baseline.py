@@ -1,0 +1,50 @@
+"""Baseline ("ratchet") support: adopt a new rule without a flag day.
+
+A baseline file is a JSON document of known-finding keys (path:code:message,
+deliberately line-number-free).  Findings present in the baseline are
+reported as ``baselined`` and don't fail the run; new ones do.  The intended
+workflow when introducing a rule over a dirty tree::
+
+    python -m archlint --write-baseline       # freeze today's debt
+    ...fix findings over subsequent PRs...
+    # baseline shrinks to [] and the file is deleted
+
+This repo's tree is clean -- ``make lint`` runs with no baseline -- but the
+mechanism keeps future rule additions from blocking on a mega-fix PR.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from archlint.core import Finding
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(project_root: Path, baseline: str | None) -> frozenset[str]:
+    """The set of suppression keys in *baseline*, or empty when unset/absent."""
+    if not baseline:
+        return frozenset()
+    path = project_root / baseline
+    if not path.is_file():
+        return frozenset()
+    data = json.loads(path.read_text())
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(f"{path}: unrecognized baseline format")
+    keys = data.get("findings", [])
+    if not isinstance(keys, list) or not all(isinstance(k, str) for k in keys):
+        raise ValueError(f"{path}: baseline findings must be a list of strings")
+    return frozenset(keys)
+
+
+def write_baseline(project_root: Path, baseline: str, findings: list[Finding]) -> Path:
+    """Freeze *findings* into the baseline file; returns the written path."""
+    path = project_root / baseline
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": sorted(finding.key for finding in findings),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path

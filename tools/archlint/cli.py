@@ -1,0 +1,127 @@
+"""Command line for archlint: ``python -m archlint [paths...]``.
+
+Exit codes: 0 clean, 1 findings or unparseable files, 2 usage/config error.
+
+``--output FILE`` always writes the JSON report (``make lint`` uses it for
+``archlint_report.json``) regardless of the stdout ``--format``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from archlint.baseline import write_baseline
+from archlint.config import find_project_root, load_config
+from archlint.engine import run_lint
+from archlint.reporters import render_human, render_json
+from archlint.rules import ALL_RULES
+
+
+def _parse_codes(raw: str | None) -> set[str] | None:
+    if raw is None:
+        return None
+    return {code.strip().upper() for code in raw.split(",") if code.strip()}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="archlint",
+        description="AST static analysis for the secure-archival reproduction "
+        "(determinism, crypto hygiene, observability, silent-failure rules)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories relative to the project root "
+        "(default: [tool.archlint] roots from pyproject.toml)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="stdout report format (default: human)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="also write the JSON report to FILE (e.g. archlint_report.json)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (e.g. ARCH001,ARCH004)",
+    )
+    parser.add_argument(
+        "--ignore", metavar="CODES", help="comma-separated rule codes to skip"
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="baseline file of known findings (overrides pyproject)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="freeze current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--project-root",
+        metavar="DIR",
+        help="explicit project root (default: nearest pyproject.toml from cwd)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.name}: {rule.description}")
+        return 0
+
+    root = (
+        Path(args.project_root).resolve()
+        if args.project_root
+        else find_project_root()
+    )
+    try:
+        config = load_config(root)
+    except (ValueError, OSError) as exc:
+        print(f"archlint: config error: {exc}", file=sys.stderr)
+        return 2
+    if args.baseline:
+        config.baseline = args.baseline
+
+    report = run_lint(
+        root,
+        config,
+        ALL_RULES,
+        paths=args.paths or None,
+        select=_parse_codes(args.select),
+        ignore=_parse_codes(args.ignore),
+    )
+
+    if args.write_baseline:
+        baseline = config.baseline or "archlint_baseline.json"
+        path = write_baseline(root, baseline, report.findings)
+        print(f"archlint: wrote {len(report.findings)} finding(s) to {path}")
+        return 0
+
+    catalog = {rule.code: rule.description for rule in ALL_RULES}
+    if args.output:
+        Path(root / args.output).write_text(render_json(report, catalog) + "\n")
+    if args.format == "json":
+        print(render_json(report, catalog))
+    else:
+        print(render_human(report, catalog))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""``[tool.archlint]`` loader.
+
+Configuration lives in pyproject.toml so rule policy is versioned with the
+code it governs::
+
+    [tool.archlint]
+    roots = ["src", "benchmarks", "tests", "examples", "tools"]
+    exclude = []
+    disable = []
+
+    [tool.archlint.rules.ARCH003]
+    scope = ["src/repro/*"]
+    allow = ["src/repro/crypto/drbg.py", "src/repro/obs/*"]
+
+Unknown per-rule keys land in ``RuleConfig.options`` so rules can grow
+knobs (ARCH006's ``assert_scope``) without loader changes.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from pathlib import Path
+
+from archlint.core import Config, RuleConfig
+
+
+def find_project_root(start: Path | None = None) -> Path:
+    """Nearest ancestor of *start* (default: cwd) holding pyproject.toml."""
+    here = (start or Path.cwd()).resolve()
+    for candidate in (here, *here.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return here
+
+
+def _str_tuple(raw: object, what: str) -> tuple[str, ...]:
+    if not isinstance(raw, list) or not all(isinstance(item, str) for item in raw):
+        raise ValueError(f"[tool.archlint] {what} must be a list of strings")
+    return tuple(raw)
+
+
+def _rule_config(raw: object, code: str) -> RuleConfig:
+    if not isinstance(raw, dict):
+        raise ValueError(f"[tool.archlint.rules.{code}] must be a table")
+    cfg = RuleConfig()
+    options = {}
+    for option, value in raw.items():
+        if option == "enabled":
+            cfg.enabled = bool(value)
+        elif option == "scope":
+            cfg.scope = _str_tuple(value, f"rules.{code}.scope")
+        elif option == "allow":
+            cfg.allow = _str_tuple(value, f"rules.{code}.allow")
+        else:
+            options[option] = value
+    cfg.options = options
+    return cfg
+
+
+def load_config(project_root: Path) -> Config:
+    """Parse ``[tool.archlint]`` out of *project_root*/pyproject.toml.
+
+    A missing file or missing table yields the defaults, so archlint keeps
+    working on a bare checkout or a test tmpdir.
+    """
+    config = Config()
+    pyproject = project_root / "pyproject.toml"
+    if not pyproject.is_file():
+        return config
+    with pyproject.open("rb") as handle:
+        data = tomllib.load(handle)
+    section = data.get("tool", {}).get("archlint")
+    if section is None:
+        return config
+    if "roots" in section:
+        config.roots = _str_tuple(section["roots"], "roots")
+    if "exclude" in section:
+        config.exclude = _str_tuple(section["exclude"], "exclude")
+    if "disable" in section:
+        config.disable = tuple(
+            code.upper() for code in _str_tuple(section["disable"], "disable")
+        )
+    if "baseline" in section:
+        baseline = section["baseline"]
+        if not isinstance(baseline, str):
+            raise ValueError("[tool.archlint] baseline must be a string path")
+        config.baseline = baseline
+    for code, raw in section.get("rules", {}).items():
+        config.rules[code.upper()] = _rule_config(raw, code)
+    return config

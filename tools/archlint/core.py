@@ -1,0 +1,169 @@
+"""Core datatypes for archlint: findings, per-file context, rule base class,
+configuration, and ``# noqa`` suppression semantics.
+
+Everything here is stdlib-only and free of I/O so the test suite can drive
+rules against inline source snippets without touching the filesystem.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    relpath: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    @property
+    def key(self) -> str:
+        """Line-number-free identity used by the baseline file (line numbers
+        drift under unrelated edits; path+code+message is stable enough)."""
+        return f"{self.relpath}:{self.code}:{self.message}"
+
+    def render(self) -> str:
+        return f"{self.relpath}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.relpath,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+@dataclass
+class RuleConfig:
+    """Per-rule knobs, usually sourced from ``[tool.archlint.rules.ARCHxxx]``.
+
+    ``scope`` limits where the rule applies (empty tuple = everywhere);
+    ``allow`` carves exemptions out of that scope.  Both are fnmatch
+    patterns over posix-style paths relative to the project root, so
+    ``src/repro/obs/*`` covers the whole observability package.
+    ``options`` carries rule-specific extras (e.g. ARCH006's
+    ``assert_scope``).
+    """
+
+    enabled: bool = True
+    scope: tuple[str, ...] = ()
+    allow: tuple[str, ...] = ()
+    options: dict = field(default_factory=dict)
+
+
+@dataclass
+class Config:
+    """Whole-run configuration (see :mod:`archlint.config` for the loader)."""
+
+    roots: tuple[str, ...] = ("src", "benchmarks", "tests", "examples")
+    exclude: tuple[str, ...] = ()
+    disable: tuple[str, ...] = ()
+    baseline: str | None = None
+    rules: dict[str, RuleConfig] = field(default_factory=dict)
+
+    def rule(self, code: str) -> RuleConfig:
+        return self.rules.setdefault(code, RuleConfig())
+
+
+def path_matches(relpath: str, patterns: Iterable[str]) -> bool:
+    """fnmatch *relpath* against any pattern (``*`` crosses ``/``, so
+    ``src/repro/*`` matches arbitrarily deep files)."""
+    return any(fnmatch.fnmatch(relpath, pattern) for pattern in patterns)
+
+
+class FileContext:
+    """Parsed view of one file, shared by every rule that inspects it."""
+
+    def __init__(self, path: Path, relpath: str, source: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree: ast.Module = ast.parse(source, filename=relpath)
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class Checker:
+    """Base class for rule plugins.
+
+    Subclasses set ``code``/``name``/``description`` and implement
+    :meth:`check`, yielding findings for one parsed file.  Rules never see
+    files their scope/allow config excludes, and never apply their own
+    ``noqa`` filtering -- the engine owns suppression so behavior is uniform
+    across rules.
+    """
+
+    code: str = "ARCH000"
+    name: str = "abstract"
+    description: str = ""
+
+    def applies_to(self, relpath: str, cfg: RuleConfig) -> bool:
+        if not cfg.enabled:
+            return False
+        if cfg.scope and not path_matches(relpath, cfg.scope):
+            return False
+        if cfg.allow and path_matches(relpath, cfg.allow):
+            return False
+        return True
+
+    def check(self, ctx: FileContext, cfg: RuleConfig) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: FileContext, node: ast.AST | int, message: str
+    ) -> Finding:
+        if isinstance(node, int):
+            line, col = node, 0
+        else:
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+        return Finding(
+            relpath=ctx.relpath, line=line, col=col, code=self.code, message=message
+        )
+
+
+# -- suppression ---------------------------------------------------------------
+
+#: ``# noqa`` / ``# noqa: ARCH001, ARCH004`` / legacy tag forms.
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Za-z0-9_,\- ]+))?", re.I)
+
+#: Pre-archlint suppression tags kept working so the fold-in of the old
+#: Makefile grep gate and tools/lint_imports.py breaks no existing comment.
+LEGACY_SUPPRESSIONS = {
+    "ARCH001": frozenset({"broad-except-ok"}),
+    "ARCH002": frozenset({"unused-import-ok"}),
+}
+
+
+def is_suppressed(finding: Finding, line_text: str) -> bool:
+    """True when the finding's source line carries a matching ``# noqa``.
+
+    A bare ``# noqa`` suppresses every code on that line; a code list
+    suppresses only the listed codes (plus each code's legacy aliases).
+    """
+    match = _NOQA_RE.search(line_text)
+    if match is None:
+        return False
+    codes = match.group("codes")
+    if codes is None:
+        return True
+    tokens = {token.strip().upper() for token in re.split(r"[,\s]+", codes) if token.strip()}
+    if finding.code.upper() in tokens:
+        return True
+    legacy = LEGACY_SUPPRESSIONS.get(finding.code, frozenset())
+    return any(token.lower() in legacy for token in tokens)

@@ -1,0 +1,118 @@
+"""Discovery + rule driving: the part of archlint that touches the tree.
+
+One parse per file, shared across every applicable rule; suppression
+(``# noqa``) and baseline filtering happen here, uniformly, so individual
+rules stay pure AST logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from archlint.baseline import load_baseline
+from archlint.core import Checker, Config, FileContext, Finding, is_suppressed, path_matches
+
+
+@dataclass
+class Report:
+    """Outcome of one lint run, consumed by the reporters and the CLI."""
+
+    project_root: str
+    rules_run: list[str]
+    files_checked: int = 0
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    baselined: int = 0
+    #: Files that failed to parse (path, message) -- always fatal: a file
+    #: the linter cannot read is a file no invariant is guarding.
+    errors: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.errors
+
+
+def discover_files(project_root: Path, config: Config, paths: list[str] | None) -> list[Path]:
+    """Every ``*.py`` under the requested paths (default: config roots).
+
+    Explicit *paths* are resolved against the project root so ``make lint``
+    and a hand-run ``python -m archlint src`` agree on what they checked.
+    """
+    targets = paths if paths else list(config.roots)
+    files: list[Path] = []
+    seen: set[Path] = set()
+    for target in targets:
+        base = (project_root / target).resolve()
+        if base.is_file():
+            candidates = [base]
+        elif base.is_dir():
+            candidates = sorted(base.rglob("*.py"))
+        else:
+            continue
+        for path in candidates:
+            if path.suffix != ".py" or path in seen:
+                continue
+            relpath = _relpath(path, project_root)
+            if config.exclude and path_matches(relpath, config.exclude):
+                continue
+            seen.add(path)
+            files.append(path)
+    return files
+
+
+def _relpath(path: Path, project_root: Path) -> str:
+    try:
+        return path.resolve().relative_to(project_root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def run_lint(
+    project_root: Path,
+    config: Config,
+    rules: list[Checker],
+    paths: list[str] | None = None,
+    select: set[str] | None = None,
+    ignore: set[str] | None = None,
+) -> Report:
+    """Drive *rules* over the configured tree and return a filtered report."""
+    active = []
+    for rule in rules:
+        if select is not None and rule.code not in select:
+            continue
+        if ignore is not None and rule.code in ignore:
+            continue
+        if rule.code in config.disable:
+            continue
+        if not config.rule(rule.code).enabled:
+            continue
+        active.append(rule)
+
+    report = Report(
+        project_root=str(project_root), rules_run=[rule.code for rule in active]
+    )
+    baseline_keys = load_baseline(project_root, config.baseline)
+
+    for path in discover_files(project_root, config, paths):
+        relpath = _relpath(path, project_root)
+        try:
+            ctx = FileContext(path, relpath, path.read_text())
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            report.errors.append((relpath, f"unparseable: {exc}"))
+            continue
+        report.files_checked += 1
+        for rule in active:
+            cfg = config.rule(rule.code)
+            if not rule.applies_to(relpath, cfg):
+                continue
+            for finding in rule.check(ctx, cfg):
+                if is_suppressed(finding, ctx.line_text(finding.line)):
+                    report.suppressed += 1
+                elif finding.key in baseline_keys:
+                    report.baselined += 1
+                else:
+                    report.findings.append(finding)
+
+    report.findings.sort()
+    return report

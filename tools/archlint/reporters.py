@@ -1,0 +1,52 @@
+"""Report renderers: one for humans, one (``--format json``) for machines.
+
+The JSON shape is the contract for ``archlint_report.json`` (emitted by
+``make lint``); keep it additive so downstream tooling survives new fields.
+"""
+
+from __future__ import annotations
+
+import json
+
+from archlint.engine import Report
+
+
+def render_human(report: Report, rules_catalog: dict[str, str]) -> str:
+    """Compiler-style ``path:line:col: CODE message`` lines plus a summary."""
+    lines = [finding.render() for finding in report.findings]
+    lines.extend(f"{relpath}: error: {message}" for relpath, message in report.errors)
+    status = "OK" if report.ok else f"{len(report.findings)} finding(s)"
+    if report.errors:
+        status += f", {len(report.errors)} error(s)"
+    lines.append(
+        f"archlint: {status} -- {report.files_checked} files, "
+        f"{len(report.rules_run)} rules ({', '.join(report.rules_run)}), "
+        f"{report.suppressed} noqa-suppressed, {report.baselined} baselined"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: Report, rules_catalog: dict[str, str]) -> str:
+    payload = {
+        "tool": "archlint",
+        "version": 1,
+        "project_root": report.project_root,
+        "rules": [
+            {"code": code, "description": rules_catalog.get(code, "")}
+            for code in report.rules_run
+        ],
+        "files_checked": report.files_checked,
+        "findings": [finding.as_dict() for finding in report.findings],
+        "errors": [
+            {"path": relpath, "message": message}
+            for relpath, message in report.errors
+        ],
+        "counts": {
+            "findings": len(report.findings),
+            "suppressed": report.suppressed,
+            "baselined": report.baselined,
+            "errors": len(report.errors),
+        },
+        "ok": report.ok,
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

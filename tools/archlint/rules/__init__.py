@@ -1,0 +1,35 @@
+"""Rule registry: importing this module assembles the plugin catalogue.
+
+Adding a rule = write a ``Checker`` subclass in a sibling module and list it
+here; the engine, CLI, reporters, and ``--list-rules`` pick it up from
+``ALL_RULES`` with no further wiring.
+"""
+
+from archlint.rules.exceptions import BroadExceptRule
+from archlint.rules.imports import DeadImportRule
+from archlint.rules.determinism import NondeterminismRule
+from archlint.rules.crypto_hygiene import SecretComparisonRule
+from archlint.rules.metrics_labels import DynamicMetricLabelRule
+from archlint.rules.defaults import MutableDefaultAndAssertRule
+
+ALL_RULES = [
+    BroadExceptRule(),
+    DeadImportRule(),
+    NondeterminismRule(),
+    SecretComparisonRule(),
+    DynamicMetricLabelRule(),
+    MutableDefaultAndAssertRule(),
+]
+
+RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_CODE",
+    "BroadExceptRule",
+    "DeadImportRule",
+    "NondeterminismRule",
+    "SecretComparisonRule",
+    "DynamicMetricLabelRule",
+    "MutableDefaultAndAssertRule",
+]

@@ -1,0 +1,151 @@
+"""ARCH004: secret-looking values compared with ``==`` / ``!=``.
+
+Early-exit byte comparison leaks how many leading bytes matched -- the
+classic HMAC timing break.  The library already routes tag verification
+through ``crypto.hmac_.verify_hmac_sha256`` and exposes
+``crypto.hmac_.constant_time_eq`` for everything else; this rule keeps the
+next PR from quietly comparing a MAC with ``==``.
+
+Heuristics (tuned against this codebase, adjust via noqa when they misfire):
+
+- a comparison is flagged when either side's terminal identifier contains a
+  secret-ish word segment: tag, mac, hmac, digest, key, secret, token,
+  checksum, signature, sig, root;
+- names that also carry a structural segment (``key_size``, ``key_length``,
+  ``tag_index``...) are exempt -- those compare metadata, not material;
+- comparisons against numeric/bool/None literals are exempt for the same
+  reason;
+- comparisons inside ``assert`` statements are exempt: asserts are the
+  test/example oracle idiom, and ARCH006 independently bans asserts from
+  ``src/repro`` so production code cannot shelter behind this carve-out.
+
+Genuinely public values (a Merkle root, an audit-chain digest) may keep
+``==`` under ``# noqa: ARCH004`` with a comment stating *why* the value is
+public.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from archlint.core import Checker, FileContext, Finding, RuleConfig
+
+_SECRET_SEGMENTS = frozenset(
+    {
+        "tag",
+        "mac",
+        "hmac",
+        "digest",
+        "key",
+        "secret",
+        "token",
+        "checksum",
+        "signature",
+        "sig",
+        "root",
+    }
+)
+
+#: Segments marking a name as structural metadata about a secret, not the
+#: secret material itself (`key_size`, `tag_count`, `digest_len`...).
+_METADATA_SEGMENTS = frozenset(
+    {
+        "size",
+        "len",
+        "length",
+        "count",
+        "num",
+        "bits",
+        "index",
+        "idx",
+        "offset",
+        "name",
+        "id",
+        "kind",
+        "type",
+        "version",
+        "width",
+    }
+)
+
+
+def _terminal_identifier(expr: ast.expr) -> str | None:
+    """The name a reader would call this expression: ``x`` for ``x``,
+    ``prev_digest`` for ``link.prev_digest``, ``tag`` for ``tag[:16]``."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Subscript):
+        return _terminal_identifier(expr.value)
+    if isinstance(expr, ast.Call):
+        return _terminal_identifier(expr.func)
+    return None
+
+
+def _secretish(expr: ast.expr) -> str | None:
+    """The identifier that makes *expr* secret-looking, if any."""
+    identifier = _terminal_identifier(expr)
+    if identifier is None:
+        return None
+    segments = {segment for segment in identifier.lower().split("_") if segment}
+    if segments & _METADATA_SEGMENTS:
+        return None
+    return identifier if segments & _SECRET_SEGMENTS else None
+
+
+def _trivial_literal(expr: ast.expr) -> bool:
+    """Numeric/bool/None literals -- comparing a secret name against these is
+    a length/flag check, not a material comparison."""
+    return isinstance(expr, ast.Constant) and (
+        expr.value is None or isinstance(expr.value, (int, float, bool))
+    )
+
+
+def _is_len_call(expr: ast.expr) -> bool:
+    """``len(key) != self.key_bytes`` compares a length, not material."""
+    return (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id == "len"
+    )
+
+
+class SecretComparisonRule(Checker):
+    code = "ARCH004"
+    name = "secret-comparison"
+    description = (
+        "==/!= on tag/mac/digest/key-like values leaks timing; route through "
+        "crypto.hmac_.verify_hmac_sha256 / constant_time_eq, or noqa with a "
+        "comment explaining why the value is public"
+    )
+
+    def check(self, ctx: FileContext, cfg: RuleConfig) -> Iterator[Finding]:
+        in_assert: set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assert):
+                in_assert.update(id(sub) for sub in ast.walk(node))
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare) or id(node) in in_assert:
+                continue
+            operands = [node.left, *node.comparators]
+            for position, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[position], operands[position + 1]
+                if _trivial_literal(left) or _trivial_literal(right):
+                    continue
+                if _is_len_call(left) or _is_len_call(right):
+                    continue
+                identifier = _secretish(left) or _secretish(right)
+                if identifier is None:
+                    continue
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"'{symbol}' on secret-looking value '{identifier}' is not "
+                    "constant-time; use crypto.hmac_.constant_time_eq (or "
+                    "noqa with a public-value justification)",
+                )

@@ -1,0 +1,76 @@
+"""ARCH006: mutable default arguments, and ``assert`` as runtime validation.
+
+Two classic Python footguns with archival-specific teeth:
+
+- A mutable default (``shares=[]``) is evaluated once and shared across
+  calls; in a library whose core objects (fault plans, placement maps,
+  share lists) live for the whole process, cross-call leakage of one
+  caller's shares into another's is a correctness *and* confidentiality
+  bug.  Flagged everywhere.
+
+- ``assert`` compiles away under ``python -O``.  Inside ``src/repro`` every
+  runtime check must survive optimization -- a stripped tag check or
+  threshold check is precisely the silent failure the paper warns about --
+  so validation belongs to the typed error hierarchy (``ParameterError``,
+  ``IntegrityError``...).  Tests and examples keep ``assert`` (it is their
+  oracle idiom); the check applies only inside the ``assert_scope``
+  patterns from ``[tool.archlint.rules.ARCH006]`` (default ``src/*``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from archlint.core import Checker, FileContext, Finding, RuleConfig, path_matches
+
+_MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
+
+_DEFAULT_ASSERT_SCOPE = ("src/*",)
+
+
+def _is_mutable_literal(expr: ast.expr) -> bool:
+    if isinstance(expr, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    return (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id in _MUTABLE_CONSTRUCTORS
+    )
+
+
+class MutableDefaultAndAssertRule(Checker):
+    code = "ARCH006"
+    name = "mutable-default-and-assert"
+    description = (
+        "mutable default arguments share state across calls (flagged "
+        "everywhere); assert is stripped under -O so src/ validation must "
+        "raise typed errors instead"
+    )
+
+    def check(self, ctx: FileContext, cfg: RuleConfig) -> Iterator[Finding]:
+        assert_scope = tuple(cfg.options.get("assert_scope", _DEFAULT_ASSERT_SCOPE))
+        check_asserts = path_matches(ctx.relpath, assert_scope)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defaults = [
+                    *node.args.defaults,
+                    *(d for d in node.args.kw_defaults if d is not None),
+                ]
+                for default in defaults:
+                    if _is_mutable_literal(default):
+                        yield self.finding(
+                            ctx,
+                            default,
+                            f"mutable default argument in '{node.name}()' is "
+                            "shared across calls; default to None and build "
+                            "inside the function",
+                        )
+            elif check_asserts and isinstance(node, ast.Assert):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "'assert' is stripped under python -O; raise a typed "
+                    "error (ParameterError/IntegrityError/...) for runtime "
+                    "validation",
+                )

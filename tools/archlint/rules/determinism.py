@@ -1,0 +1,147 @@
+"""ARCH003: ambient nondeterminism inside the deterministic core.
+
+The 200-seed chaos suite, the batch-determinism tests, and the
+snapshot-deterministic metrics contract all rest on one invariant: given a
+seed, the library computes the same bytes every time.  One stray
+``time.time()`` in a fault plan or ``os.urandom()`` in a share split breaks
+replay for every scenario downstream of it.  Entropy is allowed to enter
+only through the allowlisted boundary modules (``crypto/drbg.py``,
+``crypto/entropic.py``, and ``obs/`` -- wall-clock timing is an
+observability concern, not a data-path input), configured via
+``[tool.archlint.rules.ARCH003]`` ``scope``/``allow`` in pyproject.toml.
+
+Detection resolves imported names, so ``from time import time`` and
+``import numpy as np; np.random.rand()`` are both caught.  Seedable RNG
+constructors (``random.Random``, ``numpy.random.default_rng``,
+``numpy.random.PCG64``, ...) pass when given an explicit seed argument and
+are flagged when called bare (bare = seeded from the OS).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from archlint.core import Checker, FileContext, Finding, RuleConfig
+
+#: Calls that read ambient time/entropy, by fully-resolved dotted name.
+_BANNED_CALLS = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.datetime.today": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+    "os.urandom": "OS entropy read",
+    "os.getrandom": "OS entropy read",
+    "uuid.uuid1": "time/MAC-derived id",
+    "uuid.uuid4": "OS entropy read",
+    "secrets.token_bytes": "OS entropy read",
+    "secrets.token_hex": "OS entropy read",
+    "secrets.token_urlsafe": "OS entropy read",
+    "secrets.randbits": "OS entropy read",
+    "secrets.randbelow": "OS entropy read",
+    "secrets.choice": "OS entropy read",
+}
+
+#: RNG constructors that are fine when explicitly seeded, OS-entropy when bare.
+_SEEDABLE_FACTORIES = frozenset(
+    {
+        "random.Random",
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.PCG64",
+        "numpy.random.Philox",
+        "numpy.random.MT19937",
+        "numpy.random.SFC64",
+        "numpy.random.SeedSequence",
+    }
+)
+
+#: Module prefixes whose remaining functions drive a hidden global RNG.
+_GLOBAL_RNG_PREFIXES = ("random.", "numpy.random.")
+
+
+def _import_map(tree: ast.Module) -> dict[str, str]:
+    """Bound name -> dotted module/object it refers to.
+
+    Only import-derived names are resolved; a local variable that happens to
+    be called ``random`` resolves to nothing and is never flagged.
+    """
+    mapping: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    mapping[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    mapping[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None or node.module == "__future__":
+                continue  # relative imports stay inside this package
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                mapping[bound] = f"{node.module}.{alias.name}"
+    return mapping
+
+
+def _dotted(func: ast.expr, imap: dict[str, str]) -> str | None:
+    """Resolve a call target to its dotted import-qualified name, or None."""
+    attrs: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        attrs.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    resolved_root = imap.get(node.id)
+    if resolved_root is None:
+        return None
+    return ".".join([resolved_root, *reversed(attrs)])
+
+
+class NondeterminismRule(Checker):
+    code = "ARCH003"
+    name = "nondeterminism"
+    description = (
+        "time/entropy reads (time.time, datetime.now, os.urandom, global or "
+        "unseeded random.*) outside the allowlisted entropy boundary break "
+        "seeded replay; take an explicit seed/rng instead"
+    )
+
+    def check(self, ctx: FileContext, cfg: RuleConfig) -> Iterator[Finding]:
+        imap = _import_map(ctx.tree)
+        if not imap:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func, imap)
+            if dotted is None:
+                continue
+            if dotted in _BANNED_CALLS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"'{dotted}()' is a {_BANNED_CALLS[dotted]}; deterministic "
+                    "code must take time/entropy as an explicit input "
+                    "(seed, rng, or the drbg/entropic boundary)",
+                )
+            elif dotted in _SEEDABLE_FACTORIES:
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"'{dotted}()' without a seed falls back to OS "
+                        "entropy; pass an explicit seed",
+                    )
+            elif dotted.startswith(_GLOBAL_RNG_PREFIXES):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"'{dotted}()' drives the hidden module-global RNG; "
+                    "construct a seeded Random/Generator and pass it down",
+                )

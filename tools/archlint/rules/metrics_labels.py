@@ -1,0 +1,82 @@
+"""ARCH005: dynamic metrics-label values.
+
+The metrics registry creates one time series per (name, label-set); labels
+are meant to be a small closed vocabulary (``reason=offline``,
+``op=store``).  An f-string or call result as a label value mints an
+unbounded family -- per-object, per-node, per-error-text series -- which
+explodes snapshot size and breaks the snapshot-determinism contract the
+chaos and batch tests pin (two identically-seeded runs must produce
+byte-identical snapshots; interpolated labels drag object ids and repr
+noise into the key space).
+
+Flagged: f-strings (``JoinedStr``), calls, and string-building ``BinOp``s
+as keyword values at metric call sites (``inc``/``observe``/``set_gauge``
+shorthands and ``counter``/``gauge``/``histogram`` registry accessors;
+``histogram``'s ``bounds=`` kwarg is not a label).  Plain variables pass --
+a variable can hold a bounded vocabulary; construction syntax cannot.
+
+The registry plumbing itself (``src/repro/obs/*``) forwards ``**labels``
+and is allowlisted in pyproject.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from archlint.core import Checker, FileContext, Finding, RuleConfig
+
+_METRIC_CALLABLES = frozenset(
+    {"inc", "observe", "set_gauge", "counter", "gauge", "histogram"}
+)
+
+#: Keyword args at metric call sites that are parameters, not labels.
+_NON_LABEL_KWARGS = frozenset({"bounds", "amount", "value", "name"})
+
+
+def _callable_name(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _dynamic_reason(value: ast.expr) -> str | None:
+    if isinstance(value, ast.JoinedStr):
+        return "f-string"
+    if isinstance(value, ast.Call):
+        return "call result"
+    if isinstance(value, ast.BinOp):
+        return "string expression"
+    return None
+
+
+class DynamicMetricLabelRule(Checker):
+    code = "ARCH005"
+    name = "dynamic-metric-label"
+    description = (
+        "f-strings/calls as metrics label values mint unbounded time series "
+        "and break snapshot determinism; use a small closed label vocabulary"
+    )
+
+    def check(self, ctx: FileContext, cfg: RuleConfig) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _callable_name(node.func)
+            if name not in _METRIC_CALLABLES:
+                continue
+            for keyword in node.keywords:
+                if keyword.arg is None or keyword.arg in _NON_LABEL_KWARGS:
+                    continue
+                reason = _dynamic_reason(keyword.value)
+                if reason is None:
+                    continue
+                yield self.finding(
+                    ctx,
+                    keyword.value,
+                    f"label '{keyword.arg}' built from a {reason} creates "
+                    "unbounded metric cardinality; use a fixed label "
+                    "vocabulary (see DESIGN.md naming convention)",
+                )

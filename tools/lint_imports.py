@@ -1,129 +1,22 @@
-"""Dead-import gate: fail if a module imports a name it never uses.
+"""Back-compat shim: the dead-import gate moved into archlint (ARCH002).
 
-Stdlib-only (ast + pathlib): walks every ``*.py`` under the checked roots,
-collects the names each ``import``/``from ... import`` statement binds, then
-scans the rest of the tree for any load of that name (attribute chains count
-via their root: ``np.take`` uses ``np``).  Unused imports rot into silent
-dependencies and mask real ones -- this is the cheap mechanical check that
-keeps ``import struct``-style leftovers out of the tree.
-
-Deliberate re-export patterns are exempt:
-
-- ``from __future__ import ...`` (compiler directive, never "used"),
-- names listed in the module's ``__all__``,
-- ``import x as x`` / ``from m import x as x`` (PEP 484 re-export idiom),
-- any import line carrying ``# noqa: unused-import-ok``,
-- ``__init__.py`` files (package namespace assembly is all re-exports).
+Kept so ``python tools/lint_imports.py`` (scripts, muscle memory, older
+docs) still works; the checking logic now lives in
+``tools/archlint/rules/imports.py`` with identical semantics, plus per-line
+``# noqa: ARCH002`` suppression (the legacy ``# noqa: unused-import-ok``
+tag is still honored).
 """
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
 
-ROOTS = ("src", "benchmarks", "tests", "examples", "tools")
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
+from archlint.cli import main  # noqa: E402 - path bootstrap must precede import
 
-def _declared_all(tree: ast.Module) -> set[str]:
-    """Names a module re-exports via a literal ``__all__`` assignment."""
-    names: set[str] = set()
-    for node in tree.body:
-        targets = []
-        if isinstance(node, ast.Assign):
-            targets = node.targets
-        elif isinstance(node, ast.AugAssign):
-            targets = [node.target]
-        for target in targets:
-            if isinstance(target, ast.Name) and target.id == "__all__":
-                for element in ast.walk(node.value):
-                    if isinstance(element, ast.Constant) and isinstance(
-                        element.value, str
-                    ):
-                        names.add(element.value)
-    return names
-
-
-def _used_names(tree: ast.Module) -> set[str]:
-    """Every identifier loaded anywhere in the module."""
-    used: set[str] = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Name):
-            used.add(node.id)
-        elif isinstance(node, ast.Attribute):
-            root = node
-            while isinstance(root, ast.Attribute):
-                root = root.value
-            if isinstance(root, ast.Name):
-                used.add(root.id)
-    return used
-
-
-def _imported_bindings(tree: ast.Module):
-    """Yield (lineno, bound_name, display) for each imported name."""
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                bound = alias.asname or alias.name.split(".")[0]
-                if alias.asname == alias.name:
-                    continue  # `import x as x` re-export idiom
-                yield node.lineno, bound, alias.name
-        elif isinstance(node, ast.ImportFrom):
-            if node.module == "__future__":
-                continue
-            for alias in node.names:
-                if alias.name == "*":
-                    continue
-                if alias.asname == alias.name:
-                    continue
-                bound = alias.asname or alias.name
-                yield node.lineno, bound, f"{node.module or '.'}.{alias.name}"
-
-
-def check_file(path: Path) -> list[str]:
-    source = path.read_text()
-    tree = ast.parse(source, filename=str(path))
-    lines = source.splitlines()
-    exempt = _declared_all(tree)
-    used = _used_names(tree)
-    # A string annotation or docstring-level reference ("np.ndarray" under
-    # `from __future__ import annotations`) still counts as use: names in
-    # string annotations appear as plain ast.Constant strings; check them.
-    string_refs: set[str] = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Constant) and isinstance(node.value, str):
-            for token in node.value.replace(".", " ").split():
-                if token.isidentifier():
-                    string_refs.add(token)
-    problems = []
-    for lineno, bound, display in _imported_bindings(tree):
-        line = lines[lineno - 1] if lineno - 1 < len(lines) else ""
-        if "noqa: unused-import-ok" in line:
-            continue
-        if bound in exempt or bound in used or bound in string_refs:
-            continue
-        problems.append(f"{path}:{lineno}: '{display}' imported but unused")
-    return problems
-
-
-def main() -> int:
-    repo = Path(__file__).resolve().parent.parent
-    problems: list[str] = []
-    for root in ROOTS:
-        base = repo / root
-        if not base.is_dir():
-            continue
-        for path in sorted(base.rglob("*.py")):
-            if path.name == "__init__.py":
-                continue
-            problems.extend(check_file(path))
-    if problems:
-        print("lint-imports: dead imports found:")
-        print("\n".join(problems))
-        return 1
-    print("lint-imports: OK")
-    return 0
-
+_REPO_ROOT = Path(__file__).resolve().parent.parent
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(["--select", "ARCH002", "--project-root", str(_REPO_ROOT)]))
