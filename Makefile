@@ -3,8 +3,8 @@
 # Let every target work from a bare checkout (no `make install` needed).
 export PYTHONPATH := src
 
-.PHONY: install test test-chaos bench bench-json artifacts examples all clean \
-	lint lint-exceptions lint-imports coverage-storage
+.PHONY: install test test-chaos bench bench-json bench-service artifacts \
+	examples all clean lint lint-exceptions lint-imports coverage-storage
 
 install:
 	python setup.py develop
@@ -45,9 +45,16 @@ bench:
 
 # Machine-readable throughput summary (BENCH_throughput.json at repo root):
 # regenerate the throughput artifact, then summarize op -> MB/s + commit.
-bench-json:
+bench-json: bench-service
 	pytest benchmarks/bench_throughput.py --benchmark-only -q
 	python tools/bench_summary.py
+
+# Deterministic service benchmark (BENCH_service.json at repo root): a
+# seeded 100k-request zipfian replay through the archive service, reporting
+# p50/p99/p999 latency and saturation throughput on simulated time.
+# Byte-identical across same-seed runs (no date/commit fields).
+bench-service:
+	python tools/bench_service.py
 
 # Regenerate the paper's three artifacts on stdout.
 artifacts:

@@ -5,6 +5,9 @@
     python -m repro.analysis --metrics      # append the observability report
     python -m repro.analysis --faults       # replay the chaos scenario too
     python -m repro.analysis --faults=99    # ... with a specific seed
+    python -m repro.analysis --serve        # tiny-service admission demo
+    python -m repro.analysis --load         # zipfian service load replay
+    python -m repro.analysis --load=99      # ... with a specific seed
 
 Prints the measured Figure 1, Table 1, and Section 3.2 re-encryption table,
 each followed by its shape verdict.  With ``--metrics``, a final section
@@ -12,7 +15,10 @@ dumps the metrics registry accumulated while generating the artifacts --
 every encode byte, share fetch, and span timing the run produced.  With
 ``--faults``, a seeded fault-injection scenario (transient outages plus
 silent bit-rot on an AONT-RS fleet) runs after the artifacts and reports
-the retries, degraded-read shape, and repair-on-read behavior.
+the retries, degraded-read shape, and repair-on-read behavior.  With
+``--serve`` / ``--load``, the archive-service scenarios run: a burst demo
+that makes admission control, quotas, and backpressure fire visibly, and a
+seeded zipfian load replay reporting latency percentiles and throughput.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from repro.analysis.faults_scenario import DEFAULT_SEED, run_chaos_scenario
 from repro.analysis.figure1 import generate_figure1
 from repro.analysis.reencryption_table import generate_reencryption_table
 from repro.analysis.report import render_metrics_report
+from repro.analysis.service_scenario import run_load_scenario, run_service_demo
 from repro.analysis.table1 import generate_table1
 from repro.obs import get_registry
 
@@ -56,14 +63,14 @@ _ARTIFACTS = {
 }
 
 
-def _parse_faults_flag(argv: list[str]) -> tuple[list[str], int | None]:
-    """Strip ``--faults`` / ``--faults=SEED``; returns (rest, seed or None)."""
+def _parse_seed_flag(argv: list[str], flag: str) -> tuple[list[str], int | None]:
+    """Strip ``--FLAG`` / ``--FLAG=SEED``; returns (rest, seed or None)."""
     rest: list[str] = []
     seed: int | None = None
     for arg in argv:
-        if arg == "--faults":
+        if arg == f"--{flag}":
             seed = DEFAULT_SEED
-        elif arg.startswith("--faults="):
+        elif arg.startswith(f"--{flag}="):
             seed = int(arg.split("=", 1)[1])
         else:
             rest.append(arg)
@@ -73,7 +80,9 @@ def _parse_faults_flag(argv: list[str]) -> tuple[list[str], int | None]:
 def main(argv: list[str]) -> int:
     show_metrics = "--metrics" in argv
     argv = [arg for arg in argv if arg != "--metrics"]
-    argv, faults_seed = _parse_faults_flag(argv)
+    argv, faults_seed = _parse_seed_flag(argv, "faults")
+    argv, serve_seed = _parse_seed_flag(argv, "serve")
+    argv, load_seed = _parse_seed_flag(argv, "load")
     requested = argv or list(_ARTIFACTS)
     unknown = [name for name in requested if name not in _ARTIFACTS]
     if unknown:
@@ -91,6 +100,20 @@ def main(argv: list[str]) -> int:
         verdict = "SURVIVED" if scenario.healthy else "DEGRADED BEYOND REPAIR"
         print(f"\n=> Chaos scenario {verdict}\n")
         ok = scenario.healthy and ok
+    if serve_seed is not None:
+        print(f"{'=' * 72}\nserve\n{'=' * 72}")
+        demo = run_service_demo(seed=serve_seed)
+        print(demo.render())
+        verdict = "ALL GUARDS FIRED" if demo.healthy else "GUARDS DID NOT FIRE"
+        print(f"\n=> Service demo {verdict}\n")
+        ok = demo.healthy and ok
+    if load_seed is not None:
+        print(f"{'=' * 72}\nload\n{'=' * 72}")
+        result = run_load_scenario(seed=load_seed)
+        print(result.render())
+        verdict = "SERVED" if result.healthy else "NO TRAFFIC SERVED"
+        print(f"\n=> Service load {verdict}\n")
+        ok = result.healthy and ok
     if show_metrics:
         print(f"{'=' * 72}\nmetrics\n{'=' * 72}")
         print(render_metrics_report(get_registry().snapshot()))

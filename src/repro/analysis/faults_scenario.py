@@ -66,7 +66,8 @@ class ChaosScenarioResult:
                 f"{r.shares_repaired}",
                 f"  failed shares: "
                 f"{ {i: r.shares_failed[i] for i in sorted(r.shares_failed)} }",
-                f"  retries: {r.retries}  "
+                f"  retries: {r.retries} "
+                f"({ {k: r.retry_errors[k] for k in sorted(r.retry_errors)} })  "
                 f"simulated wait: {r.simulated_wait_s * 1000:.2f} ms  "
                 f"stopped early: {r.stopped_early}",
                 "  counters:",

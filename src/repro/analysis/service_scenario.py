@@ -1,0 +1,173 @@
+"""The archive-service scenarios behind the analysis CLI's ``--serve`` and
+``--load`` flags.
+
+Two entry points share the same machinery:
+
+- :func:`run_service_demo` (``--serve``) builds a deliberately tiny service
+  -- one worker, a two-slot queue, a tight tenant quota -- and offers it a
+  synchronized burst, so every protection mechanism fires visibly: typed
+  overload rejection, quota exhaustion, and the OK -> THROTTLE -> SHED
+  backpressure ladder.
+
+- :func:`run_load_scenario` (``--load``, ``--load=SEED``) replays a zipfian
+  store/retrieve mix from concurrent closed-loop clients through a
+  realistically sized service and reports the latency percentiles and
+  throughput the observability layer measured.  Everything is simulated
+  time under one seed, so the rendered numbers are a reproducibility
+  vector like the chaos scenario's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.archive import SecureArchive
+from repro.core.policy import CENTURY_SAFE
+from repro.crypto.drbg import DeterministicRandom
+from repro.obs import use_registry
+from repro.service import (
+    ArchiveService,
+    Backpressure,
+    Request,
+    ServiceConfig,
+    TenantQuota,
+)
+from repro.storage.node import make_node_fleet
+from repro.storage.workload import ServiceLoadSpec, run_service_load
+
+#: Default seed; ``--load=SEED`` overrides it.
+DEFAULT_SEED = 2024
+
+#: Default request count for the CLI load run (the benchmark uses far more).
+DEFAULT_REQUESTS = 2_000
+
+
+@dataclass
+class ServiceDemoResult:
+    """One deterministic burst against a deliberately tiny service."""
+
+    seed: int
+    outcomes: list
+    report: dict
+
+    @property
+    def healthy(self) -> bool:
+        seen = {o.outcome for o in self.outcomes}
+        signals = {o.backpressure for o in self.outcomes}
+        return (
+            "ok" in seen
+            and "rejected_overload" in seen
+            and "rejected_quota" in seen
+            and Backpressure.SHED in signals
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"Service demo (seed={self.seed}): 1 worker, queue of 2, "
+            "quota 4 tokens @ 1/s -- a 10-request burst",
+        ]
+        for o in self.outcomes:
+            lines.append(
+                f"  {o.op:8s} {o.object_id:10s} tenant={o.tenant}  "
+                f"{o.outcome:17s} backpressure={o.backpressure.value:8s} "
+                f"latency={o.latency_s * 1000:7.2f} ms"
+            )
+        r = self.report
+        lines.append(
+            f"  totals: completed={r['completed']} rejected={r['rejected']} "
+            f"max queue depth={r['max_queue_depth']}"
+        )
+        return "\n".join(lines)
+
+
+@dataclass
+class ServiceLoadResult:
+    """One deterministic zipfian load run through the service."""
+
+    seed: int
+    load: dict
+    report: dict
+
+    @property
+    def healthy(self) -> bool:
+        counts = self.load["counts"]
+        return counts["ok_retrieve"] > 0 and counts["ok_store"] > 0
+
+    def render(self) -> str:
+        load, report = self.load, self.report
+        lines = [
+            f"Service load (seed={self.seed}): {load['offered']} requests, "
+            f"zipfian reads over {load['population']} objects",
+            f"  counts: { {k: load['counts'][k] for k in sorted(load['counts'])} }",
+            f"  offered: {load['offered_rps']:8.1f} rps over "
+            f"{load['offered_window_s']:.2f} s (simulated)",
+            f"  served:  {report['throughput_rps']:8.1f} rps  "
+            f"worker utilization {report['worker_utilization'] * 100:.1f}%  "
+            f"max queue depth {report['max_queue_depth']}",
+        ]
+        for op in sorted(report["latency"]):
+            q = report["latency"][op]
+            lines.append(
+                f"  {op:8s} latency (ms): p50={q['p50_s'] * 1000:7.3f}  "
+                f"p99={q['p99_s'] * 1000:7.3f}  p999={q['p999_s'] * 1000:7.3f}  "
+                f"max={q['max_s'] * 1000:7.3f}  (n={q['count']})"
+            )
+        return "\n".join(lines)
+
+
+def run_service_demo(seed: int = DEFAULT_SEED) -> ServiceDemoResult:
+    """Drive a burst through a tiny service so every guard rail fires."""
+    with use_registry():
+        archive = SecureArchive(
+            CENTURY_SAFE, make_node_fleet(6), DeterministicRandom(seed)
+        )
+        service = ArchiveService(
+            archive,
+            ServiceConfig(
+                workers=1,
+                queue_capacity=2,
+                default_quota=TenantQuota(capacity=4, refill_per_s=1.0),
+            ),
+            rng=DeterministicRandom((seed, "service-demo").__repr__()),
+        )
+        outcomes = []
+        # Two tenants; tenant-b arrives faster than its quota refills, and
+        # everyone arrives faster than the single worker drains the queue.
+        for i in range(10):
+            tenant = "tenant-b" if i % 2 else "tenant-a"
+            outcomes.append(
+                service.offer(
+                    Request(
+                        op="store",
+                        object_id=f"burst-{i:02d}",
+                        tenant=tenant,
+                        payload=bytes([i]) * 2048,
+                        arrival_s=i * 1e-4,
+                    )
+                )
+            )
+        report = service.report()
+    return ServiceDemoResult(seed=seed, outcomes=outcomes, report=report)
+
+
+def run_load_scenario(
+    seed: int = DEFAULT_SEED, requests: int = DEFAULT_REQUESTS
+) -> ServiceLoadResult:
+    """Replay the zipfian client mix through a realistically sized service."""
+    with use_registry():
+        archive = SecureArchive(
+            CENTURY_SAFE, make_node_fleet(6), DeterministicRandom(seed)
+        )
+        service = ArchiveService(
+            archive,
+            ServiceConfig(
+                workers=4,
+                queue_capacity=64,
+                default_quota=TenantQuota(capacity=256, refill_per_s=120.0),
+            ),
+            rng=DeterministicRandom((seed, "service-load-jitter").__repr__()),
+        )
+        spec = ServiceLoadSpec(clients=16, requests=requests, mean_think_s=0.01)
+        load = run_service_load(service, spec, seed=seed)
+        report = service.report()
+    return ServiceLoadResult(seed=seed, load=load, report=report)

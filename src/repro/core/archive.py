@@ -14,6 +14,7 @@ adversary harnesses (HNDL, mobile) and the classifier work on it directly.
 from __future__ import annotations
 
 import os
+import re
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -112,7 +113,21 @@ class SecureArchive(ArchivalSystem):
 
     # -- store / retrieve --------------------------------------------------------------
 
+    #: The reserved segment namespace store_large writes into; user-chosen
+    #: ids must stay out of it or a later store_large could collide.
+    _SEGMENT_ID_RE = re.compile(r"/seg-\d+$")
+
+    @classmethod
+    def _reject_segment_id(cls, object_id: str) -> None:
+        if cls._SEGMENT_ID_RE.search(object_id):
+            raise ParameterError(
+                f"object id {object_id!r} is inside the reserved segment "
+                "namespace (<id>/seg-<k>); use store_large for segmented "
+                "objects"
+            )
+
     def store(self, object_id: str, data: bytes) -> StoreReceipt:
+        self._reject_segment_id(object_id)
         with span("archive.store", object_id=object_id):
             return self._store(object_id, data)
 
@@ -125,6 +140,14 @@ class SecureArchive(ArchivalSystem):
         """
         _metrics.inc("archive_ops_total", op="store")
         _metrics.inc("archive_store_bytes_total", len(data))
+        if object_id in self._receipts:
+            raise ParameterError(
+                f"{self.name}: object {object_id!r} already stored "
+                "(delete it before re-storing)"
+            )
+        # Hash-based signers are finite-use; a long ingest stream must not
+        # crash mid-epoch when the key budget runs out.
+        self._rollover_signer_if_needed()
         if split is None:
             split = self._scheme.split(data, self.rng)
         payloads = {share.index: share.payload for share in split.shares}
@@ -213,10 +236,24 @@ class SecureArchive(ArchivalSystem):
            sequentially in input order (they mutate shared placement and
            chain state and must consume the archive rng in a fixed order).
         """
+        for object_id, _ in items:
+            self._reject_segment_id(object_id)
+        return self._store_batch(items)
+
+    def _store_batch(
+        self, items: Sequence[tuple[str, bytes]]
+    ) -> list[StoreReceipt]:
+        """store_batch minus the segment-namespace gate (store_large's
+        segment ids legitimately live inside the reserved namespace)."""
         items = list(items)
         ids = [object_id for object_id, _ in items]
         if len(set(ids)) != len(ids):
             raise ParameterError("store_batch object ids must be distinct")
+        already = [object_id for object_id in ids if object_id in self._receipts]
+        if already:
+            raise ParameterError(
+                f"store_batch ids already stored: {', '.join(sorted(already)[:5])}"
+            )
         start = time.perf_counter()
         with span("archive.store_batch", count=len(items)):
             _metrics.inc("archive_ops_total", op="store_batch")
@@ -297,10 +334,11 @@ class SecureArchive(ArchivalSystem):
             segment_bytes = self.SEGMENT_BYTES
         if segment_bytes < 1:
             raise ParameterError("segment size must be positive")
+        self._reject_segment_id(object_id)
         count = max(1, -(-len(data) // segment_bytes))
         with span("archive.store_large", object_id=object_id, segments=count):
             _metrics.inc("archive_ops_total", op="store_large")
-            receipts = self.store_batch(
+            receipts = self._store_batch(
                 [
                     (
                         f"{object_id}/seg-{k}",
@@ -364,11 +402,14 @@ class SecureArchive(ArchivalSystem):
 
     # -- maintenance ---------------------------------------------------------------------
 
-    def _rollover_signer_if_needed(self, report: MaintenanceReport) -> None:
+    def _rollover_signer_if_needed(self, report: MaintenanceReport | None = None) -> None:
         """Hash-based signers are one-time-key machines: before the current
         signer runs out, mint a fresh one and chain it in with a renewal
         link signed by the OLD signer (establishing the succession while
-        the old key set is still trusted)."""
+        the old key set is still trusted).  Checked at every epoch advance
+        *and* before every store, so a sustained ingest stream longer than
+        one signer's key budget rolls over mid-epoch instead of crashing.
+        """
         signer = self.authority.signer
         # Keep headroom: one key for the succession link itself, plus at
         # least one spare for any store() landing before the next epoch.
@@ -379,7 +420,8 @@ class SecureArchive(ArchivalSystem):
         self.authority = TimestampAuthority(new_signer)
         self.signer_history.append(new_signer)
         _metrics.inc("archive_signer_rollovers_total")
-        report.notes.append(f"signer rolled over (now {len(self.signer_history)})")
+        if report is not None:
+            report.notes.append(f"signer rolled over (now {len(self.signer_history)})")
 
     def advance_epoch(self) -> MaintenanceReport:
         """Advance the archive clock one epoch and run due maintenance."""

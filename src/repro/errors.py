@@ -62,6 +62,23 @@ class DeadlineExceededError(StorageError):
     """
 
 
+class ServiceError(ReproError):
+    """The archive service front-end refused or failed a request."""
+
+
+class OverloadError(ServiceError):
+    """Admission control rejected a request because the queue is full.
+
+    The typed signal the paper-scale service uses for load shedding: callers
+    are expected to back off and retry rather than pile onto a saturated
+    archive.
+    """
+
+
+class QuotaExhaustedError(ServiceError):
+    """A tenant's token-bucket quota has no tokens for this request."""
+
+
 class ChannelError(ReproError):
     """A secure channel could not be established or has been exhausted."""
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 import threading
 from bisect import bisect_left
 from contextlib import contextmanager
+from typing import Sequence
 
 from repro.errors import ParameterError
 
@@ -120,6 +121,37 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the *q*-quantile (q in [0, 1]) from the buckets.
+
+        Linear interpolation inside the bucket holding the quantile rank --
+        the standard Prometheus ``histogram_quantile`` estimator -- clamped
+        to the observed min/max so tails never extrapolate past real data.
+        Deterministic: a pure function of the bucket counts, so two
+        identically-seeded runs report byte-identical percentiles.
+        """
+        if not 0 <= q <= 1:
+            raise ParameterError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.bucket_counts):
+            if not bucket_count:
+                continue
+            if cumulative + bucket_count >= rank:
+                lower = self.bounds[i - 1] if i > 0 else 0.0
+                upper = self.bounds[i] if i < len(self.bounds) else self.max
+                fraction = (rank - cumulative) / bucket_count
+                value = lower + (upper - lower) * max(fraction, 0.0)
+                return min(max(value, self.min), self.max)
+            cumulative += bucket_count
+        return self.max
+
+    def quantiles(self, qs: Sequence[float]) -> dict[float, float]:
+        """``{q: quantile(q)}`` for every *q* in *qs*."""
+        return {q: self.quantile(q) for q in qs}
 
 
 def _label_key(labels: dict[str, object]) -> tuple[tuple[str, str], ...]:

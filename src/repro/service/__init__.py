@@ -1,0 +1,31 @@
+"""Archive service front-end: queueing, admission control, tenant quotas.
+
+The paper's Section 3.2 sizes archives by what they can *serve*, not what
+their libraries can encode; this package wraps an archival system in the
+service machinery real deployments put in front of one -- a bounded request
+queue with typed overload rejection, backpressure signaling, and per-tenant
+token buckets -- all on simulated time so seeded load replays exactly.
+"""
+
+from repro.service.clock import SimulatedClock
+from repro.service.quota import TenantQuota, TokenBucket
+from repro.service.server import (
+    SERVICE_LATENCY_BUCKETS,
+    ArchiveService,
+    Backpressure,
+    Request,
+    RequestOutcome,
+    ServiceConfig,
+)
+
+__all__ = [
+    "ArchiveService",
+    "Backpressure",
+    "Request",
+    "RequestOutcome",
+    "ServiceConfig",
+    "SERVICE_LATENCY_BUCKETS",
+    "SimulatedClock",
+    "TenantQuota",
+    "TokenBucket",
+]

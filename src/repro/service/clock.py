@@ -1,0 +1,41 @@
+"""Simulated monotonic clock for the archive service.
+
+Every latency the service reports is measured on *this* clock, never the
+wall clock: request arrival times come from the workload generator, service
+times are priced from the :mod:`repro.storage.archive_model` throughput
+figures, and queue waits fall out of the arithmetic.  Two identically
+seeded runs therefore produce byte-identical latency histograms -- the
+property the chaos suite and the ``BENCH_service.json`` determinism
+contract both pin (and the reason ARCH003 bans wall-clock reads here).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+
+
+class SimulatedClock:
+    """A monotonic simulated clock, advanced explicitly in seconds."""
+
+    def __init__(self, start_s: float = 0.0):
+        self._now_s = float(start_s)
+
+    @property
+    def now_s(self) -> float:
+        return self._now_s
+
+    def advance(self, dt_s: float) -> float:
+        """Move the clock forward *dt_s* seconds; returns the new time."""
+        if dt_s < 0:
+            raise ParameterError("a monotonic clock cannot move backwards")
+        self._now_s += dt_s
+        return self._now_s
+
+    def advance_to(self, t_s: float) -> float:
+        """Move the clock forward to *t_s* (no-op if already past it)."""
+        if t_s > self._now_s:
+            self._now_s = t_s
+        return self._now_s
+
+    def __repr__(self) -> str:
+        return f"SimulatedClock(now_s={self._now_s:.6f})"

@@ -122,6 +122,64 @@ def op_deadline_s(
     return max(floor_s, slack * read_s)
 
 
+#: Paper convention ("writing ... tends to be slower than reading"): a
+#: store moves the bytes at half the archive's aggregate read rate.
+WRITE_FACTOR = 2.0
+
+
+def op_service_time_s(
+    payload_bytes: int,
+    op: str = "retrieve",
+    profile: ArchiveProfile | None = None,
+    overhead_s: float = 1e-3,
+    write_factor: float = WRITE_FACTOR,
+) -> float:
+    """Price the service time of one request on an archive's data path.
+
+    The per-request analogue of the Section 3.2 whole-archive arithmetic:
+    byte-transfer time at the profile's aggregate read rate (writes slowed
+    by *write_factor*, the paper's read-vs-write asymmetry), plus a fixed
+    *overhead_s* for request handling, metadata, and media latency.  The
+    default profile is Pergamum (disk), the paper's low-latency reference.
+    """
+    if payload_bytes < 0:
+        raise ParameterError("payload_bytes must be >= 0")
+    if op not in ("store", "retrieve"):
+        raise ParameterError(f"unknown op {op!r}")
+    if overhead_s < 0 or write_factor < 1:
+        raise ParameterError("need overhead_s >= 0 and write_factor >= 1")
+    profile = profile or PAPER_ARCHIVES[3]  # Pergamum: the disk profile
+    transfer_s = (payload_bytes / 1e12) / profile.read_throughput_tb_per_day * 86_400.0
+    if op == "store":
+        transfer_s *= write_factor
+    return overhead_s + transfer_s
+
+
+def capacity_rps(
+    profile: ArchiveProfile,
+    mean_payload_bytes: float,
+    store_fraction: float = 0.0,
+    write_factor: float = WRITE_FACTOR,
+) -> float:
+    """Sustainable requests/second of *profile* for a given request mix.
+
+    This is how Section 3.2 sizes real archives (capacity over aggregate
+    throughput), inverted into a request rate: aggregate bytes/second
+    divided by the mean bytes one request moves (stores weighted by the
+    read-vs-write asymmetry).  The service benchmark reports its measured
+    saturation throughput against this model for each paper archive.
+    """
+    if mean_payload_bytes <= 0:
+        raise ParameterError("mean_payload_bytes must be > 0")
+    if not 0 <= store_fraction <= 1:
+        raise ParameterError("store_fraction must be in [0, 1]")
+    bytes_per_s = profile.read_throughput_tb_per_day * 1e12 / 86_400.0
+    weighted_bytes = mean_payload_bytes * (
+        1.0 + store_fraction * (write_factor - 1.0)
+    )
+    return bytes_per_s / weighted_bytes
+
+
 @dataclass(frozen=True)
 class ReencryptionEstimate:
     """Breakdown of a whole-archive re-encryption duration."""

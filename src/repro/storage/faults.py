@@ -387,13 +387,15 @@ class RetryPolicy:
         Any other exception type -- missing object, integrity failure, a
         programming error -- propagates on the first raise.  On each retry,
         ``on_retry(attempt, delay_s, exc)`` is invoked with the attempt
-        number just failed and the simulated backoff delay.
+        number just failed, the simulated backoff delay, and the transient
+        exception that triggered the retry (so degraded-read reports can
+        name the error being waited out).
         """
         waited = 0.0
         for attempt in range(1, self.max_attempts + 1):
             try:
                 return fn()
-            except RETRYABLE_ERRORS:
+            except RETRYABLE_ERRORS as exc:
                 if attempt == self.max_attempts:
                     raise
                 delay = self.backoff_delay(attempt, rng)
@@ -401,7 +403,7 @@ class RetryPolicy:
                     raise
                 waited += delay
                 if on_retry is not None:
-                    on_retry(attempt, delay)
+                    on_retry(attempt, delay, exc)
         raise AssertionError("unreachable")  # pragma: no cover
 
 
@@ -431,6 +433,10 @@ class DegradedReadReport:
     shares_failed: dict[int, str] = field(default_factory=dict)
     shares_repaired: int = 0
     retries: int = 0
+    #: Transient error class name -> count of retries it caused
+    #: (e.g. ``{"NodeUnavailableError": 2}``); names, not instances, so the
+    #: report stays deterministic and JSON-able.
+    retry_errors: dict[str, int] = field(default_factory=dict)
     simulated_wait_s: float = 0.0
     #: True when the fetch stopped at the decode quorum before trying
     #: every placed share.
@@ -455,6 +461,7 @@ class DegradedReadReport:
             "shares_failed": {str(i): self.shares_failed[i] for i in sorted(self.shares_failed)},
             "shares_repaired": self.shares_repaired,
             "retries": self.retries,
+            "retry_errors": {k: self.retry_errors[k] for k in sorted(self.retry_errors)},
             "simulated_wait_s": self.simulated_wait_s,
             "stopped_early": self.stopped_early,
         }

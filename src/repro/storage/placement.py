@@ -117,7 +117,7 @@ class PlacementPolicy:
     ) -> None:
         """Store one object, retrying transient unavailability with backoff."""
 
-        def on_retry(attempt: int, delay_s: float) -> None:
+        def on_retry(attempt: int, delay_s: float, exc: Exception) -> None:
             _metrics.inc("store_retries_total")
             _metrics.observe("storage_backoff_delay_seconds", delay_s)
 
@@ -157,10 +157,12 @@ class PlacementPolicy:
             shares_total=len(placement.node_by_share),
         )
 
-        def on_retry(attempt: int, delay_s: float) -> None:
+        def on_retry(attempt: int, delay_s: float, exc: Exception) -> None:
             _metrics.inc("fetch_retries_total")
             _metrics.observe("storage_backoff_delay_seconds", delay_s)
             report.retries += 1
+            error_name = type(exc).__name__
+            report.retry_errors[error_name] = report.retry_errors.get(error_name, 0) + 1
             report.simulated_wait_s += delay_s
 
         for index in sorted(placement.node_by_share):

@@ -15,7 +15,9 @@ distribution (recent objects read more -- the HPSS/ECMWF studies' pattern).
 
 from __future__ import annotations
 
+import heapq
 import math
+from bisect import bisect_left
 from dataclasses import dataclass, field
 
 from repro.crypto.drbg import DeterministicRandom
@@ -68,16 +70,37 @@ class Workload:
     spec: WorkloadSpec
     objects: list[WorkloadObject] = field(default_factory=list)
     reads: list[ReadEvent] = field(default_factory=list)
+    # Lazy per-epoch indexes (rebuilt when the backing list grows), so
+    # replay() over an N-object workload stays O(N) instead of rescanning
+    # the full stream once per epoch.
+    _objects_by_epoch: dict[int, list[WorkloadObject]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _objects_indexed: int = field(default=0, repr=False, compare=False)
+    _reads_by_epoch: dict[int, list[ReadEvent]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _reads_indexed: int = field(default=0, repr=False, compare=False)
 
     @property
     def total_bytes(self) -> int:
         return sum(obj.size for obj in self.objects)
 
     def objects_in_epoch(self, epoch: int) -> list[WorkloadObject]:
-        return [obj for obj in self.objects if obj.ingest_epoch == epoch]
+        if self._objects_indexed != len(self.objects):
+            self._objects_by_epoch = {}
+            for obj in self.objects:
+                self._objects_by_epoch.setdefault(obj.ingest_epoch, []).append(obj)
+            self._objects_indexed = len(self.objects)
+        return self._objects_by_epoch.get(epoch, [])
 
     def reads_in_epoch(self, epoch: int) -> list[ReadEvent]:
-        return [event for event in self.reads if event.epoch == epoch]
+        if self._reads_indexed != len(self.reads):
+            self._reads_by_epoch = {}
+            for event in self.reads:
+                self._reads_by_epoch.setdefault(event.epoch, []).append(event)
+            self._reads_indexed = len(self.reads)
+        return self._reads_by_epoch.get(epoch, [])
 
     def payload_for(self, obj: WorkloadObject) -> bytes:
         """Deterministic per-object payload (regenerable, not stored)."""
@@ -97,24 +120,30 @@ def generate_workload(spec: WorkloadSpec, seed: int | bytes = 0) -> Workload:
     """Materialize a deterministic workload from *spec* and *seed*."""
     rng = DeterministicRandom(seed if isinstance(seed, bytes) else f"workload:{seed}")
     workload = Workload(spec=spec)
+    # Incremental per-epoch index so read-candidate selection is O(1) per
+    # read instead of rescanning every object generated so far (the same
+    # candidate lists the old scan produced, so rng draws are unchanged).
+    by_epoch: dict[int, list[WorkloadObject]] = {}
+    total = 0
     for epoch in range(spec.epochs):
+        cohort = by_epoch.setdefault(epoch, [])
         for sequence in range(spec.objects_per_epoch):
-            workload.objects.append(
-                WorkloadObject(
-                    object_id=f"obj-{epoch:04d}-{sequence:04d}",
-                    size=_lognormal_size(rng, spec),
-                    ingest_epoch=epoch,
-                )
+            obj = WorkloadObject(
+                object_id=f"obj-{epoch:04d}-{sequence:04d}",
+                size=_lognormal_size(rng, spec),
+                ingest_epoch=epoch,
             )
+            workload.objects.append(obj)
+            cohort.append(obj)
+            total += 1
         # Reads target the archive as it exists after this epoch's ingest.
-        visible = workload.objects
-        read_count = int(len(visible) * spec.read_fraction)
+        read_count = int(total * spec.read_fraction)
         for _ in range(read_count):
             # Age drawn geometrically: 0 = newest epoch.
             age = 0
             while rng.random() > spec.recency_bias and age < epoch:
                 age += 1
-            candidates = [o for o in visible if o.ingest_epoch == epoch - age]
+            candidates = by_epoch[epoch - age]
             workload.reads.append(
                 ReadEvent(object_id=rng.choice(candidates).object_id, epoch=epoch)
             )
@@ -148,4 +177,199 @@ def replay(workload: Workload, system) -> dict:
         "reads": len(workload.reads),
         "bytes_read": bytes_read,
         "stored_bytes": system.placement_policy.total_bytes_stored(),
+    }
+
+
+# -- service load: zipfian popularity + concurrent clients ---------------------
+
+
+class ZipfianPopularity:
+    """Object-popularity model for service reads: rank-k gets weight k^-s.
+
+    Archive read traces (the HPSS/ECMWF studies the epoch workload's
+    geometric recency model comes from) are heavy-tailed: a few hot objects
+    absorb most reads.  This models that directly with a Zipf distribution
+    over *popularity rank*, mapped onto *recency rank* -- the newest object
+    is the most popular, matching the "reads concentrate on recent data"
+    shape.  The cumulative-weight array grows append-only (adding an object
+    never re-weights existing entries' cumulative sums), so sampling is
+    O(log n) and the model absorbs a live ingest stream without rebuilds.
+    """
+
+    def __init__(self, s: float = 1.1):
+        if s <= 0:
+            raise ParameterError("zipf exponent must be > 0")
+        self.s = s
+        self._ids: list[str] = []
+        #: _cum[k] = sum of (j+1)^-s for j <= k: popularity-rank CDF, unnormalized.
+        self._cum: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def add(self, object_id: str) -> None:
+        """Register a newly stored object (it becomes the most popular)."""
+        rank = len(self._cum)
+        weight = (rank + 1) ** -self.s
+        self._cum.append((self._cum[-1] if self._cum else 0.0) + weight)
+        self._ids.append(object_id)
+
+    def sample(self, rng: DeterministicRandom) -> str:
+        """Draw an object id with Zipf(s) popularity over recency rank."""
+        if not self._ids:
+            raise ParameterError("cannot sample from an empty population")
+        u = rng.random() * self._cum[-1]
+        rank = min(bisect_left(self._cum, u), len(self._ids) - 1)
+        # Popularity rank 0 = newest object (last appended).
+        return self._ids[len(self._ids) - 1 - rank]
+
+
+@dataclass(frozen=True)
+class ServiceLoadSpec:
+    """Parameters of a concurrent-client load run against an ArchiveService."""
+
+    #: Concurrent closed-loop clients issuing requests.
+    clients: int = 8
+    #: Total requests to offer (accepted + rejected both count).
+    requests: int = 1_000
+    #: Fraction of requests that are stores; the rest are zipfian reads.
+    store_fraction: float = 0.03
+    #: Zipf exponent of the read-popularity model.
+    zipf_s: float = 1.1
+    #: Mean exponential think time between one client's requests.
+    mean_think_s: float = 0.02
+    #: Extra wait a client inserts after a rejection (half of it after a
+    #: THROTTLE backpressure signal) -- the well-behaved-client response.
+    backoff_s: float = 0.2
+    #: Objects stored directly into the archive before load starts, so the
+    #: first reads have a population to draw from.
+    bootstrap_objects: int = 32
+    #: Clients map onto this many tenants round-robin.
+    tenants: int = 4
+    median_object_bytes: int = 4096
+    size_spread: float = 1.2
+    max_object_bytes: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if self.clients < 1 or self.requests < 1:
+            raise ParameterError("need clients >= 1 and requests >= 1")
+        if not 0 <= self.store_fraction <= 1:
+            raise ParameterError("store_fraction must be in [0, 1]")
+        if self.mean_think_s <= 0 or self.backoff_s < 0:
+            raise ParameterError("need mean_think_s > 0 and backoff_s >= 0")
+        if self.bootstrap_objects < 1 and self.store_fraction < 1:
+            raise ParameterError("reads need bootstrap_objects >= 1")
+        if self.tenants < 1:
+            raise ParameterError("tenants must be >= 1")
+
+
+def _exponential_think(rng: DeterministicRandom, mean_s: float) -> float:
+    # Inverse-CDF sample; the 1e-12 clamp keeps log() finite.
+    return -mean_s * math.log(max(1.0 - rng.random(), 1e-12))
+
+
+def run_service_load(service, spec: ServiceLoadSpec, seed: int | bytes = 0) -> dict:
+    """Replay a zipfian store/retrieve mix through an archive service.
+
+    *service* is duck-typed (anything with ``offer(Request) -> outcome`` and
+    an ``archive``) to keep this module import-light; normally it is a
+    :class:`repro.service.ArchiveService`.  Clients are closed-loop: each
+    offers a request, thinks for an exponential interval, and backs off when
+    rejected or throttled.  All timing is simulated and every draw comes
+    from one seeded DRBG, so the request stream -- and therefore the
+    service's latency histograms -- replay byte-identically.  Every accepted
+    retrieve is verified against the regenerated payload, making a load run
+    an end-to-end correctness check as well as a measurement.
+    """
+    from repro.service.server import Backpressure, Request  # noqa: PLC0415 -- avoid cycle at import time
+
+    rng = DeterministicRandom(
+        seed if isinstance(seed, bytes) else f"service-load:{seed}"
+    )
+    popularity = ZipfianPopularity(s=spec.zipf_s)
+    sizes: dict[str, int] = {}
+
+    def payload_for(object_id: str, size: int) -> bytes:
+        return DeterministicRandom(b"svc-payload:" + object_id.encode()).bytes(size)
+
+    bytes_stored = 0
+    for k in range(spec.bootstrap_objects):
+        object_id = f"svc-boot-{k:05d}"
+        size = _lognormal_size(rng, spec)
+        service.archive.store(object_id, payload_for(object_id, size))
+        sizes[object_id] = size
+        popularity.add(object_id)
+        bytes_stored += size
+
+    # Closed-loop clients on a simulated timeline: a heap of
+    # (next_ready_s, client) pops in deterministic order (ties break on the
+    # client index).  Start times are staggered so the first wave does not
+    # arrive as one synchronized burst.
+    ready: list[tuple[float, int]] = []
+    for client in range(spec.clients):
+        heapq.heappush(ready, (rng.random() * spec.mean_think_s, client))
+
+    counts = {
+        "ok_store": 0,
+        "ok_retrieve": 0,
+        "rejected_overload": 0,
+        "rejected_quota": 0,
+        "throttle_signals": 0,
+    }
+    bytes_read = 0
+    stores_issued = 0
+    last_arrival_s = 0.0
+    for _ in range(spec.requests):
+        now_s, client = heapq.heappop(ready)
+        last_arrival_s = max(last_arrival_s, now_s)
+        tenant = f"tenant-{client % spec.tenants:02d}"
+        if rng.random() < spec.store_fraction or not len(popularity):
+            object_id = f"svc-{client:02d}-{stores_issued:06d}"
+            stores_issued += 1
+            size = _lognormal_size(rng, spec)
+            request = Request(
+                op="store",
+                object_id=object_id,
+                tenant=tenant,
+                payload=payload_for(object_id, size),
+                arrival_s=now_s,
+            )
+        else:
+            object_id = popularity.sample(rng)
+            request = Request(
+                op="retrieve", object_id=object_id, tenant=tenant, arrival_s=now_s
+            )
+
+        outcome = service.offer(request)
+        if outcome.accepted:
+            if request.op == "store":
+                counts["ok_store"] += 1
+                sizes[object_id] = len(request.payload)
+                popularity.add(object_id)
+                bytes_stored += len(request.payload)
+            else:
+                counts["ok_retrieve"] += 1
+                expected = payload_for(object_id, sizes[object_id])
+                if outcome.data != expected:
+                    raise AssertionError(f"corrupted service read of {object_id}")
+                bytes_read += len(outcome.data)
+        else:
+            counts[outcome.outcome] += 1
+
+        think_s = _exponential_think(rng, spec.mean_think_s)
+        if not outcome.accepted:
+            think_s += spec.backoff_s
+        elif outcome.backpressure is Backpressure.THROTTLE:
+            counts["throttle_signals"] += 1
+            think_s += spec.backoff_s / 2
+        heapq.heappush(ready, (now_s + think_s, client))
+
+    return {
+        "offered": spec.requests,
+        "counts": dict(sorted(counts.items())),
+        "population": len(popularity),
+        "bytes_stored": bytes_stored,
+        "bytes_read": bytes_read,
+        "offered_window_s": last_arrival_s,
+        "offered_rps": (spec.requests / last_arrival_s) if last_arrival_s > 0 else 0.0,
     }

@@ -165,6 +165,9 @@ class ArchivalSystem(abc.ABC):
         receipt = self.receipt(object_id)
         self.placement_policy.delete(receipt.placement)
         plaintext_bytes = self._plaintext_bytes
+        # Drop the stale receipt so the re-store records cleanly (a repair
+        # is the one legitimate same-id store; _record rejects all others).
+        del self._receipts[object_id]
         self._repair_store(object_id, data)
         # A repair is not new ingest; keep the overhead accounting honest.
         self._plaintext_bytes = plaintext_bytes
@@ -201,6 +204,14 @@ class ArchivalSystem(abc.ABC):
             raise ObjectNotFoundError(f"{self.name}: no object {object_id!r}") from None
 
     def _record(self, receipt: StoreReceipt) -> StoreReceipt:
+        # A silent overwrite would orphan the old object's shares on the
+        # nodes and double-count plaintext bytes, corrupting
+        # storage_overhead(); duplicate ids are a caller error.
+        if receipt.object_id in self._receipts:
+            raise ParameterError(
+                f"{self.name}: object {receipt.object_id!r} already stored "
+                "(delete it before re-storing)"
+            )
         self._receipts[receipt.object_id] = receipt
         self._plaintext_bytes += receipt.original_length
         return receipt

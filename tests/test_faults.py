@@ -224,11 +224,16 @@ class TestRetryPolicy:
 
         retried = []
         result = RetryPolicy(max_attempts=3).call(
-            flaky, DeterministicRandom(0), on_retry=lambda a, d: retried.append((a, d))
+            flaky,
+            DeterministicRandom(0),
+            on_retry=lambda a, d, exc: retried.append((a, d, exc)),
         )
         assert result == "done"
         assert calls["n"] == 3
-        assert [a for a, _ in retried] == [1, 2]
+        assert [a for a, _, _ in retried] == [1, 2]
+        # The callback sees the transient error itself, so degraded-read
+        # reports can name what they retried past.
+        assert all(isinstance(exc, NodeUnavailableError) for _, _, exc in retried)
 
     def test_exhaustion_reraises_last_error(self):
         def always_down():
@@ -405,7 +410,7 @@ class TestDegradedFetch:
         d = report.as_dict()
         assert list(d) == [
             "object_id", "shares_total", "shares_tried", "shares_ok",
-            "shares_failed", "shares_repaired", "retries",
+            "shares_failed", "shares_repaired", "retries", "retry_errors",
             "simulated_wait_s", "stopped_early",
         ]
 

@@ -19,6 +19,7 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 RESULTS = REPO / "benchmarks" / "results" / "throughput.txt"
 OUTPUT = REPO / "BENCH_throughput.json"
+SERVICE_OUTPUT = REPO / "BENCH_service.json"
 
 
 def parse_throughput(text: str) -> dict[str, float]:
@@ -66,6 +67,20 @@ def main() -> int:
     OUTPUT.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
     print(f"bench-summary: wrote {OUTPUT}")
     print(json.dumps(summary["throughput"], indent=2, sort_keys=True))
+    if SERVICE_OUTPUT.is_file():
+        # The service benchmark (make bench-service) writes its own file;
+        # surface its headline numbers next to the throughput table.
+        service = json.loads(SERVICE_OUTPUT.read_text())
+        print(f"bench-summary: {SERVICE_OUTPUT.name} present")
+        for op, q in sorted(service.get("latency", {}).items()):
+            print(
+                f"  service {op}: p50={q['p50_s'] * 1000:.3f} ms  "
+                f"p99={q['p99_s'] * 1000:.3f} ms"
+            )
+        print(
+            "  service saturation: "
+            f"{service.get('saturation_throughput_rps', 0.0):.1f} rps"
+        )
     return 0
 
 
