@@ -3,8 +3,9 @@
 # Let every target work from a bare checkout (no `make install` needed).
 export PYTHONPATH := src
 
-.PHONY: install test test-chaos bench bench-json bench-service artifacts \
-	examples all clean lint lint-exceptions lint-imports coverage-storage
+.PHONY: install test test-chaos test-tiering bench bench-json bench-service \
+	artifacts examples all clean lint lint-exceptions lint-imports \
+	coverage-storage
 
 install:
 	python setup.py develop
@@ -17,15 +18,23 @@ test: lint coverage-storage
 test-chaos:
 	pytest -m chaos tests/
 
-# Enforce the >= 90% line-coverage floor over src/repro/storage using the
-# stdlib trace module (also runs the storage-facing test files).
+# Tiered-storage migration invariants: the 200-seed property suite plus
+# the tier placement/migrator unit tests (also part of the plain `test`
+# run; this target reruns them standalone for quick iteration).
+test-tiering:
+	pytest tests/test_tiering.py
+
+# Enforce the per-package line-coverage floor over src/repro/storage and
+# src/repro/service using the stdlib trace module (also runs the
+# storage/service-facing test files).
 coverage-storage:
 	python tools/storage_coverage.py
 
-# Static analysis: the full archlint rule set (ARCH001..ARCH006 -- broad
+# Static analysis: the full archlint rule set (ARCH001..ARCH007 -- broad
 # excepts, dead imports, nondeterminism, non-constant-time secret compares,
-# dynamic metric labels, mutable defaults / asserts) over every configured
-# root, emitting the machine-readable archlint_report.json at the repo root.
+# dynamic metric labels, mutable defaults / asserts, tier-registry bypass)
+# over every configured root, emitting the machine-readable
+# archlint_report.json at the repo root.
 # Policy lives in [tool.archlint] in pyproject.toml.
 lint:
 	PYTHONPATH=tools:$(PYTHONPATH) python -m archlint --format json --output archlint_report.json > /dev/null \
@@ -66,7 +75,7 @@ examples:
 		python $$script || exit 1; \
 	done
 
-all: install lint test bench bench-json artifacts
+all: install lint test test-tiering bench bench-json artifacts
 
 clean:
 	rm -rf build src/repro.egg-info .pytest_cache

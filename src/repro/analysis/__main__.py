@@ -8,6 +8,8 @@
     python -m repro.analysis --serve        # tiny-service admission demo
     python -m repro.analysis --load         # zipfian service load replay
     python -m repro.analysis --load=99      # ... with a specific seed
+    python -m repro.analysis --tiers        # hot/warm/cold migration replay
+    python -m repro.analysis --tiers=99     # ... with a specific seed
 
 Prints the measured Figure 1, Table 1, and Section 3.2 re-encryption table,
 each followed by its shape verdict.  With ``--metrics``, a final section
@@ -19,6 +21,9 @@ the retries, degraded-read shape, and repair-on-read behavior.  With
 ``--serve`` / ``--load``, the archive-service scenarios run: a burst demo
 that makes admission control, quotas, and backpressure fire visibly, and a
 seeded zipfian load replay reporting latency percentiles and throughput.
+With ``--tiers``, the tiered-storage life-cycle replays: objects cool down
+the hot/warm/cold demotion ladder, reheat through priced cold reads, and
+the migrator promotes them back -- all on simulated time under one seed.
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ from repro.analysis.reencryption_table import generate_reencryption_table
 from repro.analysis.report import render_metrics_report
 from repro.analysis.service_scenario import run_load_scenario, run_service_demo
 from repro.analysis.table1 import generate_table1
+from repro.analysis.tiers_scenario import run_tiers_scenario
 from repro.obs import get_registry
 
 
@@ -83,6 +89,7 @@ def main(argv: list[str]) -> int:
     argv, faults_seed = _parse_seed_flag(argv, "faults")
     argv, serve_seed = _parse_seed_flag(argv, "serve")
     argv, load_seed = _parse_seed_flag(argv, "load")
+    argv, tiers_seed = _parse_seed_flag(argv, "tiers")
     requested = argv or list(_ARTIFACTS)
     unknown = [name for name in requested if name not in _ARTIFACTS]
     if unknown:
@@ -114,6 +121,15 @@ def main(argv: list[str]) -> int:
         verdict = "SERVED" if result.healthy else "NO TRAFFIC SERVED"
         print(f"\n=> Service load {verdict}\n")
         ok = result.healthy and ok
+    if tiers_seed is not None:
+        print(f"{'=' * 72}\ntiers\n{'=' * 72}")
+        tiers = run_tiers_scenario(seed=tiers_seed)
+        print(tiers.render())
+        verdict = (
+            "FULL LIFE-CYCLE" if tiers.healthy else "MIGRATION DID NOT FIRE"
+        )
+        print(f"\n=> Tiered storage {verdict}\n")
+        ok = tiers.healthy and ok
     if show_metrics:
         print(f"{'=' * 72}\nmetrics\n{'=' * 72}")
         print(render_metrics_report(get_registry().snapshot()))

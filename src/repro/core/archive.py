@@ -17,6 +17,7 @@ import os
 import re
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -54,6 +55,10 @@ class MaintenanceReport:
     objects_renewed: int = 0
     renewal_bytes: int = 0
     chain_renewed: bool = False
+    #: Tier migrations this epoch's background pass made (0 untiered).
+    objects_promoted: int = 0
+    objects_demoted: int = 0
+    migration_bytes: int = 0
     notes: list[str] = field(default_factory=list)
 
 
@@ -63,18 +68,50 @@ class SecureArchive(ArchivalSystem):
     name = "SecureArchive"
     citation = "(this work)"
 
+    #: Merkle-signer tree height: 2**height one-time keys per signer before
+    #: rollover.  A class attribute so simulations that build many archives
+    #: can trade signer capacity for construction speed (keygen is linear
+    #: in the key count); rollover semantics are identical at any height.
+    SIGNER_HEIGHT = 8
+
     def __init__(self, policy: ArchivePolicy, nodes, rng):
         self.policy = policy
         self._scheme = self._build_scheme(policy)
         super().__init__(nodes, rng)
         self.chain = TimestampChain()
-        self.authority = TimestampAuthority(MerkleChainSigner(rng, height=8))
+        self.authority = TimestampAuthority(
+            MerkleChainSigner(rng, height=self.SIGNER_HEIGHT)
+        )
         #: Every signer the archive has ever used, for auditors: hash-based
         #: signatures are finite-use, so long-lived chains rotate signers.
         self.signer_history = [self.authority.signer]
         self.commitments = PedersenCommitment()
         self._manifests: dict[str, dict] = {}
         self._retention: dict[str, int] = {}
+
+    # -- tiering -----------------------------------------------------------------------
+
+    def enable_tiering(self, migrator=None):
+        """Turn on tiered placement and policy-driven migration.
+
+        Call after construction, before the first store, on a fleet built
+        with :func:`repro.storage.tiering.make_tiered_fleet` (nodes carry
+        tier labels).  The *migrator* (a default-policy
+        :class:`repro.storage.tiering.TierMigrator` when omitted) is bound
+        to this archive -- migration rides the proactive-renewal pipeline
+        -- and its registry/tracker are installed on the placement policy
+        so stores honor per-share tier layouts, fetches try hot media
+        first, and every user read feeds the access counters.  Returns the
+        bound migrator.
+        """
+        from repro.storage.tiering import TierMigrator
+
+        migrator = migrator or TierMigrator()
+        migrator.bind(self, data_shares=self.policy.t)
+        self.tiering = migrator
+        self.placement_policy.tiers = migrator.registry
+        self.placement_policy.tracker = migrator.tracker
+        return migrator
 
     # The base class uses a class attribute; the facade's value depends on
     # the instance's policy, so it is a property here.
@@ -399,6 +436,8 @@ class SecureArchive(ArchivalSystem):
         del self._receipts[object_id]
         self._plaintext_bytes -= receipt.original_length
         self._retention.pop(object_id, None)
+        if self.tiering is not None:
+            self.tiering.forget(object_id)
 
     # -- maintenance ---------------------------------------------------------------------
 
@@ -416,7 +455,7 @@ class SecureArchive(ArchivalSystem):
         if signer._scheme.remaining >= 3:
             return
         self.authority.renew_chain(self.chain, self.epoch)  # old signer's last act
-        new_signer = MerkleChainSigner(self.rng, height=8)
+        new_signer = MerkleChainSigner(self.rng, height=self.SIGNER_HEIGHT)
         self.authority = TimestampAuthority(new_signer)
         self.signer_history.append(new_signer)
         _metrics.inc("archive_signer_rollovers_total")
@@ -424,7 +463,13 @@ class SecureArchive(ArchivalSystem):
             report.notes.append(f"signer rolled over (now {len(self.signer_history)})")
 
     def advance_epoch(self) -> MaintenanceReport:
-        """Advance the archive clock one epoch and run due maintenance."""
+        """Advance the archive clock one epoch and run due maintenance.
+
+        On a tiered archive, the tier-migration pass runs in the same
+        background pipeline, after proactive renewal; all maintenance reads
+        (renewal *and* migration) run with the access tracker suspended so
+        background traffic never counts as user demand.
+        """
         self.epoch += 1
         with span("archive.advance_epoch", epoch=self.epoch):
             _metrics.inc("archive_ops_total", op="advance_epoch")
@@ -436,15 +481,28 @@ class SecureArchive(ArchivalSystem):
                 and cadence is not None
                 and self.epoch % cadence == 0
             ):
-                for object_id in list(self._receipts):
-                    report.renewal_bytes += self._renew_object(object_id)
-                    report.objects_renewed += 1
+                with self._maintenance_reads():
+                    for object_id in list(self._receipts):
+                        report.renewal_bytes += self._renew_object(object_id)
+                        report.objects_renewed += 1
             _metrics.inc("archive_renewed_objects_total", report.objects_renewed)
             _metrics.inc("archive_renewal_bytes_total", report.renewal_bytes)
+            if self.tiering is not None:
+                migration = self.tiering.run_epoch(self.epoch)
+                report.objects_promoted = len(migration.promoted)
+                report.objects_demoted = len(migration.demoted)
+                report.migration_bytes = migration.bytes_moved
             # Chain renewal every epoch keeps the head signature fresh.
             self.authority.renew_chain(self.chain, self.epoch)
             report.chain_renewed = True
             return report
+
+    def _maintenance_reads(self):
+        """Context under which maintenance retrieves run: access tracking
+        suspended (background reads are not demand); a no-op untiered."""
+        if self.tiering is not None:
+            return self.tiering.tracker.suspended()
+        return nullcontext()
 
     @profiled(name="archive.renew_object")
     def _renew_object(self, object_id: str) -> int:

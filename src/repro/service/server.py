@@ -197,6 +197,7 @@ class ArchiveService:
             self._rejected["quota"] += 1
             stats["rejected_quota"] += 1
             _metrics.inc("service_requests_total", op=op, outcome="rejected_quota")
+            self._note_rejected_demand(request)
             raise QuotaExhaustedError(
                 f"tenant {request.tenant!r} is out of quota tokens "
                 f"({request.op} {request.object_id})"
@@ -204,6 +205,7 @@ class ArchiveService:
         if len(self._queued_starts) >= self.config.queue_capacity:
             self._rejected["overload"] += 1
             _metrics.inc("service_requests_total", op=op, outcome="rejected_overload")
+            self._note_rejected_demand(request)
             raise OverloadError(
                 f"request queue full ({self.config.queue_capacity} waiting); "
                 f"rejected {request.op} {request.object_id}"
@@ -280,6 +282,20 @@ class ArchiveService:
             outcome=outcome,
             backpressure=self.backpressure(),
         )
+
+    def _note_rejected_demand(self, request: Request) -> None:
+        """Rejected retrieves are still demand the tier migrator should see.
+
+        Admitted requests are recorded by the placement layer on the real
+        fetch, so only rejections are recorded here -- no double counting.
+        A shed read is a strong promotion signal: the object was wanted
+        while the archive had no capacity to serve it.
+        """
+        if request.op != "retrieve":
+            return
+        tiering = getattr(self.archive, "tiering", None)
+        if tiering is not None:
+            tiering.tracker.record(request.object_id)
 
     def _drain_started(self, now_s: float) -> None:
         """Drop queued entries whose service has started by *now_s*."""

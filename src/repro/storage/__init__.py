@@ -13,6 +13,8 @@
 - ``failures`` -- failure schedules and availability accounting.
 - ``faults`` -- deterministic fault injection (seeded FaultPlans over
   wrapped nodes), retry/backoff policies, and degraded-read reports.
+- ``tiering`` -- hot/warm/cold tier registry bound to the media catalog,
+  decayed access tracking, and the policy-driven tier migrator.
 """
 
 from repro.storage.node import StorageNode, StoredObject
@@ -32,6 +34,16 @@ from repro.storage.faults import (
     RetryPolicy,
     default_retry_policy,
 )
+from repro.storage.tiering import (
+    AccessTracker,
+    MigrationPolicy,
+    MigrationReport,
+    TierMigrator,
+    TierRegistry,
+    TierSpec,
+    default_tier_registry,
+    make_tiered_fleet,
+)
 
 __all__ = [
     "StorageNode",
@@ -50,4 +62,12 @@ __all__ = [
     "FaultyNode",
     "RetryPolicy",
     "default_retry_policy",
+    "AccessTracker",
+    "MigrationPolicy",
+    "MigrationReport",
+    "TierMigrator",
+    "TierRegistry",
+    "TierSpec",
+    "default_tier_registry",
+    "make_tiered_fleet",
 ]

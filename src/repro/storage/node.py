@@ -46,12 +46,25 @@ class NodeStats:
 
 
 class StorageNode:
-    """One storage site run by one provider in one region."""
+    """One storage site run by one provider in one region.
 
-    def __init__(self, node_id: str, provider: str, region: str = "unknown"):
+    *tier* is the storage tier this node's medium belongs to (a name from a
+    :class:`repro.storage.tiering.TierRegistry`, e.g. its hot/warm/cold
+    defaults); ``None`` means the fleet is untiered and placement treats
+    every node alike.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        provider: str,
+        region: str = "unknown",
+        tier: str | None = None,
+    ):
         self.node_id = node_id
         self.provider = provider
         self.region = region
+        self.tier = tier
         self.online = True
         self._objects: dict[str, StoredObject] = {}
         self.stats = NodeStats()
@@ -160,9 +173,10 @@ class StorageNode:
             ) from None
 
     def __repr__(self) -> str:
+        tier = f", tier={self.tier!r}" if self.tier is not None else ""
         return (
             f"StorageNode({self.node_id!r}, provider={self.provider!r}, "
-            f"objects={len(self._objects)}, online={self.online})"
+            f"objects={len(self._objects)}, online={self.online}{tier})"
         )
 
 

@@ -65,6 +65,14 @@ class PlacementPolicy:
         # so two identically-seeded runs replay the same delays.
         self._retry_rng = DeterministicRandom(retry_seed)
         self._rotation = 0
+        #: Tier registry (repro.storage.tiering.TierRegistry) when the fleet
+        #: is tiered; installed by SecureArchive.enable_tiering.  None keeps
+        #: every code path byte-identical to the untiered behavior.
+        self.tiers = None
+        #: Access tracker fed one record per object fetch (real demand);
+        #: installed alongside the registry.  Maintenance fetches run under
+        #: tracker.suspended() so background reads don't register.
+        self.tracker = None
 
     def node(self, node_id: str) -> StorageNode:
         try:
@@ -75,9 +83,23 @@ class PlacementPolicy:
     def online_nodes(self) -> list[StorageNode]:
         return [n for n in self.nodes.values() if n.online]
 
-    def place(self, object_id: str, share_indices: list[int]) -> Placement:
+    def place(
+        self,
+        object_id: str,
+        share_indices: list[int],
+        tier_layout: dict[int, str] | None = None,
+    ) -> Placement:
         """Choose a node for every share index, rotating start position so
-        load spreads across the fleet."""
+        load spreads across the fleet.
+
+        *tier_layout* (share index -> tier name) makes placement tier-aware:
+        each share prefers nodes of its target tier, falling back along the
+        registry's nearest-tier order when the target tier cannot supply an
+        independent provider.  Without a layout (or without a registry) the
+        untiered path runs unchanged, byte-identical to pre-tiering runs.
+        """
+        if tier_layout is not None and self.tiers is not None:
+            return self._place_tiered(object_id, share_indices, tier_layout)
         candidates = self.online_nodes()
         if self.require_distinct_providers:
             by_provider: dict[str, StorageNode] = {}
@@ -100,6 +122,59 @@ class PlacementPolicy:
                 index: ordered[i].node_id for i, index in enumerate(share_indices)
             },
         )
+
+    def _place_tiered(
+        self, object_id: str, share_indices: list[int], tier_layout: dict[int, str]
+    ) -> Placement:
+        """Tier-preferring placement under the provider-independence rule.
+
+        Shares are assigned in sorted index order; each walks its target
+        tier's fallback order (nearest tier first, colder before warmer)
+        and takes the first node not already used by this object and not
+        sharing a provider with an already-chosen share.  The fleet
+        rotation advances once per placement, exactly like the untiered
+        path, so load still spreads within each tier deterministically.
+        """
+        online = self.online_nodes()
+        start = self._rotation
+        self._rotation += 1
+        pools: dict[str, list[StorageNode]] = {}
+        for node in online:
+            pools.setdefault(getattr(node, "tier", None), []).append(node)
+        used_nodes: set[str] = set()
+        used_providers: set[str] = set()
+        node_by_share: dict[int, str] = {}
+        for index in sorted(share_indices):
+            want = tier_layout.get(index, self.tiers.hottest.name)
+            chosen: StorageNode | None = None
+            search: list[StorageNode] = []
+            for tier_name in self.tiers.fallback_order(want):
+                pool = pools.get(tier_name, [])
+                if pool:
+                    offset = start % len(pool)
+                    search.extend(pool[offset:] + pool[:offset])
+            # Untiered nodes, if any, are the last resort.
+            search.extend(pools.get(None, []))
+            for node in search:
+                if node.node_id in used_nodes:
+                    continue
+                if self.require_distinct_providers and node.provider in used_providers:
+                    continue
+                chosen = node
+                break
+            if chosen is None:
+                kind = "providers" if self.require_distinct_providers else "nodes"
+                raise StorageError(
+                    f"no independent {kind} left for share {index} of "
+                    f"{object_id} (want tier {want!r})"
+                )
+            used_nodes.add(chosen.node_id)
+            used_providers.add(chosen.provider)
+            node_by_share[index] = chosen.node_id
+            tier = getattr(chosen, "tier", None)
+            if tier is not None:
+                _metrics.inc("tier_shares_placed_total", tier=tier)
+        return Placement(object_id=object_id, node_by_share=node_by_share)
 
     def store(self, placement: Placement, payload_by_share: dict[int, bytes], epoch: int = 0) -> None:
         for index, node_id in placement.node_by_share.items():
@@ -148,6 +223,13 @@ class PlacementPolicy:
         node) propagates on the first raise: a typo must not masquerade as
         "share unavailable".
 
+        On a tiered fleet the fetch order is (tier rank, share index) --
+        hot shares first, so a healthy hot quorum never touches cold media,
+        and a degraded read that *does* fall back to colder shares pays
+        that tier's archive-model read time (recorded in the report's
+        simulated wait and the ``tier_read_seconds`` histogram).  Untiered
+        fleets keep the original plain index order.
+
         Returns the fetched payloads plus a :class:`DegradedReadReport` of
         shares tried/failed, retries, and total simulated wait.
         """
@@ -156,6 +238,10 @@ class PlacementPolicy:
             object_id=placement.object_id,
             shares_total=len(placement.node_by_share),
         )
+        if self.tracker is not None:
+            # One record per object fetch: real demand, fed to the tier
+            # migrator's decayed access counters.
+            self.tracker.record(placement.object_id)
 
         def on_retry(attempt: int, delay_s: float, exc: Exception) -> None:
             _metrics.inc("fetch_retries_total")
@@ -165,7 +251,7 @@ class PlacementPolicy:
             report.retry_errors[error_name] = report.retry_errors.get(error_name, 0) + 1
             report.simulated_wait_s += delay_s
 
-        for index in sorted(placement.node_by_share):
+        for index in self._fetch_order(placement):
             if need is not None and len(out) >= need:
                 report.stopped_early = True
                 break
@@ -204,11 +290,42 @@ class PlacementPolicy:
                 report.shares_ok += 1
                 _metrics.inc("storage_shares_fetched_total")
                 _metrics.inc("storage_fetch_bytes_total", len(payload))
+                report.simulated_wait_s += self._price_tier_read(node, len(payload))
             finally:
                 plan = getattr(node, "fault_plan", None)
                 if plan is not None:
                     report.simulated_wait_s += plan.drain_wait_s()
         return out, report
+
+    def _fetch_order(self, placement: Placement) -> list[int]:
+        """Share indices in fetch-preference order: plain index order when
+        untiered; (tier rank, index) -- hottest media first -- when the
+        registry is installed, so cold shares are only touched when the
+        warmer quorum falls short."""
+        indices = sorted(placement.node_by_share)
+        if self.tiers is None:
+            return indices
+
+        def rank(index: int) -> int:
+            tier = getattr(self.node(placement.node_by_share[index]), "tier", None)
+            if tier is None or tier not in self.tiers:
+                return len(self.tiers)  # untiered nodes fetch last
+            return self.tiers.rank(tier)
+
+        return sorted(indices, key=lambda index: (rank(index), index))
+
+    def _price_tier_read(self, node: StorageNode, payload_bytes: int) -> float:
+        """Archive-model read time of one share on *node*'s tier medium
+        (0.0 on untiered fleets/nodes), recorded per tier."""
+        if self.tiers is None:
+            return 0.0
+        tier = getattr(node, "tier", None)
+        if tier is None or tier not in self.tiers:
+            return 0.0
+        cost_s = self.tiers.get(tier).read_seconds(payload_bytes)
+        _metrics.inc("tier_reads_total", tier=tier)
+        _metrics.observe("tier_read_seconds", cost_s, tier=tier)
+        return cost_s
 
     @staticmethod
     def _record_share_loss(

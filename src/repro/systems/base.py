@@ -91,6 +91,9 @@ class ArchivalSystem(abc.ABC):
         self.epoch = 0
         #: Degraded-read report of the most recent fetch (None before any).
         self.last_read_report: DegradedReadReport | None = None
+        #: Tier migrator (repro.storage.tiering.TierMigrator) when tiering
+        #: is enabled; None keeps placement untiered and byte-identical.
+        self.tiering = None
 
     # -- transit -------------------------------------------------------------------
 
@@ -118,7 +121,12 @@ class ArchivalSystem(abc.ABC):
     def _store_shares(
         self, object_id: str, payload_by_index: dict[int, bytes]
     ) -> Placement:
-        placement = self.placement_policy.place(object_id, sorted(payload_by_index))
+        tier_layout = None
+        if self.tiering is not None:
+            tier_layout = self.tiering.layout_for(object_id, sorted(payload_by_index))
+        placement = self.placement_policy.place(
+            object_id, sorted(payload_by_index), tier_layout=tier_layout
+        )
         for index, node_id in placement.node_by_share.items():
             self._send_share(
                 self.placement_policy.node(node_id),

@@ -27,7 +27,15 @@ from archlint.core import Config, Finding, RuleConfig, is_suppressed  # noqa: E4
 from archlint.engine import run_lint  # noqa: E402
 from archlint.rules import ALL_RULES, RULES_BY_CODE  # noqa: E402
 
-ALL_CODES = ("ARCH001", "ARCH002", "ARCH003", "ARCH004", "ARCH005", "ARCH006")
+ALL_CODES = (
+    "ARCH001",
+    "ARCH002",
+    "ARCH003",
+    "ARCH004",
+    "ARCH005",
+    "ARCH006",
+    "ARCH007",
+)
 
 
 def lint_snippet(
@@ -411,6 +419,67 @@ class TestArch006MutableDefaultAndAssert:
     def test_none_default_clean(self, tmp_path):
         source = "def f(xs=None):\n    return xs or []\n"
         assert lint_snippet(tmp_path, source, "ARCH006").ok
+
+
+class TestArch007TierRegistry:
+    TRIGGER = """
+        from repro.storage.media import MEDIA_CATALOG
+
+        def cold_media():
+            return MEDIA_CATALOG["LTO-9 tape"]
+    """
+
+    def test_catalog_subscript_triggers(self, tmp_path):
+        report = lint_snippet(tmp_path, self.TRIGGER, "ARCH007")
+        assert len(report.findings) == 1
+        assert "tier registry" in report.findings[0].message
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            # tier= keyword argument
+            "def f(node_cls):\n    return node_cls('n', tier='hot')\n",
+            # comparison against a tier-bearing expression
+            "def f(node):\n    return node.tier == 'cold'\n",
+            # subscript key into a tier-keyed mapping
+            "def f(tiers):\n    return tiers['warm']\n",
+            # literal key in a fleet spec
+            "def f(make_tiered_fleet):\n    return make_tiered_fleet({'hot': 4})\n",
+        ],
+    )
+    def test_tier_literal_positions_trigger(self, tmp_path, source):
+        assert len(lint_snippet(tmp_path, source, "ARCH007").findings) == 1, source
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            # the constants are the sanctioned spelling
+            "from repro.storage.tiering import TIER_HOT\n"
+            "\n"
+            "def f(node):\n"
+            "    return node.tier == TIER_HOT\n",
+            # the same words outside tier positions stay legal
+            "def f(weather):\n    return weather == 'hot'\n",
+            "def f(log):\n    log.info('cold start')\n",
+            # iterating the catalog (no subscript) is how the registry
+            # itself is built
+            "def f(catalog):\n    return sorted(catalog)\n",
+        ],
+    )
+    def test_registry_forms_clean(self, tmp_path, source):
+        assert lint_snippet(tmp_path, source, "ARCH007").ok, source
+
+    def test_noqa(self, tmp_path):
+        source = """
+            def f(MEDIA_CATALOG):
+                return MEDIA_CATALOG["QLC SSD"]  # noqa: ARCH007
+        """
+        report = lint_snippet(tmp_path, source, "ARCH007")
+        assert report.ok and report.suppressed == 1
+
+    def test_allowlist(self, tmp_path):
+        cfg = RuleConfig(allow=("snippet.py",))
+        assert lint_snippet(tmp_path, self.TRIGGER, "ARCH007", rule_config=cfg).ok
 
 
 class TestRepoContract:

@@ -29,6 +29,14 @@ from repro.storage.faults import (
     transient_outage,
 )
 from repro.storage.node import make_node_fleet
+from repro.storage.tiering import (
+    TIER_COLD,
+    TIER_HOT,
+    TIER_WARM,
+    MigrationPolicy,
+    TierMigrator,
+    make_tiered_fleet,
+)
 
 pytestmark = pytest.mark.chaos
 
@@ -108,6 +116,109 @@ def _run_case(seed: int) -> None:
 @pytest.mark.parametrize("seed", range(NUM_CASES))
 def test_round_trip_is_exact_or_fails_loudly(seed):
     _run_case(seed)
+
+
+# -- tiered topologies ---------------------------------------------------------------
+
+TIERED_CHAOS_POLICY = ArchivePolicy(
+    target=ConfidentialityTarget.LONG_TERM, n=5, t=3, renew_every_epochs=None
+)
+
+
+def _make_tiered_archive(seed) -> SecureArchive:
+    archive = SecureArchive(
+        TIERED_CHAOS_POLICY,
+        make_tiered_fleet({TIER_HOT: 4, TIER_WARM: 4, TIER_COLD: 6}),
+        DeterministicRandom(seed),
+    )
+    archive.enable_tiering(
+        TierMigrator(policy=MigrationPolicy(demote_idle_epochs=2))
+    )
+    return archive
+
+
+@pytest.mark.parametrize("seed", range(100))
+def test_cold_tier_faults_never_lose_data(seed):
+    """Chaos confined to the cold tier must *never* cost data -- not even a
+    typed failure.  The decode quorum rides the object's own (hot or warm)
+    tier, cold holds only parity, and the hot-first fetch order means cold
+    faults are at worst a priced detour, never a loss.
+    """
+    rng = DeterministicRandom(("tiered-chaos", seed).__repr__())
+    archive = _make_tiered_archive(seed)
+    payloads = {}
+    for k in range(3):
+        object_id = f"doc-{k}"
+        payloads[object_id] = rng.bytes(1 + rng.randrange(200))
+        archive.store(object_id, payloads[object_id])
+    # Let some objects cool one ladder step (quorum stays off cold: the
+    # demote window is 2 epochs, so at most hot -> warm here).
+    for _ in range(rng.randrange(3)):
+        archive.advance_epoch()
+
+    # Chaos on cold nodes only: hard outages and silent bitrot.
+    cold_nodes = [n for n in archive.nodes if n.tier == TIER_COLD]
+    for node in cold_nodes:
+        if rng.random() < 0.4:
+            node.set_online(False)
+        for share_id in node.object_ids():
+            if rng.random() < 0.4:
+                node.corrupt_object(share_id, rng.bytes(8))
+
+    for object_id, payload in sorted(payloads.items()):
+        data, report = archive.retrieve_with_report(object_id)
+        assert data == payload, (
+            f"tiered data loss! reproduce with seed={seed} ({object_id})"
+        )
+        # Every failed share, if any, was a cold one; the quorum held on
+        # the warmer tiers.
+        receipt = archive.receipt(object_id)
+        for index in report.shares_failed:
+            node = archive.placement_policy.node(
+                receipt.placement.node_by_share[index]
+            )
+            assert node.tier == TIER_COLD, (
+                f"non-cold share failed under cold-only chaos; seed={seed}"
+            )
+
+
+@pytest.mark.parametrize("seed", [0, 3, 11, 29, 77])
+def test_repair_on_read_replaces_shares_in_correct_tier(seed):
+    """A degraded read that trips repair-on-read must re-place the repaired
+    shares tier-correctly: quorum back on the object's tier, parity back on
+    cold -- even while a hot node is down and the fetch leaned on cold."""
+    archive = _make_tiered_archive(seed)
+    payload = DeterministicRandom(("repair", seed).__repr__()).bytes(120)
+    archive.store("doc", payload)
+    receipt = archive.receipt("doc")
+    by_tier = {
+        index: archive.placement_policy.node(node_id)
+        for index, node_id in sorted(receipt.placement.node_by_share.items())
+    }
+    hot_indices = [i for i, n in by_tier.items() if n.tier == TIER_HOT]
+    cold_indices = [i for i, n in by_tier.items() if n.tier == TIER_COLD]
+    # One hot node down, one cold share rotted: the read must degrade onto
+    # cold, detect the rot, decode from the rest, and repair.
+    by_tier[hot_indices[0]].set_online(False)
+    by_tier[cold_indices[0]].corrupt_object(
+        f"doc/share-{cold_indices[0]}", b"\x00" * 8
+    )
+    data, report = archive.retrieve_with_report("doc")
+    assert data == payload
+    assert report.shares_repaired > 0, f"repair did not fire; seed={seed}"
+
+    # The repaired placement is tier-correct: quorum on the object's tier
+    # (still hot -- the read itself is demand), parity on cold.
+    repaired = archive.receipt("doc").placement
+    tiers = [
+        archive.placement_policy.node(repaired.node_by_share[index]).tier
+        for index in sorted(repaired.node_by_share)
+    ]
+    t = TIERED_CHAOS_POLICY.t
+    assert tiers[:t] == [TIER_HOT] * t
+    assert tiers[t:] == [TIER_COLD] * (len(tiers) - t)
+    # And the repaired object reads back clean with the hot node still down.
+    assert archive.retrieve("doc") == payload
 
 
 @pytest.mark.parametrize("seed", [0, 7, 42, 1999])

@@ -11,6 +11,7 @@ from archlint.rules.determinism import NondeterminismRule
 from archlint.rules.crypto_hygiene import SecretComparisonRule
 from archlint.rules.metrics_labels import DynamicMetricLabelRule
 from archlint.rules.defaults import MutableDefaultAndAssertRule
+from archlint.rules.tier_registry import TierRegistryRule
 
 ALL_RULES = [
     BroadExceptRule(),
@@ -19,6 +20,7 @@ ALL_RULES = [
     SecretComparisonRule(),
     DynamicMetricLabelRule(),
     MutableDefaultAndAssertRule(),
+    TierRegistryRule(),
 ]
 
 RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}
@@ -32,4 +34,5 @@ __all__ = [
     "SecretComparisonRule",
     "DynamicMetricLabelRule",
     "MutableDefaultAndAssertRule",
+    "TierRegistryRule",
 ]

@@ -1,0 +1,142 @@
+"""ARCH007: tier/media references outside the tier registry.
+
+The tier vocabulary (``hot``/``warm``/``cold``) and the media catalog are
+a *closed* namespace owned by ``repro.storage.tiering``: every tier is a
+``TierSpec`` binding a name to a ``MediaSpec`` and an I/O pricing profile,
+and everything else walks the :class:`TierRegistry` (``registry.names``,
+``rank``, ``colder``/``warmer``) or imports the ``TIER_*`` constants.  A
+hard-coded ``"hot"`` in a tier position, or a ``MEDIA_CATALOG["tape"]``
+subscript behind the registry's back, silently forks that vocabulary: a
+renamed tier, a re-bound medium, or a fourth tier then breaks placement
+and migration in whichever modules kept private copies.
+
+Flagged:
+
+- subscripts into ``MEDIA_CATALOG`` (go through a registry's TierSpec
+  media binding instead);
+- tier-name string literals in tier *positions*: a ``tier=`` keyword
+  argument, a comparison against an expression whose dotted name mentions
+  ``tier``, a subscript index into such an expression, and literal keys of
+  a dict passed to ``make_tiered_fleet``.
+
+The defining modules (``media.py``, ``tiering.py``) and the media
+benchmark/tests that sweep the raw catalog are allowlisted in pyproject.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from archlint.core import Checker, FileContext, Finding, RuleConfig
+
+#: The closed tier vocabulary ARCH007 polices (mirrors tiering.TIER_NAMES).
+_TIER_VOCAB = frozenset({"hot", "warm", "cold"})
+
+_CATALOG_NAME = "MEDIA_CATALOG"
+
+
+def _dotted_name(node: ast.expr) -> str:
+    """Best-effort dotted source name of an expression ('' if exotic)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _mentions_tier(node: ast.expr) -> bool:
+    return "tier" in _dotted_name(node).lower()
+
+
+def _is_tier_literal(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, str)
+        and node.value in _TIER_VOCAB
+    )
+
+
+class TierRegistryRule(Checker):
+    code = "ARCH007"
+    name = "tier-registry-bypass"
+    description = (
+        "tier names and media bindings are a closed vocabulary owned by the "
+        "tier registry; import TIER_* constants / walk the registry instead "
+        "of hard-coding strings or subscripting MEDIA_CATALOG"
+    )
+
+    def check(self, ctx: FileContext, cfg: RuleConfig) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Subscript):
+                yield from self._check_subscript(ctx, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+            elif isinstance(node, ast.Compare):
+                yield from self._check_compare(ctx, node)
+
+    def _check_subscript(
+        self, ctx: FileContext, node: ast.Subscript
+    ) -> Iterator[Finding]:
+        target = _dotted_name(node.value)
+        if target.split(".")[-1] == _CATALOG_NAME:
+            yield self.finding(
+                ctx,
+                node,
+                "MEDIA_CATALOG subscript bypasses the tier registry; bind "
+                "media through a TierSpec (registry.get(tier).media)",
+            )
+        elif _mentions_tier(node.value) and _is_tier_literal(node.slice):
+            yield self.finding(
+                ctx,
+                node.slice,
+                f"hard-coded tier name {node.slice.value!r} as a tier key; "
+                "use the TIER_* constants from repro.storage.tiering",
+            )
+
+    def _check_call(self, ctx: FileContext, node: ast.Call) -> Iterator[Finding]:
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                continue
+            name = keyword.arg.lower()
+            if (name == "tier" or name.endswith("_tier")) and _is_tier_literal(
+                keyword.value
+            ):
+                yield self.finding(
+                    ctx,
+                    keyword.value,
+                    f"hard-coded tier name {keyword.value.value!r} passed as "
+                    f"'{keyword.arg}'; use the TIER_* constants from "
+                    "repro.storage.tiering",
+                )
+        func = _dotted_name(node.func)
+        if func.split(".")[-1] == "make_tiered_fleet" and node.args:
+            counts = node.args[0]
+            if isinstance(counts, ast.Dict):
+                for key in counts.keys:
+                    if key is not None and _is_tier_literal(key):
+                        yield self.finding(
+                            ctx,
+                            key,
+                            f"hard-coded tier name {key.value!r} in a fleet "
+                            "spec; use the TIER_* constants from "
+                            "repro.storage.tiering",
+                        )
+
+    def _check_compare(
+        self, ctx: FileContext, node: ast.Compare
+    ) -> Iterator[Finding]:
+        operands = [node.left, *node.comparators]
+        if not any(_mentions_tier(op) for op in operands):
+            return
+        for operand in operands:
+            if _is_tier_literal(operand):
+                yield self.finding(
+                    ctx,
+                    operand,
+                    f"hard-coded tier name {operand.value!r} compared "
+                    "against a tier; use the TIER_* constants from "
+                    "repro.storage.tiering",
+                )

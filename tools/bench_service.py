@@ -28,18 +28,44 @@ REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
 from repro.core.archive import SecureArchive  # noqa: E402
-from repro.core.policy import CENTURY_SAFE  # noqa: E402
+from repro.core.policy import (  # noqa: E402
+    CENTURY_SAFE,
+    ArchivePolicy,
+    ConfidentialityTarget,
+)
 from repro.crypto.drbg import DeterministicRandom  # noqa: E402
 from repro.obs import use_registry  # noqa: E402
-from repro.service import ArchiveService, ServiceConfig, TenantQuota  # noqa: E402
+from repro.service import (  # noqa: E402
+    ArchiveService,
+    Request,
+    ServiceConfig,
+    TenantQuota,
+)
 from repro.storage.archive_model import PAPER_ARCHIVES, capacity_rps  # noqa: E402
 from repro.storage.node import make_node_fleet  # noqa: E402
-from repro.storage.workload import ServiceLoadSpec, run_service_load  # noqa: E402
+from repro.storage.tiering import (  # noqa: E402
+    TIER_COLD,
+    TIER_HOT,
+    TIER_WARM,
+    MigrationPolicy,
+    TierMigrator,
+    make_tiered_fleet,
+)
+from repro.storage.workload import (  # noqa: E402
+    ServiceLoadSpec,
+    ZipfianPopularity,
+    run_service_load,
+)
 
 OUTPUT = REPO / "BENCH_service.json"
 
 DEFAULT_SEED = 2024
 DEFAULT_REQUESTS = 100_000
+
+#: The tiered-topology run offers this fraction of the flat run's requests
+#: per phase (two phases: load and reheat); migration renewals make each
+#: accepted request substantially more expensive than on the flat fleet.
+TIERED_REQUEST_DIVISOR = 10
 
 #: Sized for saturation: 64 clients at 5 ms mean think time offer ~12.8k
 #: rps against a 4-worker, ~1 ms/op service (~4k rps capacity), so
@@ -126,6 +152,124 @@ def run_benchmark(seed: int = DEFAULT_SEED, requests: int = DEFAULT_REQUESTS) ->
     }
 
 
+_TIERED_POLICY = ArchivePolicy(
+    target=ConfidentialityTarget.LONG_TERM, n=5, t=3, renew_every_epochs=None
+)
+
+
+def _tiered_spec(requests: int) -> ServiceLoadSpec:
+    return ServiceLoadSpec(
+        clients=32,
+        requests=requests,
+        store_fraction=0.03,
+        mean_think_s=0.005,
+        backoff_s=0.05,
+        bootstrap_objects=64,
+        tenants=4,
+    )
+
+
+def _tier_metric(snapshot: dict, kind: str, name: str) -> dict:
+    """Per-tier values of ``name{tier=...}`` from a registry snapshot."""
+    out = {}
+    for key, value in snapshot[kind].items():
+        if key.startswith(f"{name}{{tier="):
+            out[key.split("=", 1)[1].rstrip("}")] = value
+    return out
+
+
+def _reheat_phase(
+    service, spec: ServiceLoadSpec, requests: int, seed: int, start_s: float
+) -> dict:
+    """Zipfian retrieves against the *cooled* bootstrap set.
+
+    Open-loop on purpose: the first load already measured closed-loop
+    saturation; here the point is demand against objects that migrated
+    cold, so every request is a retrieve of a bootstrap object (the ids
+    ``run_service_load`` stored before its load began).  Rejected
+    retrieves still count as demand via the service's tracker hook.
+    """
+    rng = DeterministicRandom(f"bench-tiered-reheat:{seed}")
+    popularity = ZipfianPopularity(s=spec.zipf_s)
+    for k in range(spec.bootstrap_objects):
+        popularity.add(f"svc-boot-{k:05d}")
+    counts: dict[str, int] = {}
+    now_s = start_s
+    for i in range(requests):
+        now_s += rng.random() * 2 * spec.mean_think_s / spec.clients
+        outcome = service.offer(
+            Request(
+                op="retrieve",
+                object_id=popularity.sample(rng),
+                tenant=f"tenant-{i % spec.tenants:02d}",
+                arrival_s=now_s,
+            )
+        )
+        counts[outcome.outcome] = counts.get(outcome.outcome, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def run_tiered_benchmark(
+    seed: int = DEFAULT_SEED, requests: int = DEFAULT_REQUESTS
+) -> dict:
+    """The tiered-topology run: load, cool down, reheat -- seeded.
+
+    A smaller zipfian replay against a hot/warm/cold fleet with migration
+    on: phase one loads the service, four idle epochs walk everything down
+    the demotion ladder, phase two replays the same-shaped load so the
+    reheated working set is first served *from cold media at cold prices*
+    (``cold_read_seconds_total`` below is the archive-model price of those
+    detours) and then promoted back up.  Pure function of the seed on
+    simulated time, like the flat run.
+    """
+    per_phase = max(1_000, requests // TIERED_REQUEST_DIVISOR)
+    spec = _tiered_spec(per_phase)
+    with use_registry() as registry:
+        archive = SecureArchive(
+            _TIERED_POLICY,
+            make_tiered_fleet({TIER_HOT: 4, TIER_WARM: 4, TIER_COLD: 6}),
+            DeterministicRandom((seed, "bench-tiered").__repr__()),
+        )
+        migrator = archive.enable_tiering(
+            TierMigrator(policy=MigrationPolicy(demote_idle_epochs=2))
+        )
+        service = ArchiveService(
+            archive,
+            _service_config(),
+            rng=DeterministicRandom((seed, "bench-tiered-jitter").__repr__()),
+        )
+        load = run_service_load(
+            service, spec, seed=f"bench-tiered-load:{seed}".encode()
+        )
+        maintenance = [archive.advance_epoch() for _ in range(4)]
+        reheat = _reheat_phase(
+            service, spec, per_phase, seed, start_s=load["offered_window_s"]
+        )
+        maintenance += [archive.advance_epoch() for _ in range(2)]
+        report = service.report()
+        snapshot = registry.snapshot()
+
+    cold_reads = _tier_metric(snapshot, "counters", "tier_reads_total")
+    read_seconds = _tier_metric(snapshot, "histograms", "tier_read_seconds")
+    return {
+        "topology": {TIER_HOT: 4, TIER_WARM: 4, TIER_COLD: 6},
+        "requests_per_phase": per_phase,
+        "load": load["counts"],
+        "reheat": reheat,
+        "migration": {
+            "promoted": sum(m.objects_promoted for m in maintenance),
+            "demoted": sum(m.objects_demoted for m in maintenance),
+            "bytes_moved": sum(m.migration_bytes for m in maintenance),
+        },
+        "tier_reads": cold_reads,
+        "cold_read_seconds_total": read_seconds.get(TIER_COLD, {}).get("sum", 0.0),
+        "occupancy": migrator.occupancy(),
+        "latency": report["latency"],
+        "completed": report["completed"],
+        "rejected": report["rejected"],
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
@@ -143,6 +287,9 @@ def main() -> int:
     )
     args = parser.parse_args()
     summary = run_benchmark(seed=args.seed, requests=args.requests)
+    summary["tiered"] = run_tiered_benchmark(
+        seed=args.seed, requests=args.requests
+    )
     args.output.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
     print(f"bench-service: wrote {args.output}")
     for op, q in sorted(summary["latency"].items()):
@@ -154,6 +301,13 @@ def main() -> int:
     print(
         f"  saturation: {summary['saturation_throughput_rps']:.1f} rps  "
         f"rejected: {summary['rejected']}"
+    )
+    tiered = summary["tiered"]
+    print(
+        f"  tiered: {tiered['migration']['promoted']} promoted / "
+        f"{tiered['migration']['demoted']} demoted, "
+        f"{tiered['tier_reads'].get(TIER_COLD, 0)} cold reads "
+        f"({tiered['cold_read_seconds_total']:.2f} s priced)"
     )
     return 0
 

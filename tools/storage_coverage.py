@@ -1,13 +1,18 @@
 #!/usr/bin/env python
-"""Line-coverage floor for the storage substrate, stdlib-only.
+"""Line-coverage floor for the storage substrate and service layer.
 
 ``coverage.py`` is not part of this environment, so the gate is built on
-:mod:`trace`: run the storage-facing test files under ``trace.Trace`` and
-compare the executed-line set against the executable lines of every module
-in ``src/repro/storage``.  Executable lines are recovered by compiling
-each file and walking the bytecode's ``co_lines`` tables, which matches
-what the trace hook can actually report (docstrings, ``else:`` and other
+:mod:`trace`: run the storage/service-facing test files under
+``trace.Trace`` and compare the executed-line set against the executable
+lines of every module in the tracked packages (``src/repro/storage`` and
+``src/repro/service``).  Executable lines are recovered by compiling each
+file and walking the bytecode's ``co_lines`` tables, which matches what
+the trace hook can actually report (docstrings, ``else:`` and other
 non-statement lines never appear in either set).
+
+The floor applies *per package*: each tracked package must independently
+clear it, so a well-covered storage layer cannot subsidize an untested
+service path (or vice versa).
 
 Usage::
 
@@ -26,18 +31,33 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src"
-TARGET = SRC / "repro" / "storage"
 
-#: Test files exercising the storage layer (kept fast: no chaos marker).
+#: Packages held to the coverage floor.
+TARGETS = [
+    SRC / "repro" / "storage",
+    SRC / "repro" / "service",
+]
+
+#: Test files exercising the tracked packages (kept fast: no chaos marker,
+#: and the 200-seed tiering property suite is skipped under trace -- its
+#: invariants are enforced by the plain pytest run; here it would only
+#: re-cover lines the tiering unit tests already hit, at ~4x trace cost).
 TEST_FILES = [
     "tests/test_storage.py",
     "tests/test_faults.py",
     "tests/test_workload_audit.py",
     "tests/test_observability.py",
     "tests/test_analysis.py",
+    "tests/test_service.py",
+    "tests/test_tiering.py",
 ]
 
-DEFAULT_FLOOR = 90.0
+PYTEST_ARGS = ["-q", "-p", "no:cacheprovider", "-k", "not property_suite"]
+
+#: Raised from 90 once both packages measured ~95%: the floor tracks the
+#: coverage actually achieved so new code (the migration paths included)
+#: is held to the bar the existing code already clears.
+DEFAULT_FLOOR = 94.0
 
 
 def executable_lines(path: Path) -> set[int]:
@@ -58,11 +78,42 @@ def run_tests_traced() -> trace.CoverageResults:
     import pytest
 
     tracer = trace.Trace(count=1, trace=0)
-    exit_code = tracer.runfunc(pytest.main, ["-q", "-p", "no:cacheprovider", *TEST_FILES])
+    exit_code = tracer.runfunc(pytest.main, [*PYTEST_ARGS, *TEST_FILES])
     if exit_code != 0:
         print(f"storage-coverage: test run failed (pytest exit {exit_code})")
         sys.exit(1)
     return tracer.results()
+
+
+def package_report(
+    target: Path, executed: dict[str, set[int]], floor: float, verbose: bool
+) -> bool:
+    """Print one package's table; returns True when it clears the floor."""
+    total_lines = 0
+    total_hit = 0
+    rows = []
+    for path in sorted(target.glob("*.py")):
+        want = executable_lines(path)
+        got = executed.get(str(path), set()) & want
+        total_lines += len(want)
+        total_hit += len(got)
+        pct = 100.0 * len(got) / len(want) if want else 100.0
+        rows.append((path.name, pct, len(got), len(want), sorted(want - got)))
+
+    label = target.relative_to(REPO)
+    print(f"\n{label} coverage (floor {floor:.0f}%):")
+    for name, pct, hit, want, missed in rows:
+        print(f"  {name:<20} {pct:6.1f}%  ({hit}/{want})")
+        if verbose and missed:
+            print(f"    missed lines: {missed}")
+    overall = 100.0 * total_hit / total_lines if total_lines else 100.0
+    print(f"  {'TOTAL':<20} {overall:6.1f}%  ({total_hit}/{total_lines})")
+
+    if overall < floor:
+        print(f"storage-coverage: FAIL -- {overall:.1f}% is below the "
+              f"{floor:.0f}% floor for {label}")
+        return False
+    return True
 
 
 def main(argv: list[str]) -> int:
@@ -79,28 +130,10 @@ def main(argv: list[str]) -> int:
         if hits > 0:
             executed.setdefault(filename, set()).add(line)
 
-    total_lines = 0
-    total_hit = 0
-    rows = []
-    for path in sorted(TARGET.glob("*.py")):
-        want = executable_lines(path)
-        got = executed.get(str(path), set()) & want
-        total_lines += len(want)
-        total_hit += len(got)
-        pct = 100.0 * len(got) / len(want) if want else 100.0
-        rows.append((path.name, pct, len(got), len(want), sorted(want - got)))
-
-    print(f"\nstorage coverage (floor {floor:.0f}%):")
-    for name, pct, hit, want, missed in rows:
-        print(f"  {name:<20} {pct:6.1f}%  ({hit}/{want})")
-        if verbose and missed:
-            print(f"    missed lines: {missed}")
-    overall = 100.0 * total_hit / total_lines if total_lines else 100.0
-    print(f"  {'TOTAL':<20} {overall:6.1f}%  ({total_hit}/{total_lines})")
-
-    if overall < floor:
-        print(f"storage-coverage: FAIL -- {overall:.1f}% is below the "
-              f"{floor:.0f}% floor for src/repro/storage")
+    ok = True
+    for target in TARGETS:
+        ok = package_report(target, executed, floor, verbose) and ok
+    if not ok:
         return 1
     print("storage-coverage: OK")
     return 0
