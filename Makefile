@@ -4,8 +4,8 @@
 export PYTHONPATH := src
 
 .PHONY: install test test-chaos test-tiering bench bench-json bench-service \
-	artifacts examples all clean lint lint-exceptions lint-imports \
-	coverage-storage
+	bench-ratchet artifacts examples all clean lint lint-exceptions \
+	lint-imports coverage-storage
 
 install:
 	python setup.py develop
@@ -30,9 +30,10 @@ test-tiering:
 coverage-storage:
 	python tools/storage_coverage.py
 
-# Static analysis: the full archlint rule set (ARCH001..ARCH007 -- broad
+# Static analysis: the full archlint rule set (ARCH001..ARCH008 -- broad
 # excepts, dead imports, nondeterminism, non-constant-time secret compares,
-# dynamic metric labels, mutable defaults / asserts, tier-registry bypass)
+# dynamic metric labels, mutable defaults / asserts, tier-registry bypass,
+# zero-copy round-trips)
 # over every configured root, emitting the machine-readable
 # archlint_report.json at the repo root.
 # Policy lives in [tool.archlint] in pyproject.toml.
@@ -65,6 +66,12 @@ bench-json: bench-service
 bench-service:
 	python tools/bench_service.py
 
+# Benchmark ratchet: compare the current warm medians in
+# BENCH_throughput.json against the best entry in its append-only history;
+# fail on a >20% regression for any primitive.
+bench-ratchet:
+	python tools/bench_ratchet.py
+
 # Regenerate the paper's three artifacts on stdout.
 artifacts:
 	python -m repro.analysis
@@ -75,7 +82,7 @@ examples:
 		python $$script || exit 1; \
 	done
 
-all: install lint test test-tiering bench bench-json artifacts
+all: install lint test test-tiering bench bench-json bench-ratchet artifacts
 
 clean:
 	rm -rf build src/repro.egg-info .pytest_cache

@@ -1,0 +1,69 @@
+"""Runtime tuning knobs for the compute substrate.
+
+The library is deterministic by construction: every knob here is a *pure
+performance* control -- worker counts, sharding cutoffs -- and none of them
+may change a single output byte.  That invariant is what lets operators set
+``REPRO_KERNEL_WORKERS=8`` on a 16-core ingest box and leave the default on
+a laptop, while the 200-seed byte-identity suites pin both configurations
+to the same ciphertext.
+
+Knobs are read from the environment once, lazily, and can be overridden at
+runtime (tests sweep worker counts; services may size the pool from their
+own config).  Environment variables:
+
+``REPRO_KERNEL_WORKERS``
+    Worker threads for sharding wide GF(256) matmuls (and anything else
+    that adopts the kernel pool).  ``0`` or unset means "one per CPU";
+    ``1`` disables sharding entirely.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import ParameterError
+
+_MAX_WORKERS = 64
+
+_kernel_workers: int | None = None
+
+
+def _workers_from_env() -> int:
+    raw = os.environ.get("REPRO_KERNEL_WORKERS", "").strip()
+    if not raw:
+        return os.cpu_count() or 1
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ParameterError(
+            f"REPRO_KERNEL_WORKERS must be an integer, got {raw!r}"
+        ) from None
+    if value == 0:
+        return os.cpu_count() or 1
+    return _validate_workers(value)
+
+
+def _validate_workers(value: int) -> int:
+    if not 1 <= value <= _MAX_WORKERS:
+        raise ParameterError(
+            f"kernel worker count must be in [1, {_MAX_WORKERS}], got {value}"
+        )
+    return value
+
+
+def kernel_workers() -> int:
+    """Worker threads available to the sharded GF(256) kernel."""
+    global _kernel_workers
+    if _kernel_workers is None:
+        _kernel_workers = _workers_from_env()
+    return _kernel_workers
+
+
+def set_kernel_workers(count: int | None) -> None:
+    """Override the kernel worker count (``None`` re-reads the environment).
+
+    Purely a throughput knob: the sharded kernel is byte-identical at every
+    worker count, so this is always safe to change at runtime.
+    """
+    global _kernel_workers
+    _kernel_workers = None if count is None else _validate_workers(count)

@@ -373,13 +373,16 @@ class SecureArchive(ArchivalSystem):
             raise ParameterError("segment size must be positive")
         self._reject_segment_id(object_id)
         count = max(1, -(-len(data) // segment_bytes))
+        # Segments are memoryview slices: the encoders view them through
+        # np.frombuffer, so a multi-GiB ingest never duplicates the input.
+        view = memoryview(data)
         with span("archive.store_large", object_id=object_id, segments=count):
             _metrics.inc("archive_ops_total", op="store_large")
             receipts = self._store_batch(
                 [
                     (
                         f"{object_id}/seg-{k}",
-                        data[k * segment_bytes : (k + 1) * segment_bytes],
+                        view[k * segment_bytes : (k + 1) * segment_bytes],
                     )
                     for k in range(count)
                 ]

@@ -1,12 +1,18 @@
-"""AES-128/256 from scratch, with a numpy-vectorized CTR mode.
+"""AES-128/256 from scratch, with a numpy-vectorized T-table CTR mode.
 
 The block cipher follows FIPS 197 exactly (S-box derived from the GF(2^8)
 inverse plus the affine map, standard key schedule); correctness is pinned to
-the FIPS 197 appendix vectors in the tests.  The performance trick is the
-same as elsewhere in the library: the cipher state for *all* blocks of a
-message is a single ``(n_blocks, 16)`` uint8 array, so SubBytes is one fancy
-index, ShiftRows is one column permutation, and MixColumns is a handful of
-xtime-table lookups -- per message, not per block.
+the FIPS 197 appendix vectors in the tests.  The encrypt path uses the
+classic 32-bit T-table formulation: SubBytes, ShiftRows and MixColumns for
+one output column collapse into four table lookups and three XORs on packed
+words.  The cipher state for *all* blocks of a message lives in one
+``(4, n_blocks)`` uint32 array (column words by block -- transposed so each
+word row is contiguous), so a round is four ``np.take`` gathers over the
+whole message, not per block.  CTR keystreams are built directly in that
+transposed layout: the three nonce words broadcast, only the counter word
+varies.  Decryption of raw blocks keeps the straightforward inverse-round
+implementation (CTR decryption is the encrypt path; block decryption is
+cold).
 
 AES here is the stand-in for "traditional encryption" in Figure 1 and the
 at-rest cipher of the commercial-cloud baseline in Table 1.
@@ -48,6 +54,42 @@ _SBOX, _INV_SBOX = _build_sbox()
 _XT = {}
 for factor in (2, 3, 9, 11, 13, 14):
     _XT[factor] = np.array([GF256.mul(factor, x) for x in range(256)], dtype=np.uint8)
+
+
+def _pack_table(l0: np.ndarray, l1: np.ndarray, l2: np.ndarray, l3: np.ndarray) -> np.ndarray:
+    """Pack four 256-entry byte lanes into one uint32 lookup table.
+
+    Lane *i* lands in memory byte *i* of each word.  Both the tables and the
+    cipher state are only ever addressed through byte views in the same
+    memory order, and the combining operator is XOR (bytewise), so the word
+    values are endian-agnostic.
+    """
+    lanes = np.stack((l0, l1, l2, l3), axis=1)  # (256, 4) uint8, C-contiguous
+    packed = np.ascontiguousarray(lanes).view(np.uint32).reshape(256)
+    packed.setflags(write=False)
+    return packed
+
+
+# T-tables: SubBytes + ShiftRows + MixColumns for one output column collapse
+# into T0[s0] ^ T1[s1] ^ T2[s2] ^ T3[s3] where s_r is the row-r byte of the
+# ShiftRows source column.  TS* are the MixColumns-free final-round tables.
+_S2 = _XT[2][_SBOX]
+_S3 = _XT[3][_SBOX]
+_ZL = np.zeros(256, dtype=np.uint8)
+_T0 = _pack_table(_S2, _SBOX, _SBOX, _S3)
+_T1 = _pack_table(_S3, _S2, _SBOX, _SBOX)
+_T2 = _pack_table(_SBOX, _S3, _S2, _SBOX)
+_T3 = _pack_table(_SBOX, _SBOX, _S3, _S2)
+_TS0 = _pack_table(_SBOX, _ZL, _ZL, _ZL)
+_TS1 = _pack_table(_ZL, _SBOX, _ZL, _ZL)
+_TS2 = _pack_table(_ZL, _ZL, _SBOX, _ZL)
+_TS3 = _pack_table(_ZL, _ZL, _ZL, _SBOX)
+
+# Column rotations implementing ShiftRows in the transposed word layout:
+# the row-r byte of output column c comes from input column (c + r) % 4.
+_ROT1 = np.array([1, 2, 3, 0], dtype=np.intp)
+_ROT2 = np.array([2, 3, 0, 1], dtype=np.intp)
+_ROT3 = np.array([3, 0, 1, 2], dtype=np.intp)
 
 # ShiftRows permutation on the 16-byte state in column-major (FIPS) order:
 # byte index = 4*col + row; row r rotates left by r columns.
@@ -92,6 +134,39 @@ def _expand_key(key: bytes) -> np.ndarray:
     return flat
 
 
+@lru_cache(maxsize=128)
+def _round_key_words(key: bytes) -> np.ndarray:
+    """Round keys as (rounds+1, 4) uint32 column words for the T-table core."""
+    return _expand_key(key).view(np.uint32)
+
+
+def _encrypt_words(state: np.ndarray, key_words: np.ndarray) -> np.ndarray:
+    """Run the T-table rounds over a (4, n_blocks) uint32 column-word state.
+
+    Round key 0 must already be folded into *state* (C-contiguous); returns
+    a fresh (4, n_blocks) word array holding the final state.  Each round is
+    four whole-message gathers: ``bv`` reinterprets the word rows as byte
+    lanes, and the ``_ROT*`` row permutations are ShiftRows.
+    """
+    rounds = key_words.shape[0] - 1
+    n = state.shape[1]
+    for rnd in range(1, rounds):
+        bv = state.view(np.uint8).reshape(4, n, 4)
+        words = np.take(_T0, bv[:, :, 0])
+        words ^= np.take(_T1, bv[_ROT1, :, 1])
+        words ^= np.take(_T2, bv[_ROT2, :, 2])
+        words ^= np.take(_T3, bv[_ROT3, :, 3])
+        words ^= key_words[rnd][:, None]
+        state = words
+    bv = state.view(np.uint8).reshape(4, n, 4)
+    words = np.take(_TS0, bv[:, :, 0])
+    words ^= np.take(_TS1, bv[_ROT1, :, 1])
+    words ^= np.take(_TS2, bv[_ROT2, :, 2])
+    words ^= np.take(_TS3, bv[_ROT3, :, 3])
+    words ^= key_words[rounds][:, None]
+    return words
+
+
 def _mix_columns(state: np.ndarray) -> np.ndarray:
     """MixColumns on (n, 16) state; columns are byte groups of 4."""
     s = state.reshape(-1, 4, 4)  # (n, col, row)
@@ -119,17 +194,11 @@ def _inv_mix_columns(state: np.ndarray) -> np.ndarray:
 
 def aes_encrypt_blocks(key: bytes, blocks: np.ndarray) -> np.ndarray:
     """Encrypt an (n, 16) uint8 array of blocks under *key*."""
-    round_keys = _expand_key(key)
-    rounds = round_keys.shape[0] - 1
-    state = blocks ^ round_keys[0]
-    for rnd in range(1, rounds):
-        state = _SBOX[state]
-        state = state[:, _SHIFT_ROWS]
-        state = _mix_columns(state)
-        state ^= round_keys[rnd]
-    state = _SBOX[state]
-    state = state[:, _SHIFT_ROWS]
-    return state ^ round_keys[rounds]
+    key_words = _round_key_words(key)
+    whitened = blocks ^ _expand_key(key)[0]
+    state = np.ascontiguousarray(whitened.view(np.uint32).T)
+    out = _encrypt_words(state, key_words)
+    return np.ascontiguousarray(out.T).view(np.uint8)
 
 
 def aes_decrypt_blocks(key: bytes, blocks: np.ndarray) -> np.ndarray:
@@ -152,14 +221,70 @@ def aes_encrypt_block(key: bytes, block: bytes) -> bytes:
     if len(block) != BLOCK_SIZE:
         raise ParameterError("AES block must be 16 bytes")
     arr = np.frombuffer(block, dtype=np.uint8).reshape(1, 16)
-    return aes_encrypt_blocks(key, arr).tobytes()
+    return aes_encrypt_blocks(key, arr).tobytes()  # noqa: ARCH008 -- 16-byte API boundary
 
 
 def aes_decrypt_block(key: bytes, block: bytes) -> bytes:
     if len(block) != BLOCK_SIZE:
         raise ParameterError("AES block must be 16 bytes")
     arr = np.frombuffer(block, dtype=np.uint8).reshape(1, 16)
-    return aes_decrypt_blocks(key, arr).tobytes()
+    return aes_decrypt_blocks(key, arr).tobytes()  # noqa: ARCH008 -- 16-byte API boundary
+
+
+def _ctr_keystream_words(
+    key: bytes, nonce: bytes, n_blocks: int, initial_counter: int
+) -> np.ndarray:
+    """Transposed (4, n_blocks) uint32 CTR keystream (no validation/metrics).
+
+    The counter state is built directly in column-word layout: the three
+    nonce words broadcast across all blocks, only the fourth (big-endian
+    counter) word varies, and round key 0 folds in during construction --
+    the per-block input is never materialized as byte rows.
+    """
+    key_words = _round_key_words(key)
+    nonce_words = np.frombuffer(nonce, dtype=np.uint32)
+    state = np.empty((4, n_blocks), dtype=np.uint32)
+    state[0] = nonce_words[0] ^ key_words[0, 0]
+    state[1] = nonce_words[1] ^ key_words[0, 1]
+    state[2] = nonce_words[2] ^ key_words[0, 2]
+    counters = np.arange(initial_counter, initial_counter + n_blocks, dtype=">u4")
+    state[3] = counters.view(np.uint32) ^ key_words[0, 3]
+    return _encrypt_words(state, key_words)
+
+
+def _as_uint8_array(data) -> np.ndarray:
+    """View bytes-like *data* as a flat uint8 array without copying."""
+    if isinstance(data, np.ndarray):
+        if data.dtype != np.uint8 or data.ndim != 1:
+            raise ParameterError("CTR data array must be a flat uint8 array")
+        return data
+    return np.frombuffer(data, dtype=np.uint8)
+
+
+def aes_ctr_transform(key: bytes, nonce: bytes, data, initial_counter: int = 0) -> np.ndarray:
+    """CTR encrypt/decrypt *data* (bytes-like or uint8 array) as a uint8 array.
+
+    Array-native sibling of :func:`aes_ctr_xor`: the input is viewed, not
+    copied, and the result stays an ndarray so downstream stages (AONT
+    packaging, RS row splitting) can keep handing buffers along without
+    ``bytes()`` round-trips.
+    """
+    if len(nonce) != 12:
+        raise ParameterError("AES-CTR nonce must be 12 bytes")
+    buf = _as_uint8_array(data)
+    length = buf.size
+    if length == 0:
+        return np.empty(0, dtype=np.uint8)
+    n_blocks = -(-length // BLOCK_SIZE)
+    if initial_counter + n_blocks > 1 << 32:
+        raise ParameterError("AES-CTR counter would overflow")
+    _metrics.inc("crypto_cipher_calls_total", cipher="aes-ctr")
+    _metrics.inc("crypto_cipher_bytes_total", length, cipher="aes-ctr")
+    words = _ctr_keystream_words(key, nonce, n_blocks, initial_counter)
+    stream = np.ascontiguousarray(words.T).view(np.uint8).reshape(-1)
+    out = stream[:length]
+    out ^= buf
+    return out
 
 
 def aes_ctr_keystream(key: bytes, nonce: bytes, length: int, initial_counter: int = 0) -> bytes:
@@ -171,21 +296,25 @@ def aes_ctr_keystream(key: bytes, nonce: bytes, length: int, initial_counter: in
     n_blocks = -(-length // BLOCK_SIZE)
     if initial_counter + n_blocks > 1 << 32:
         raise ParameterError("AES-CTR counter would overflow")
-    counters = np.arange(initial_counter, initial_counter + n_blocks, dtype=">u4")
-    blocks = np.empty((n_blocks, 16), dtype=np.uint8)
-    blocks[:, :12] = np.frombuffer(nonce, dtype=np.uint8)
-    blocks[:, 12:] = counters.view(np.uint8).reshape(n_blocks, 4)
     _metrics.inc("crypto_cipher_calls_total", cipher="aes-ctr")
     _metrics.inc("crypto_cipher_bytes_total", length, cipher="aes-ctr")
-    return aes_encrypt_blocks(key, blocks).tobytes()[:length]
+    words = _ctr_keystream_words(key, nonce, n_blocks, initial_counter)
+    stream = np.ascontiguousarray(words.T).view(np.uint8).reshape(-1)
+    return stream[:length].tobytes()  # noqa: ARCH008 -- bytes API boundary
 
 
 def aes_ctr_xor(key: bytes, nonce: bytes, data: bytes, initial_counter: int = 0) -> bytes:
     """Encrypt/decrypt *data* in CTR mode (its own inverse)."""
-    stream = np.frombuffer(
-        aes_ctr_keystream(key, nonce, len(data), initial_counter), dtype=np.uint8
-    )
-    return (np.frombuffer(data, dtype=np.uint8) ^ stream).tobytes()
+    if len(data) == 0:
+        return b""
+    out = aes_ctr_transform(key, nonce, data, initial_counter)
+    return out.tobytes()  # noqa: ARCH008 -- bytes API boundary
+
+
+def clear_key_caches() -> None:
+    """Drop cached AES key schedules (for cold-path benchmarking)."""
+    _round_key_words.cache_clear()
+    _expand_key.cache_clear()
 
 
 class AesCtrCipher:

@@ -81,9 +81,13 @@ def sha256_pure(data: bytes) -> bytes:
     return struct.pack(">8I", *state)
 
 
-def sha256(data: bytes) -> bytes:
-    """Fast SHA-256 digest (hashlib-backed; identical output to
-    :func:`sha256_pure`, verified by the test suite)."""
+def sha256(data) -> bytes:
+    """Fast SHA-256 digest of any bytes-like object (hashlib-backed;
+    identical output to :func:`sha256_pure`, verified by the test suite).
+
+    Accepts anything exposing a contiguous buffer -- bytes, memoryview, or a
+    uint8 ndarray -- so the zero-copy pipeline can hash array slabs without
+    materializing them as bytes first."""
     _metrics.inc("crypto_hash_calls_total", algorithm="sha256")
     _metrics.inc("crypto_hash_bytes_total", len(data), algorithm="sha256")
     return hashlib.sha256(data).digest()

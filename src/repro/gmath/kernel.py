@@ -14,15 +14,30 @@ Kernel shape
 ------------
 
 ``gf256_matmul(A, B)`` computes the ``(m, L)`` product of an ``(m, k)``
-scalar matrix with a ``(k, L)`` byte matrix.  Each output row is an
-XOR-accumulation of table-row gathers (``np.take`` into a preallocated
-scratch row), with two short-circuits worth real throughput: coefficient
-``0`` contributes nothing and coefficient ``1`` is a plain XOR.  The
-measured alternative -- one 3-D fancy-index ``_MUL_TABLE[A[:, :, None],
+scalar matrix with a ``(k, L)`` byte matrix.  Three execution strategies,
+all exact field arithmetic and therefore byte-identical:
+
+- **Gather loop** (small payloads): each output row is an XOR-accumulation
+  of table-row gathers (``np.take`` into a preallocated scratch row), with
+  two short-circuits worth real throughput: coefficient ``0`` contributes
+  nothing and coefficient ``1`` is a plain XOR.
+- **Packed pair tables** (wide payloads, the codec shapes ``m <= 8``):
+  input byte-rows are combined two at a time into 16-bit indices into a
+  64 KiB table whose entries pack *all m* output bytes into one machine
+  word, so the whole product is ``ceil(k/2)`` gathers instead of ``m*k``
+  -- the dominant cost of the gather loop is ``np.take`` widening every
+  uint8 index row to ``intp``, and pair-packing divides that traffic by
+  ``2m``.  Tables are pure functions of the plan matrix and LRU-cached.
+- **Sharded** (wide payloads, ``REPRO_KERNEL_WORKERS > 1``): the payload
+  axis is cut at deterministic block boundaries and the blocks run on a
+  worker pool.  Output bytes never depend on the partition -- each output
+  column is a function of its input column only -- so the result is
+  byte-identical to single-thread for every shape and worker count.
+
+The measured alternative -- one 3-D fancy-index ``_MUL_TABLE[A[:, :, None],
 B[None, :, :]]`` followed by ``np.bitwise_xor.reduce`` -- materializes an
-``(m, k, L)`` intermediate and benches ~2x slower on MiB-scale rows, so
-the gather loop is the kernel.  Both are exact field arithmetic; results
-are byte-identical.
+``(m, k, L)`` intermediate and benches ~2x slower on MiB-scale rows than
+even the gather loop, so it is not used.
 
 Plan-cache invariants (documented in DESIGN.md "Performance")
 -------------------------------------------------------------
@@ -46,10 +61,13 @@ Plan-cache invariants (documented in DESIGN.md "Performance")
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from functools import lru_cache
 
 import numpy as np
 
+from repro import config as _config
 from repro.errors import ParameterError
 from repro.gmath.gf256 import _MUL_TABLE, GF256
 from repro.gmath.matrix import FieldMatrix
@@ -59,6 +77,22 @@ from repro.obs import metrics as _metrics
 #: Plans are tiny (at most ~64 KiB each); 512 entries comfortably covers
 #: every (n, k) x survivor-set mix a large fleet cycles through.
 _PLAN_CACHE_SIZE = 512
+
+#: Below this payload width the gather loop wins: packed tables and worker
+#: hand-off have fixed costs that only amortize over wide rows.
+PACKED_MIN_WIDTH = 16384
+
+#: Packed tables hold one machine word per entry, so at most 8 output rows
+#: fit; wider plans fall back to the gather loop.  ``k`` is capped so one
+#: plan's table set stays bounded (ceil(k/2) tables of 64 KiB * pad each).
+_PACKED_MAX_OUT = 8
+_PACKED_MAX_IN = 16
+
+#: Sharding floor: never hand a worker a block narrower than this (the
+#: per-task submit/wake cost would exceed the matmul itself).
+SHARD_MIN_BLOCK = 32768
+
+_PAD_DTYPE = {1: np.uint8, 2: np.uint16, 4: np.uint32, 8: np.uint64}
 
 
 # -- the kernel ----------------------------------------------------------------
@@ -70,7 +104,11 @@ def gf256_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     ``a`` holds GF(256) scalars (the codec plan); ``b`` holds one byte-row
     per input symbol.  Returns the ``(m, L)`` uint8 product -- one output
     byte-row per output symbol -- computed entirely in vectorized table
-    gathers, no per-byte Python.
+    gathers, no per-byte Python.  Wide payloads ride the packed pair-table
+    path, sharded across the kernel worker pool when
+    ``REPRO_KERNEL_WORKERS`` (see :mod:`repro.config`) allows; every path
+    is exact GF(256) arithmetic, so outputs are byte-identical regardless
+    of strategy, cache temperature, or worker count.
     """
     a = np.asarray(a, dtype=np.uint8)
     if a.ndim != 2:
@@ -85,6 +123,27 @@ def gf256_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     if k != k2:
         raise ParameterError(f"matmul dimension mismatch: ({m},{k}) x {b.shape}")
     out = np.zeros((m, width), dtype=np.uint8)
+    if m and k and width:
+        packed = (
+            width >= PACKED_MIN_WIDTH
+            and m <= _PACKED_MAX_OUT
+            and k <= _PACKED_MAX_IN
+        )
+        block_fn = _packed_block if packed else _gather_block
+        args = (
+            # Cache key is the (m*k)-byte plan matrix, not the payload.
+            (_packed_tables(a.tobytes(), m, k),) if packed else (a,)  # noqa: ARCH008
+        )
+        _run_sharded(block_fn, args, b, out)
+    _metrics.inc("gf256_vec_ops_total")
+    _metrics.inc("gf256_vec_bytes_total", m * k * width)
+    return out
+
+
+def _gather_block(a: np.ndarray, b: np.ndarray, out: np.ndarray) -> None:
+    """Gather-loop strategy: one ``np.take`` per nonzero, non-one scalar."""
+    m, k = a.shape
+    width = b.shape[1]
     scratch = np.empty(width, dtype=np.uint8)
     for i in range(m):
         acc = out[i]
@@ -97,9 +156,127 @@ def gf256_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
                 continue
             np.take(_MUL_TABLE[coefficient], b[j], out=scratch, mode="clip")
             acc ^= scratch
-    _metrics.inc("gf256_vec_ops_total")
-    _metrics.inc("gf256_vec_bytes_total", m * k * width)
-    return out
+
+
+def _packed_block(
+    tables: tuple[np.ndarray, ...], b: np.ndarray, out: np.ndarray
+) -> None:
+    """Packed strategy: pair-indexed tables, all output rows per gather.
+
+    Accumulation happens in the packed word domain (contiguous, SIMD-wide);
+    the single strided unpack at the end is the only per-output-row pass.
+    """
+    k, width = b.shape
+    m = out.shape[0]
+    pad = tables[0].dtype.itemsize
+    acc = np.zeros(width, dtype=tables[0].dtype)
+    position = 0
+    for j in range(0, k - 1, 2):
+        index = b[j].astype(np.uint16)
+        index <<= 8
+        index |= b[j + 1]
+        acc ^= np.take(tables[position], index, mode="clip")
+        position += 1
+    if k % 2:
+        acc ^= np.take(tables[position], b[k - 1], mode="clip")
+    unpacked = acc.view(np.uint8).reshape(width, pad)
+    for i in range(m):
+        out[i] = unpacked[:, i]
+
+
+@lru_cache(maxsize=32)
+def _packed_tables(a_bytes: bytes, m: int, k: int) -> tuple[np.ndarray, ...]:
+    """Packed multiplication tables for one plan matrix, LRU-cached.
+
+    Pure function of the plan bytes: entry ``x*256 + y`` of pair table
+    ``j/2`` holds ``mul(a[i, j], x) ^ mul(a[i, j+1], y)`` in byte lane
+    ``i``.  Returned arrays are frozen read-only so worker threads can
+    share them.
+    """
+    a = np.frombuffer(a_bytes, dtype=np.uint8).reshape(m, k)
+    pad = 1 if m == 1 else 2 if m == 2 else 4 if m <= 4 else 8
+    dtype = _PAD_DTYPE[pad]
+    tables = []
+    for j in range(0, k - 1, 2):
+        lanes = np.zeros((65536, pad), dtype=np.uint8)
+        for i in range(m):
+            lanes[:, i] = (
+                _MUL_TABLE[a[i, j]][:, None] ^ _MUL_TABLE[a[i, j + 1]][None, :]
+            ).reshape(-1)
+        tables.append(_freeze_words(lanes, dtype))
+    if k % 2:
+        lanes = np.zeros((256, pad), dtype=np.uint8)
+        for i in range(m):
+            lanes[:, i] = _MUL_TABLE[a[i, k - 1]]
+        tables.append(_freeze_words(lanes, dtype))
+    return tuple(tables)
+
+
+def _freeze_words(lanes: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    words = lanes.view(dtype).reshape(-1)
+    words.setflags(write=False)
+    return words
+
+
+# -- worker-pool sharding ------------------------------------------------------
+
+_POOL_LOCK = threading.Lock()
+_POOL: ThreadPoolExecutor | None = None
+_POOL_SIZE = 0
+
+
+def _worker_pool(workers: int) -> ThreadPoolExecutor:
+    """The shared kernel pool, rebuilt only when the worker knob changes."""
+    global _POOL, _POOL_SIZE
+    with _POOL_LOCK:
+        if _POOL is None or _POOL_SIZE != workers:
+            if _POOL is not None:
+                _POOL.shutdown(wait=False)
+            _POOL = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-kernel"
+            )
+            _POOL_SIZE = workers
+        return _POOL
+
+
+def shard_bounds(width: int, workers: int) -> list[tuple[int, int]]:
+    """Deterministic payload-axis block boundaries for *workers* shards.
+
+    A pure function of ``(width, workers)``: equal-width blocks, never
+    narrower than :data:`SHARD_MIN_BLOCK`.  The partition can never change
+    output bytes (each output column depends only on its input column);
+    determinism here keeps the *work distribution* reproducible too.
+    """
+    if width <= 0:
+        return []
+    blocks = min(workers, max(1, width // SHARD_MIN_BLOCK))
+    bounds = []
+    for i in range(blocks):
+        lo = i * width // blocks
+        hi = (i + 1) * width // blocks
+        if hi > lo:
+            bounds.append((lo, hi))
+    return bounds
+
+
+def _run_sharded(block_fn, args: tuple, b: np.ndarray, out: np.ndarray) -> None:
+    """Run *block_fn* over payload-axis shards of ``b``/``out``.
+
+    Falls through to one direct call when the pool would not help (single
+    worker, or payload too narrow to cut).
+    """
+    workers = _config.kernel_workers()
+    bounds = shard_bounds(b.shape[1], workers) if workers > 1 else []
+    if len(bounds) <= 1:
+        block_fn(*args, b, out)
+        return
+    pool = _worker_pool(workers)
+    futures = [
+        pool.submit(block_fn, *args, b[:, lo:hi], out[:, lo:hi])
+        for lo, hi in bounds
+    ]
+    for future in futures:
+        future.result()
 
 
 def rows_as_matrix(
@@ -233,6 +410,7 @@ _PLAN_FUNCTIONS = {
     "lagrange_matrix_plan": _lagrange_matrix_cached,
     "lagrange_zero_plan": _lagrange_zero_cached,
     "rs_decode_plan": _rs_decode_cached,
+    "packed_mul_tables": _packed_tables,
 }
 
 

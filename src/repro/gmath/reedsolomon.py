@@ -39,6 +39,15 @@ from repro.obs import metrics as _metrics
 _MAX_SYMBOLS = 255  # evaluation points are the nonzero field elements
 
 
+def _as_payload_array(data) -> np.ndarray:
+    """View bytes-like *data* as a flat uint8 array without copying."""
+    if isinstance(data, np.ndarray):
+        if data.dtype != np.uint8 or data.ndim != 1:
+            raise ParameterError("payload array must be a flat uint8 array")
+        return data
+    return np.frombuffer(data, dtype=np.uint8)
+
+
 @dataclass(frozen=True)
 class Shard:
     """One erasure-coded shard: its codeword index plus payload bytes."""
@@ -84,31 +93,35 @@ class ReedSolomonCode:
         """Stored bytes per plaintext byte (n / k)."""
         return self.n / self.k
 
-    def _split_rows(self, data: bytes) -> tuple[np.ndarray, int]:
+    def _split_rows(self, data) -> tuple[np.ndarray, int]:
         """Pad *data* and reshape into a (k, row_len) byte matrix.
 
-        Returns the matrix and the original length (needed to strip padding
-        on decode).  Padding is zeros; the true length is carried out-of-band
-        by the caller (the Shard container's metadata lives at a higher
-        layer).  When the data length is already divisible by k the matrix is
-        a zero-copy view of the input buffer.
+        *data* may be bytes-like or a flat uint8 array (e.g. an AONT package
+        handed along without a ``bytes()`` round-trip).  Returns the matrix
+        and the original length (needed to strip padding on decode).  Padding
+        is zeros; the true length is carried out-of-band by the caller (the
+        Shard container's metadata lives at a higher layer).  When the data
+        length is already divisible by k the matrix is a zero-copy view of
+        the input buffer.
         """
-        original = len(data)
+        buf = _as_payload_array(data)
+        original = buf.size
         row_len = max(1, -(-original // self.k))
         if row_len * self.k == original:
-            rows = np.frombuffer(data, dtype=np.uint8).reshape(self.k, row_len)
+            rows = buf.reshape(self.k, row_len)
         else:
             padded = np.zeros(row_len * self.k, dtype=np.uint8)
-            padded[:original] = np.frombuffer(data, dtype=np.uint8)
+            padded[:original] = buf
             rows = padded.reshape(self.k, row_len)
         return rows, original
 
     # -- systematic form --------------------------------------------------------
 
-    def encode(self, data: bytes) -> list[Shard]:
-        """Systematically encode *data* into n shards (any k reconstruct)."""
-        _metrics.inc("rs_encode_bytes_total", len(data))
-        rows, _ = self._split_rows(data)
+    def encode(self, data) -> list[Shard]:
+        """Systematically encode *data* (bytes-like or flat uint8 array) into
+        n shards (any k reconstruct)."""
+        rows, original = self._split_rows(data)
+        _metrics.inc("rs_encode_bytes_total", original)
         shards = [Shard(i, rows[i].tobytes()) for i in range(self.k)]
         if self.n > self.k:
             parity = gf256_matmul(self._parity_plan, rows)
@@ -118,8 +131,13 @@ class ReedSolomonCode:
             )
         return shards
 
-    def decode(self, shards: list[Shard], original_length: int) -> bytes:
-        """Reconstruct the original bytes from any k distinct shards."""
+    def decode_array(self, shards: list[Shard], original_length: int) -> np.ndarray:
+        """Reconstruct the original payload as a flat uint8 array.
+
+        Zero-copy sibling of :meth:`decode`: the returned array is a view of
+        the decoded row matrix, so downstream stages (AONT unpackaging) can
+        keep working on the buffer directly.
+        """
         _metrics.inc("rs_decode_bytes_total", original_length)
         rows = self._decode_rows(shards)
         flat = rows.reshape(-1)
@@ -127,7 +145,11 @@ class ReedSolomonCode:
             raise DecodingError(
                 f"original_length {original_length} exceeds decoded size {flat.size}"
             )
-        return flat[:original_length].tobytes()
+        return flat[:original_length]
+
+    def decode(self, shards: list[Shard], original_length: int) -> bytes:
+        """Reconstruct the original bytes from any k distinct shards."""
+        return self.decode_array(shards, original_length).tobytes()
 
     def _decode_rows(self, shards: list[Shard]) -> np.ndarray:
         chosen = self._select_shards(shards)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.crypto.aont import aont_package, aont_unpackage
+from repro.crypto.aont import aont_package_array, aont_unpackage_array
 from repro.crypto.drbg import DeterministicRandom
 from repro.crypto.registry import PrimitiveKind, register_primitive
 from repro.errors import DecodingError, ParameterError
@@ -47,7 +47,9 @@ class AontRsDispersal:
         return self.n / self.k
 
     def split(self, data: bytes, rng: DeterministicRandom) -> SplitResult:
-        package = aont_package(data, rng)
+        # Zero-copy pipeline: the AONT package stays an ndarray from the CTR
+        # slab through RS row-splitting; bytes materialize only per shard.
+        package = aont_package_array(data, rng)
         shards = self.code.encode(package)
         shares = tuple(
             Share(scheme=self.name, index=shard.index, payload=shard.data)
@@ -79,10 +81,10 @@ class AontRsDispersal:
         shards = [Shard(index=s.index, data=s.payload) for s in share_list]
         if len({s.index for s in shards}) < self.k:
             raise DecodingError(f"AONT-RS needs {self.k} distinct shards")
-        package = self.code.decode(shards, package_length)
-        plain = aont_unpackage(package)
+        package = self.code.decode_array(shards, package_length)
+        plain = aont_unpackage_array(package)
         record_reconstruct(self.name, len(plain))
-        return plain
+        return plain.tobytes()
 
 
 def package_length_bytes(length: int) -> bytes:

@@ -35,6 +35,7 @@ ALL_CODES = (
     "ARCH005",
     "ARCH006",
     "ARCH007",
+    "ARCH008",
 )
 
 
@@ -480,6 +481,72 @@ class TestArch007TierRegistry:
     def test_allowlist(self, tmp_path):
         cfg = RuleConfig(allow=("snippet.py",))
         assert lint_snippet(tmp_path, self.TRIGGER, "ARCH007", rule_config=cfg).ok
+
+
+class TestArch008ZeroCopy:
+    TRIGGER = """
+        import numpy as np
+
+        def keystream(words):
+            return np.ascontiguousarray(words.T).tobytes()
+    """
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            # ndarray -> bytes materialization
+            "def f(arr):\n    return arr.tobytes()\n",
+            # bytes() constructor round-trip
+            "def f(view):\n    return bytes(view)\n",
+            # bytes-literal join concatenation
+            "def f(parts):\n    return b''.join(parts)\n",
+        ],
+    )
+    def test_roundtrip_forms_trigger(self, tmp_path, source):
+        report = lint_snippet(tmp_path, source, "ARCH008")
+        assert len(report.findings) == 1, source
+        assert "zero-copy" in report.findings[0].message
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            # views and frombuffer are the sanctioned handoffs
+            "import numpy as np\n"
+            "def f(data):\n"
+            "    return np.frombuffer(data, dtype=np.uint8)\n",
+            # str.join is not a buffer copy
+            "def f(parts):\n    return ', '.join(parts)\n",
+            # .view() reinterprets without copying
+            "import numpy as np\n"
+            "def f(arr):\n    return arr.view(np.uint32)\n",
+        ],
+    )
+    def test_view_forms_clean(self, tmp_path, source):
+        assert lint_snippet(tmp_path, source, "ARCH008").ok, source
+
+    def test_noqa(self, tmp_path):
+        source = """
+            def f(arr):
+                return arr.tobytes()  # noqa: ARCH008 -- bytes API boundary
+        """
+        report = lint_snippet(tmp_path, source, "ARCH008")
+        assert report.ok and report.suppressed == 1
+
+    def test_scope_limits_the_rule_to_hot_path_modules(self, tmp_path):
+        cfg = RuleConfig(scope=("hot/*",))
+        assert lint_snippet(tmp_path, self.TRIGGER, "ARCH008", rule_config=cfg).ok
+        report = lint_snippet(
+            tmp_path,
+            self.TRIGGER,
+            "ARCH008",
+            rule_config=cfg,
+            filename="hot/kernel.py",
+        )
+        assert len(report.findings) == 1
+
+    def test_allowlist(self, tmp_path):
+        cfg = RuleConfig(allow=("snippet.py",))
+        assert lint_snippet(tmp_path, self.TRIGGER, "ARCH008", rule_config=cfg).ok
 
 
 class TestRepoContract:

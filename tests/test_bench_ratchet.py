@@ -1,0 +1,122 @@
+"""The benchmark ratchet's parsing, history and regression logic.
+
+The ratchet is a build gate (``make bench-ratchet`` inside ``make all``):
+wrong logic either blocks every build (false regressions) or silently
+stops defending throughput.  These tests pin the three pure functions the
+gate is built from.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from bench_ratchet import RATCHET_FRACTION, best_historical, check  # noqa: E402
+from bench_summary import parse_throughput, updated_history  # noqa: E402
+
+UNITS = "MB/s (1 MiB object, median of 5, warm plan caches)"
+
+
+class TestParseThroughput:
+    def test_two_column_rows(self):
+        text = (
+            "Data-path throughput (1 MiB object, median of 5)\n"
+            "Operation     cold MB/s  warm MB/s\n"
+            "------------  ---------  ---------\n"
+            "sha256        900.0      1000.0\n"
+            "aes-256-ctr   29.5       31.0\n"
+        )
+        cold, warm = parse_throughput(text)
+        assert warm == {"sha256": 1000.0, "aes-256-ctr": 31.0}
+        assert cold == {"sha256": 900.0, "aes-256-ctr": 29.5}
+
+    def test_legacy_single_column_rows_parse_as_warm(self):
+        cold, warm = parse_throughput("sha256  934.6\n")
+        assert warm == {"sha256": 934.6}
+        assert cold == {}
+
+    def test_operation_names_with_spaces(self):
+        _, warm = parse_throughput("rs[6,4] encode  500.0  700.0\n")
+        assert warm == {"rs[6,4] encode": 700.0}
+
+
+class TestHistory:
+    def test_pre_history_summary_is_folded_in(self):
+        previous = {
+            "commit": "old",
+            "date": "2026-08-06",
+            "units": "single run",
+            "throughput": {"sha256": 900.0},
+        }
+        entry = {"commit": "new", "date": "2026-08-08", "units": UNITS, "throughput": {}}
+        history = updated_history(previous, entry)
+        assert [item["commit"] for item in history] == ["old", "new"]
+
+    def test_rerun_on_same_commit_replaces_not_duplicates(self):
+        previous = {
+            "commit": "c1",
+            "history": [
+                {"commit": "c0", "units": UNITS, "throughput": {"sha256": 1.0}},
+                {"commit": "c1", "units": UNITS, "throughput": {"sha256": 2.0}},
+            ],
+        }
+        entry = {"commit": "c1", "units": UNITS, "throughput": {"sha256": 3.0}}
+        history = updated_history(previous, entry)
+        assert [item["commit"] for item in history] == ["c0", "c1"]
+        assert history[-1]["throughput"]["sha256"] == 3.0
+
+    def test_history_is_append_only(self):
+        previous = {
+            "commit": "c1",
+            "history": [
+                {"commit": "c0", "units": UNITS, "throughput": {"sha256": 999.0}}
+            ],
+        }
+        entry = {"commit": "c2", "units": UNITS, "throughput": {"sha256": 1.0}}
+        history = updated_history(previous, entry)
+        assert history[0] == previous["history"][0]  # old entries survive verbatim
+
+
+def _summary(current, history):
+    return {
+        "commit": "head",
+        "units": UNITS,
+        "throughput": current,
+        "history": history,
+    }
+
+
+class TestRatchet:
+    def test_regression_beyond_slack_fails(self):
+        history = [{"commit": "c0", "units": UNITS, "throughput": {"aes": 100.0}}]
+        failures = check(_summary({"aes": 79.9}, history))
+        assert len(failures) == 1 and "aes" in failures[0]
+
+    def test_within_slack_passes(self):
+        history = [{"commit": "c0", "units": UNITS, "throughput": {"aes": 100.0}}]
+        assert check(_summary({"aes": 100.0 * RATCHET_FRACTION}, history)) == []
+
+    def test_best_entry_wins_across_history(self):
+        history = [
+            {"commit": "c0", "units": UNITS, "throughput": {"aes": 50.0}},
+            {"commit": "c1", "units": UNITS, "throughput": {"aes": 100.0}},
+        ]
+        assert best_historical(history, "head", UNITS) == {"aes": 100.0}
+        assert check(_summary({"aes": 60.0}, history)) != []
+
+    def test_current_commit_entry_is_not_its_own_floor(self):
+        history = [{"commit": "head", "units": UNITS, "throughput": {"aes": 100.0}}]
+        assert check(_summary({"aes": 10.0}, history)) == []
+
+    def test_mismatched_units_do_not_gate(self):
+        history = [
+            {"commit": "c0", "units": "single run", "throughput": {"aes": 100.0}}
+        ]
+        assert check(_summary({"aes": 10.0}, history)) == []
+
+    def test_new_primitive_passes(self):
+        history = [{"commit": "c0", "units": UNITS, "throughput": {"aes": 100.0}}]
+        assert check(_summary({"aes": 100.0, "new-op": 1.0}, history)) == []

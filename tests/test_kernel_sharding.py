@@ -1,0 +1,195 @@
+"""Byte-identity of the sharded / packed GF(256) kernel and its worker knob.
+
+The kernel now picks between three strategies (gather loop, packed pair
+tables, payload-axis sharding across a worker pool) purely on shape and
+configuration.  Field arithmetic is exact and output columns depend only on
+input columns, so every strategy must agree bit for bit -- across shapes
+(empty, one row, odd sizes), across worker counts, and in the metrics the
+run leaves behind.  These are the properties that let operators turn
+``REPRO_KERNEL_WORKERS`` freely without re-validating ciphertext.
+"""
+
+import numpy as np
+import pytest
+
+from repro import config
+from repro.crypto.drbg import DeterministicRandom
+from repro.errors import ParameterError
+from repro.gmath.gf256 import GF256
+from repro.gmath import kernel
+from repro.gmath.kernel import (
+    PACKED_MIN_WIDTH,
+    SHARD_MIN_BLOCK,
+    clear_plan_caches,
+    gf256_matmul,
+    shard_bounds,
+)
+from repro.obs import use_registry
+from repro.secretsharing.aontrs import AontRsDispersal
+
+
+@pytest.fixture(autouse=True)
+def _restore_workers():
+    """Leave the worker knob exactly as the environment configured it."""
+    yield
+    config.set_kernel_workers(None)
+
+
+def _reference_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Independent reference: per-coefficient scalar tables, no packing,
+    no sharding -- one fancy-index per (i, j) like the pre-kernel codecs."""
+    m, k = a.shape
+    _, width = b.shape
+    out = np.zeros((m, width), dtype=np.uint8)
+    for i in range(m):
+        for j in range(k):
+            row = np.array(
+                [GF256.mul(int(a[i, j]), v) for v in range(256)], dtype=np.uint8
+            )
+            out[i] ^= row[b[j]]
+    return out
+
+
+def _case(m: int, k: int, width: int, seed: bytes) -> tuple[np.ndarray, np.ndarray]:
+    rng = DeterministicRandom(seed)
+    a = rng.uint8_array(max(1, m * k)).reshape(m, k) if m * k else np.zeros(
+        (m, k), dtype=np.uint8
+    )
+    b = rng.uint8_array(max(1, k * width)).reshape(k, width) if k * width else np.zeros(
+        (k, width), dtype=np.uint8
+    )
+    return a, b
+
+
+# Shapes chosen to hit every strategy: empty axes, single row, odd widths,
+# packed-eligible (m <= 8, k <= 16, wide), packed-ineligible fallbacks, and
+# widths straddling the sharding cutoff.
+SHAPES = [
+    (0, 3, 10),
+    (2, 0, 10),
+    (2, 3, 0),
+    (1, 1, 1),
+    (1, 1, SHARD_MIN_BLOCK * 3 + 1),
+    (5, 4, 97),
+    (2, 4, PACKED_MIN_WIDTH - 1),
+    (2, 4, PACKED_MIN_WIDTH + 13),
+    (8, 16, SHARD_MIN_BLOCK * 2 + 7),
+    (9, 4, PACKED_MIN_WIDTH + 5),  # m too large for the packed path
+    (3, 17, PACKED_MIN_WIDTH + 5),  # k too large for the packed path
+]
+
+
+class TestShardBounds:
+    def test_bounds_partition_the_width(self):
+        for width in (1, 7, SHARD_MIN_BLOCK, SHARD_MIN_BLOCK * 5 + 3):
+            for workers in (1, 2, 3, 8):
+                bounds = shard_bounds(width, workers)
+                assert bounds[0][0] == 0 and bounds[-1][1] == width
+                for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+                    assert hi == lo  # contiguous, no gaps or overlaps
+
+    def test_small_widths_stay_single_block(self):
+        assert shard_bounds(SHARD_MIN_BLOCK - 1, 8) == [(0, SHARD_MIN_BLOCK - 1)]
+        assert shard_bounds(0, 8) == []
+
+    def test_bounds_are_a_pure_function_of_shape(self):
+        assert shard_bounds(SHARD_MIN_BLOCK * 4, 4) == shard_bounds(
+            SHARD_MIN_BLOCK * 4, 4
+        )
+
+
+class TestShardedIdentity:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_all_worker_counts_match_the_reference(self, shape):
+        m, k, width = shape
+        a, b = _case(m, k, width, b"shard-%d-%d-%d" % shape)
+        expected = _reference_matmul(a, b)
+        outputs = []
+        for workers in (1, 2, 8):
+            config.set_kernel_workers(workers)
+            outputs.append(gf256_matmul(a, b))
+        for out in outputs:
+            assert out.shape == (m, width)
+            assert np.array_equal(out, expected)
+
+    def test_packed_and_gather_strategies_agree_across_the_cutoff(self):
+        """The same (a, b) product through the packed pair-table path and
+        the plain gather path must be byte-identical: slice a wide payload
+        down below the cutoff and compare against the wide result."""
+        a, b = _case(4, 6, PACKED_MIN_WIDTH + 40, b"cutoff")
+        config.set_kernel_workers(1)
+        wide = gf256_matmul(a, b)  # packed path (width >= cutoff)
+        narrow = PACKED_MIN_WIDTH // 2
+        assert np.array_equal(
+            gf256_matmul(a, b[:, :narrow]), wide[:, :narrow]
+        )  # gather path
+
+    def test_worker_count_mid_stream_change_is_safe(self):
+        a, b = _case(3, 4, SHARD_MIN_BLOCK * 4, b"midstream")
+        config.set_kernel_workers(1)
+        first = gf256_matmul(a, b)
+        config.set_kernel_workers(8)
+        assert np.array_equal(gf256_matmul(a, b), first)
+
+
+class TestMetricsDeterminism:
+    def _run_pipeline(self) -> dict:
+        """One AONT-RS split/reconstruct over a packed-eligible payload,
+        metrics scoped to a fresh registry."""
+        with use_registry() as registry:
+            scheme = AontRsDispersal(6, 4)
+            data = DeterministicRandom(b"metrics").bytes(SHARD_MIN_BLOCK * 8)
+            result = scheme.split(data, DeterministicRandom(b"split"))
+            assert scheme.reconstruct(result) == data
+            return registry.snapshot()
+
+    def test_snapshot_identical_across_worker_counts(self):
+        clear_plan_caches()
+        config.set_kernel_workers(1)
+        single = self._run_pipeline()
+        config.set_kernel_workers(8)
+        sharded = self._run_pipeline()
+        assert single == sharded
+
+
+class TestWorkerKnob:
+    def test_env_value_is_parsed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_WORKERS", "3")
+        config.set_kernel_workers(None)
+        assert config.kernel_workers() == 3
+
+    def test_zero_and_unset_mean_cpu_count(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv("REPRO_KERNEL_WORKERS", "0")
+        config.set_kernel_workers(None)
+        assert config.kernel_workers() == (os.cpu_count() or 1)
+        monkeypatch.delenv("REPRO_KERNEL_WORKERS")
+        config.set_kernel_workers(None)
+        assert config.kernel_workers() == (os.cpu_count() or 1)
+
+    def test_invalid_env_values_raise(self, monkeypatch):
+        for bad in ("banana", "-1", "65"):
+            monkeypatch.setenv("REPRO_KERNEL_WORKERS", bad)
+            config.set_kernel_workers(None)
+            with pytest.raises(ParameterError):
+                config.kernel_workers()
+
+    def test_runtime_override_bounds(self):
+        with pytest.raises(ParameterError):
+            config.set_kernel_workers(0)
+        with pytest.raises(ParameterError):
+            config.set_kernel_workers(100)
+        config.set_kernel_workers(2)
+        assert config.kernel_workers() == 2
+
+    def test_packed_tables_are_covered_by_plan_cache_admin(self):
+        """The packed pair tables must be visible to the same cache
+        admin surface as the codec plans (clear + info)."""
+        clear_plan_caches()
+        a, b = _case(2, 4, PACKED_MIN_WIDTH + 1, b"cacheinfo")
+        config.set_kernel_workers(1)
+        gf256_matmul(a, b)
+        gf256_matmul(a, b)
+        info = kernel.plan_cache_info()
+        assert info["packed_mul_tables"]["hits"] > 0

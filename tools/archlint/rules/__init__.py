@@ -12,6 +12,7 @@ from archlint.rules.crypto_hygiene import SecretComparisonRule
 from archlint.rules.metrics_labels import DynamicMetricLabelRule
 from archlint.rules.defaults import MutableDefaultAndAssertRule
 from archlint.rules.tier_registry import TierRegistryRule
+from archlint.rules.zerocopy import ZeroCopyRule
 
 ALL_RULES = [
     BroadExceptRule(),
@@ -21,6 +22,7 @@ ALL_RULES = [
     DynamicMetricLabelRule(),
     MutableDefaultAndAssertRule(),
     TierRegistryRule(),
+    ZeroCopyRule(),
 ]
 
 RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}
@@ -35,4 +37,5 @@ __all__ = [
     "DynamicMetricLabelRule",
     "MutableDefaultAndAssertRule",
     "TierRegistryRule",
+    "ZeroCopyRule",
 ]

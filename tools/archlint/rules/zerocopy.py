@@ -1,0 +1,62 @@
+"""ARCH008: bytes() round-trips inside the zero-copy pipeline.
+
+The cipher -> AONT -> RS hot path moves one contiguous buffer through views
+(`np.frombuffer`, slicing, `.view`): each byte is touched O(1) times per
+store.  A ``.tobytes()``, ``bytes(...)`` or ``b"".join(...)`` inside those
+modules silently reintroduces a full-buffer copy -- the exact regression
+the pipeline refactor removed -- and it survives review easily because the
+result is byte-identical, just slower.
+
+Flagged inside the scoped hot-path modules (``[tool.archlint.rules.ARCH008]``
+in pyproject): ``.tobytes()`` method calls, ``bytes(...)`` constructor
+calls, and ``.join(...)`` on a bytes literal.  Legitimate materializations
+-- the public bytes API boundary, cache keys, per-shard payloads -- carry a
+``# noqa: ARCH008`` with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from archlint.core import Checker, FileContext, Finding, RuleConfig
+
+
+def _copy_reason(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        if func.attr == "tobytes":
+            return ".tobytes() materializes the whole buffer"
+        if func.attr == "join" and isinstance(func.value, ast.Constant) and isinstance(
+            func.value.value, bytes
+        ):
+            return "bytes-literal .join() concatenates a fresh buffer"
+        return None
+    if isinstance(func, ast.Name) and func.id == "bytes":
+        return "bytes(...) copies its argument"
+    return None
+
+
+class ZeroCopyRule(Checker):
+    code = "ARCH008"
+    name = "zero-copy-roundtrip"
+    description = (
+        "bytes()/.tobytes()/b''.join() round-trips inside the zero-copy "
+        "cipher->AONT->RS hot path reintroduce full-buffer copies; hand "
+        "ndarray/memoryview views along instead (noqa with justification "
+        "at true API boundaries)"
+    )
+
+    def check(self, ctx: FileContext, cfg: RuleConfig) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            reason = _copy_reason(node)
+            if reason is None:
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"{reason} inside a zero-copy pipeline module; pass the "
+                "array/view along, or noqa with the boundary justification",
+            )

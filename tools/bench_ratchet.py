@@ -1,0 +1,98 @@
+"""Benchmark ratchet: fail the build on a >20% throughput regression.
+
+Reads ``BENCH_throughput.json`` (written by ``make bench-json``) and, for
+every primitive in the current warm-median measurement, compares against
+the **best** value that primitive ever reached in the append-only
+``history`` list (entries from other commits).  A current number below
+``RATCHET_FRACTION`` of that best is a regression and exits nonzero --
+performance once achieved must be defended, exactly like a coverage floor.
+
+The 20% slack absorbs machine noise that survives the median-of-5 harness;
+genuine algorithmic regressions (a codec falling off its packed path, a
+cipher losing its slab batching) are order-of-magnitude, not 20%.
+
+Run via ``make bench-ratchet`` (part of ``make all``, after bench-json).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SUMMARY = REPO / "BENCH_throughput.json"
+
+#: A current measurement below this fraction of the historical best fails.
+RATCHET_FRACTION = 0.8
+
+
+def best_historical(
+    history: list[dict], current_commit: str, units: str
+) -> dict[str, float]:
+    """Best throughput per primitive over history entries from other commits.
+
+    Only entries measured with the same *units* participate: pre-ratchet
+    history (single-run numbers) stays in the file as provenance but a
+    single noisy run is not a defensible floor for a median-of-5 harness.
+    """
+    best: dict[str, float] = {}
+    for entry in history:
+        if entry.get("commit") == current_commit:
+            continue
+        if entry.get("units") != units:
+            continue
+        for name, value in entry.get("throughput", {}).items():
+            if value > best.get(name, 0.0):
+                best[name] = value
+    return best
+
+
+def check(summary: dict) -> list[str]:
+    """Return human-readable regression lines (empty = ratchet holds)."""
+    current = summary.get("throughput", {})
+    best = best_historical(
+        summary.get("history", []), summary.get("commit"), summary.get("units")
+    )
+    failures = []
+    for name, value in sorted(current.items()):
+        reference = best.get(name)
+        if reference is None:
+            continue  # first measurement of a new primitive
+        floor = reference * RATCHET_FRACTION
+        if value < floor:
+            failures.append(
+                f"  {name}: {value:.1f} MB/s < {floor:.1f} "
+                f"(best historical {reference:.1f}, slack {RATCHET_FRACTION:.0%})"
+            )
+    return failures
+
+
+def main() -> int:
+    if not SUMMARY.is_file():
+        raise SystemExit(
+            f"bench-ratchet: {SUMMARY} missing -- run `make bench-json` first"
+        )
+    summary = json.loads(SUMMARY.read_text())
+    failures = check(summary)
+    compared = len(
+        set(summary.get("throughput", {}))
+        & set(
+            best_historical(
+                summary.get("history", []), summary.get("commit"), summary.get("units")
+            )
+        )
+    )
+    if failures:
+        print("bench-ratchet: throughput regression(s) vs best historical entry:")
+        print("\n".join(failures))
+        return 1
+    print(
+        f"bench-ratchet: OK ({compared} primitives within "
+        f"{1 - RATCHET_FRACTION:.0%} of their best historical throughput)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,10 @@
 """Machine-readable benchmark summary: BENCH_throughput.json at repo root.
 
-Parses ``benchmarks/results/throughput.txt`` (the artifact the throughput
-benchmark regenerates) into ``{operation: MB/s}`` and stamps the commit and
-date, so CI can diff throughput across revisions without scraping tables.
+Parses ``benchmarks/results/throughput.txt`` (the cold/warm median-of-5
+artifact the throughput benchmark regenerates) into ``{operation: MB/s}``
+maps, stamps the commit and date, and maintains an **append-only history**
+of per-commit warm throughput so ``tools/bench_ratchet.py`` can gate
+regressions against the best entry ever recorded.
 
 Run ``make bench-json`` (which regenerates the artifact first) or invoke
 directly to summarize an existing results file.
@@ -21,22 +23,38 @@ RESULTS = REPO / "benchmarks" / "results" / "throughput.txt"
 OUTPUT = REPO / "BENCH_throughput.json"
 SERVICE_OUTPUT = REPO / "BENCH_service.json"
 
+UNITS = "MB/s (1 MiB object, median of 5, warm plan caches)"
+UNITS_COLD = "MB/s (1 MiB object, median of 5, cold plan caches)"
 
-def parse_throughput(text: str) -> dict[str, float]:
-    """Extract ``{operation: MB/s}`` from the rendered throughput table."""
-    rows: dict[str, float] = {}
+
+def parse_throughput(text: str) -> tuple[dict[str, float], dict[str, float]]:
+    """Extract ``(cold, warm)`` ``{operation: MB/s}`` maps from the table.
+
+    Rows look like ``aes-256-ctr  7.9  31.4`` (operation, cold median, warm
+    median); a trailing single-number form (the pre-ratchet artifact) is
+    accepted as warm-only so the tool can summarize old results files.
+    """
+    cold: dict[str, float] = {}
+    warm: dict[str, float] = {}
     for line in text.splitlines():
-        parts = line.rstrip().rsplit(None, 1)
-        if len(parts) != 2:
-            continue
-        name, value = parts
-        try:
-            rows[name.strip()] = float(value)
-        except ValueError:
-            continue  # header / rule lines
-    if not rows:
+        parts = line.rstrip().rsplit(None, 2)
+        if len(parts) == 3:
+            name, first, second = parts
+            try:
+                cold_value, warm_value = float(first), float(second)
+            except ValueError:
+                continue  # header / rule lines
+            cold[name.strip()] = cold_value
+            warm[name.strip()] = warm_value
+        elif len(parts) == 2:
+            name, value = parts
+            try:
+                warm[name.strip()] = float(value)
+            except ValueError:
+                continue
+    if not warm:
         raise SystemExit(f"bench-summary: no throughput rows parsed from {RESULTS}")
-    return rows
+    return cold, warm
 
 
 def git_commit() -> str:
@@ -52,20 +70,57 @@ def git_commit() -> str:
         return "unknown"
 
 
+def updated_history(previous: dict, entry: dict) -> list[dict]:
+    """Append-only history maintenance.
+
+    Entries from the prior summary are preserved verbatim; the prior
+    top-level measurement is folded in as a history entry if it predates
+    the history mechanism; re-running on the same commit replaces that
+    commit's entry instead of duplicating it.
+    """
+    history = [dict(item) for item in previous.get("history", [])]
+    known = {item.get("commit") for item in history}
+    if previous.get("throughput") and previous.get("commit") not in known:
+        history.append(
+            {
+                "commit": previous.get("commit", "unknown"),
+                "date": previous.get("date", ""),
+                "units": previous.get("units", ""),
+                "throughput": previous["throughput"],
+            }
+        )
+    history = [item for item in history if item.get("commit") != entry["commit"]]
+    history.append(entry)
+    return history
+
+
 def main() -> int:
     if not RESULTS.is_file():
         raise SystemExit(
             f"bench-summary: {RESULTS} missing -- run "
             "`pytest benchmarks/bench_throughput.py --benchmark-only` first"
         )
+    cold, warm = parse_throughput(RESULTS.read_text())
+    previous = {}
+    if OUTPUT.is_file():
+        try:
+            previous = json.loads(OUTPUT.read_text())
+        except ValueError:
+            previous = {}
+    commit = git_commit()
+    date = datetime.date.today().isoformat()
+    entry = {"commit": commit, "date": date, "units": UNITS, "throughput": warm}
     summary = {
-        "commit": git_commit(),
-        "date": datetime.date.today().isoformat(),
-        "units": "MB/s (1 MiB object, single run)",
-        "throughput": parse_throughput(RESULTS.read_text()),
+        "commit": commit,
+        "date": date,
+        "units": UNITS,
+        "units_cold": UNITS_COLD,
+        "throughput": warm,
+        "throughput_cold": cold,
+        "history": updated_history(previous, entry),
     }
     OUTPUT.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
-    print(f"bench-summary: wrote {OUTPUT}")
+    print(f"bench-summary: wrote {OUTPUT} ({len(summary['history'])} history entries)")
     print(json.dumps(summary["throughput"], indent=2, sort_keys=True))
     if SERVICE_OUTPUT.is_file():
         # The service benchmark (make bench-service) writes its own file;
