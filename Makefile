@@ -4,8 +4,8 @@
 export PYTHONPATH := src
 
 .PHONY: install test test-chaos test-tiering bench bench-json bench-service \
-	bench-ratchet artifacts examples all clean lint lint-exceptions \
-	lint-imports coverage-storage
+	bench-ratchet artifacts examples all clean lint lint-graph \
+	lint-exceptions lint-imports coverage-storage
 
 install:
 	python setup.py develop
@@ -30,20 +30,28 @@ test-tiering:
 coverage-storage:
 	python tools/storage_coverage.py
 
-# Static analysis: the full archlint rule set (ARCH001..ARCH008 -- broad
+# Static analysis: the full archlint rule set (ARCH001..ARCH011 -- broad
 # excepts, dead imports, nondeterminism, non-constant-time secret compares,
 # dynamic metric labels, mutable defaults / asserts, tier-registry bypass,
-# zero-copy round-trips)
-# over every configured root, emitting the machine-readable
-# archlint_report.json at the repo root.
-# Policy lives in [tool.archlint] in pyproject.toml.
+# zero-copy round-trips, import layering, secret-taint dataflow, error
+# taxonomy) over every configured root, emitting the machine-readable
+# archlint_report.json at the repo root.  Incremental via the content-hash
+# cache (.archlint_cache.json, gitignored); pass --no-cache to force a
+# cold run.  Policy lives in [tool.archlint] in pyproject.toml.
 lint:
 	PYTHONPATH=tools:$(PYTHONPATH) python -m archlint --format json --output archlint_report.json > /dev/null \
 		|| { PYTHONPATH=tools:$(PYTHONPATH) python -m archlint; exit 1; }
 	@echo "lint: OK (report: archlint_report.json)"
 
+# Whole-program phase only: the v2 analyses (ARCH009 layering DAG, ARCH010
+# secret-taint dataflow, ARCH011 error taxonomy) over the library, judged
+# against the committed archlint_baseline.json ratchet.
+lint-graph:
+	PYTHONPATH=tools:$(PYTHONPATH) python -m archlint --select ARCH009,ARCH010,ARCH011 src/repro
+
 # Back-compat aliases for the two pre-archlint gates (the grep-based broad
-# except check and tools/lint_imports.py); both now run as archlint rules.
+# except check and the retired tools/lint_imports.py shim); both run as
+# archlint rules now.
 lint-exceptions:
 	PYTHONPATH=tools:$(PYTHONPATH) python -m archlint --select ARCH001
 
@@ -82,7 +90,7 @@ examples:
 		python $$script || exit 1; \
 	done
 
-all: install lint test test-tiering bench bench-json bench-ratchet artifacts
+all: install lint lint-graph test test-tiering bench bench-json bench-ratchet artifacts
 
 clean:
 	rm -rf build src/repro.egg-info .pytest_cache

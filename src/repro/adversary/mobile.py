@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from repro.crypto.drbg import DeterministicRandom
 from repro.errors import AdversaryError
 from repro.secretsharing.proactive import EpochShare, ProactiveShareGroup
+from repro.security import redact_secret
 
 
 @dataclass
@@ -33,6 +34,14 @@ class MobileAttackOutcome:
     epochs_run: int
     shares_stolen: int
     recovered_secret: bytes | None = None
+
+    def __repr__(self) -> str:
+        return (
+            f"MobileAttackOutcome(compromised={self.compromised}, "
+            f"compromise_epoch={self.compromise_epoch}, "
+            f"epochs_run={self.epochs_run}, shares_stolen={self.shares_stolen}, "
+            f"recovered_secret={redact_secret(self.recovered_secret)})"
+        )
 
 
 @dataclass

@@ -33,7 +33,7 @@ from repro.service import (
     TenantQuota,
 )
 from repro.storage.node import make_node_fleet
-from repro.storage.workload import ServiceLoadSpec, run_service_load
+from repro.service.load import ServiceLoadSpec, run_service_load
 
 #: Default seed; ``--load=SEED`` overrides it.
 DEFAULT_SEED = 2024

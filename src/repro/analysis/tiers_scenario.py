@@ -24,6 +24,7 @@ from repro.core.policy import ArchivePolicy, ConfidentialityTarget
 from repro.core.scheduler import EpochScheduler
 from repro.crypto.drbg import DeterministicRandom
 from repro.crypto.registry import BreakTimeline
+from repro.errors import IntegrityError
 from repro.obs import use_registry
 from repro.storage.tiering import (
     TIER_COLD,
@@ -183,7 +184,7 @@ def run_tiers_scenario(seed: int = DEFAULT_SEED) -> TiersScenarioResult:
                 for _ in range(REHEAT_READS):
                     data, read = archive.retrieve_with_report(f"doc-{k}")
                     if data != payloads[f"doc-{k}"]:
-                        raise AssertionError(f"wrong bytes for doc-{k}")
+                        raise IntegrityError(f"wrong bytes for doc-{k}")
                     if cold_read_wait_s == 0.0:
                         cold_read_wait_s = read.simulated_wait_s
             scheduler.advance(1)

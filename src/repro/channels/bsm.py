@@ -36,7 +36,7 @@ from repro.crypto.drbg import DeterministicRandom
 from repro.crypto.kdf import hkdf
 from repro.crypto.registry import PrimitiveKind, register_primitive
 from repro.errors import ChannelError, ParameterError
-from repro.security import SecurityNotion
+from repro.security import SecurityNotion, redact_secret
 
 #: Safety slack (bytes) subtracted during privacy amplification.
 _AMPLIFICATION_SLACK = 16
@@ -51,6 +51,15 @@ class BsmAgreementResult:
     stored_positions: int
     adversary_storage: int
     adversary_known_positions: int
+
+    def __repr__(self) -> str:
+        return (
+            f"BsmAgreementResult(key={redact_secret(self.key)}, "
+            f"stream_bytes={self.stream_bytes}, "
+            f"stored_positions={self.stored_positions}, "
+            f"adversary_storage={self.adversary_storage}, "
+            f"adversary_known_positions={self.adversary_known_positions})"
+        )
 
     @property
     def adversary_knowledge_fraction(self) -> float:

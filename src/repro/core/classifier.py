@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.crypto.registry import global_registry
+from repro.errors import ParameterError
 from repro.security import SecurityLevel, SecurityNotion, StorageCostBand
 from repro.systems.base import ArchivalSystem
 
@@ -99,7 +100,7 @@ class SecurityClassifier:
             if declared_level.notion.value != inferred.notion.value and (
                 declared_level > inferred
             ):
-                raise ValueError(
+                raise ParameterError(
                     f"{scheme_name}: declared level {declared_level.name} exceeds "
                     f"registry notion {inferred.name}"
                 )

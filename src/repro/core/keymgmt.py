@@ -24,6 +24,7 @@ from repro.crypto.drbg import DeterministicRandom
 from repro.crypto.registry import BreakTimeline, global_registry
 from repro.errors import KeyManagementError, ParameterError
 from repro.secretsharing.verifiable import ProactiveVSS
+from repro.security import redact_secret
 
 
 @dataclass
@@ -35,6 +36,14 @@ class ManagedKey:
     #: Set when the key's cipher broke or the key was rotated away.
     retired_epoch: int | None = None
     compromised: bool = False
+
+    def __repr__(self) -> str:
+        return (
+            f"ManagedKey(key_id={self.key_id!r}, cipher_name={self.cipher_name!r}, "
+            f"material={redact_secret(self.material)}, "
+            f"created_epoch={self.created_epoch}, retired_epoch={self.retired_epoch}, "
+            f"compromised={self.compromised})"
+        )
 
 
 @dataclass

@@ -32,7 +32,7 @@ from repro.crypto.drbg import DeterministicRandom
 from repro.crypto.registry import PrimitiveKind, register_primitive
 from repro.crypto.sha256 import sha256
 from repro.errors import ParameterError
-from repro.security import SecurityLevel
+from repro.security import SecurityLevel, redact_secret
 
 _ZERO_NONCE = b"\x00" * 12
 
@@ -43,6 +43,12 @@ class EntropicCiphertext:
 
     masked: bytes
     seed: bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"EntropicCiphertext(masked={redact_secret(self.masked)}, "
+            f"seed={redact_secret(self.seed)})"
+        )
 
 
 class EntropicEncryption:

@@ -29,6 +29,7 @@ from repro.crypto.registry import PrimitiveKind, register_primitive
 from repro.crypto.sha256 import sha256
 from repro.errors import IntegrityError, KeyManagementError, ParameterError
 from repro.gmath.primes import random_prime
+from repro.security import redact_secret
 
 _HASH_BITS = 256
 
@@ -42,6 +43,13 @@ class LamportKeyPair:
 
     secret: tuple[tuple[bytes, bytes], ...]
     public: tuple[tuple[bytes, bytes], ...]
+
+    def __repr__(self) -> str:
+        preimages = redact_secret(b"".join(b for pair in self.secret for b in pair))
+        return (
+            f"LamportKeyPair(secret=<{len(self.secret)} pairs, {preimages}>, "
+            f"public=<{len(self.public)} pairs>)"
+        )
 
 
 class LamportSignature:

@@ -15,7 +15,7 @@ from typing import Protocol, Sequence
 
 from repro.crypto.drbg import DeterministicRandom
 from repro.obs import metrics as _metrics
-from repro.security import SecurityLevel
+from repro.security import SecurityLevel, redact_secret
 
 
 @dataclass(frozen=True)
@@ -38,6 +38,12 @@ class Share:
 
     def __len__(self) -> int:
         return len(self.payload)
+
+    def __repr__(self) -> str:
+        return (
+            f"Share(scheme={self.scheme!r}, index={self.index}, "
+            f"payload={redact_secret(self.payload)})"
+        )
 
 
 @dataclass(frozen=True)

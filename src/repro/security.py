@@ -15,12 +15,36 @@ makes both notions concrete:
   information-theoretic.
 - :class:`CIAGoal` -- the classic confidentiality/integrity/availability
   triad used when classifying whole systems (Table 1).
+- :func:`redact_secret` -- the one sanctioned way to render key/share bytes
+  in reprs, logs, and error messages (length + digest prefix, never the
+  material itself; enforced by archlint ARCH010).
 """
 
 from __future__ import annotations
 
 import enum
 import functools
+import hashlib
+
+from repro.errors import ParameterError
+
+
+def redact_secret(material: bytes | bytearray | memoryview | None) -> str:
+    """Render secret *material* without revealing it.
+
+    Returns ``"<empty>"``/``"<none>"`` for degenerate inputs, otherwise
+    ``"<N bytes, sha256:xxxxxxxx>"`` -- enough to correlate two values in a
+    debug session (equal digests <=> equal material, within sha256) while
+    leaking nothing an adversary can invert.  Every ``__repr__`` of a
+    key/share-carrying dataclass routes through here.
+    """
+    if material is None:
+        return "<none>"
+    data = bytes(material)
+    if not data:
+        return "<empty>"
+    digest = hashlib.sha256(data).hexdigest()[:8]
+    return f"<{len(data)} bytes, sha256:{digest}>"
 
 
 class CIAGoal(enum.Enum):
@@ -106,5 +130,5 @@ class StorageCostBand(enum.Enum):
     @staticmethod
     def classify_overhead(ratio: float) -> "StorageCostBand":
         if ratio < 0:
-            raise ValueError(f"storage overhead ratio must be >= 0, got {ratio}")
+            raise ParameterError(f"storage overhead ratio must be >= 0, got {ratio}")
         return StorageCostBand.LOW if ratio < 2.5 else StorageCostBand.HIGH

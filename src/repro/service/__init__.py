@@ -8,6 +8,7 @@ token buckets -- all on simulated time so seeded load replays exactly.
 """
 
 from repro.service.clock import SimulatedClock
+from repro.service.load import ServiceLoadSpec, run_service_load
 from repro.service.quota import TenantQuota, TokenBucket
 from repro.service.server import (
     SERVICE_LATENCY_BUCKETS,
@@ -24,8 +25,10 @@ __all__ = [
     "Request",
     "RequestOutcome",
     "ServiceConfig",
+    "ServiceLoadSpec",
     "SERVICE_LATENCY_BUCKETS",
     "SimulatedClock",
     "TenantQuota",
     "TokenBucket",
+    "run_service_load",
 ]

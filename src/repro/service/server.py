@@ -38,6 +38,7 @@ from repro.crypto.drbg import DeterministicRandom
 from repro.errors import OverloadError, ParameterError, QuotaExhaustedError
 from repro.obs import metrics as _metrics
 from repro.service.clock import SimulatedClock
+from repro.security import redact_secret
 from repro.service.quota import TenantQuota, TokenBucket
 from repro.storage.archive_model import ArchiveProfile, op_service_time_s
 
@@ -86,6 +87,13 @@ class Request:
             raise ParameterError(f"unknown service op {self.op!r}")
         if self.op == "store" and self.payload is None:
             raise ParameterError("store requests need a payload")
+
+    def __repr__(self) -> str:
+        return (
+            f"Request(op={self.op!r}, object_id={self.object_id!r}, "
+            f"tenant={self.tenant!r}, payload={redact_secret(self.payload)}, "
+            f"arrival_s={self.arrival_s})"
+        )
 
 
 @dataclass(frozen=True)

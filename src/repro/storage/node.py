@@ -21,6 +21,7 @@ from repro.crypto.hmac_ import constant_time_eq
 from repro.crypto.sha256 import sha256_hex
 from repro.errors import IntegrityError, NodeUnavailableError, ObjectNotFoundError
 from repro.obs import metrics as _metrics
+from repro.security import redact_secret
 
 
 @dataclass
@@ -34,6 +35,14 @@ class StoredObject:
 
     def __len__(self) -> int:
         return len(self.data)
+
+    def __repr__(self) -> str:
+        # `data` is ciphertext/share material: never in reprs (ARCH010).
+        return (
+            f"StoredObject(object_id={self.object_id!r}, "
+            f"data={redact_secret(self.data)}, digest={self.digest!r}, "
+            f"epoch_stored={self.epoch_stored})"
+        )
 
 
 @dataclass

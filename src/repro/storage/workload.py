@@ -15,13 +15,12 @@ distribution (recent objects read more -- the HPSS/ECMWF studies' pattern).
 
 from __future__ import annotations
 
-import heapq
 import math
 from bisect import bisect_left
 from dataclasses import dataclass, field
 
 from repro.crypto.drbg import DeterministicRandom
-from repro.errors import ParameterError
+from repro.errors import IntegrityError, ParameterError
 
 
 @dataclass(frozen=True)
@@ -107,7 +106,11 @@ class Workload:
         return DeterministicRandom(b"payload:" + obj.object_id.encode()).bytes(obj.size)
 
 
-def _lognormal_size(rng: DeterministicRandom, spec: WorkloadSpec) -> int:
+def lognormal_size(rng: DeterministicRandom, spec) -> int:
+    """Heavy-tailed object size draw.  *spec* is duck-typed: anything with
+    ``median_object_bytes``/``size_spread``/``max_object_bytes`` (the epoch
+    :class:`WorkloadSpec` here, the service-tier load spec in
+    :mod:`repro.service.load`)."""
     # Box-Muller from two uniforms; exp into the log-normal.
     u1 = max(rng.random(), 1e-12)
     u2 = rng.random()
@@ -130,7 +133,7 @@ def generate_workload(spec: WorkloadSpec, seed: int | bytes = 0) -> Workload:
         for sequence in range(spec.objects_per_epoch):
             obj = WorkloadObject(
                 object_id=f"obj-{epoch:04d}-{sequence:04d}",
-                size=_lognormal_size(rng, spec),
+                size=lognormal_size(rng, spec),
                 ingest_epoch=epoch,
             )
             workload.objects.append(obj)
@@ -169,7 +172,7 @@ def replay(workload: Workload, system) -> dict:
             data = system.retrieve(event.object_id)
             expected = workload.payload_for(stored[event.object_id])
             if data != expected:
-                raise AssertionError(f"corrupted read of {event.object_id}")
+                raise IntegrityError(f"corrupted read of {event.object_id}")
             bytes_read += len(data)
     return {
         "objects": len(stored),
@@ -180,7 +183,7 @@ def replay(workload: Workload, system) -> dict:
     }
 
 
-# -- service load: zipfian popularity + concurrent clients ---------------------
+# -- zipfian popularity (consumed by the service-tier load generator) ----------
 
 
 class ZipfianPopularity:
@@ -222,154 +225,3 @@ class ZipfianPopularity:
         rank = min(bisect_left(self._cum, u), len(self._ids) - 1)
         # Popularity rank 0 = newest object (last appended).
         return self._ids[len(self._ids) - 1 - rank]
-
-
-@dataclass(frozen=True)
-class ServiceLoadSpec:
-    """Parameters of a concurrent-client load run against an ArchiveService."""
-
-    #: Concurrent closed-loop clients issuing requests.
-    clients: int = 8
-    #: Total requests to offer (accepted + rejected both count).
-    requests: int = 1_000
-    #: Fraction of requests that are stores; the rest are zipfian reads.
-    store_fraction: float = 0.03
-    #: Zipf exponent of the read-popularity model.
-    zipf_s: float = 1.1
-    #: Mean exponential think time between one client's requests.
-    mean_think_s: float = 0.02
-    #: Extra wait a client inserts after a rejection (half of it after a
-    #: THROTTLE backpressure signal) -- the well-behaved-client response.
-    backoff_s: float = 0.2
-    #: Objects stored directly into the archive before load starts, so the
-    #: first reads have a population to draw from.
-    bootstrap_objects: int = 32
-    #: Clients map onto this many tenants round-robin.
-    tenants: int = 4
-    median_object_bytes: int = 4096
-    size_spread: float = 1.2
-    max_object_bytes: int = 1 << 20
-
-    def __post_init__(self) -> None:
-        if self.clients < 1 or self.requests < 1:
-            raise ParameterError("need clients >= 1 and requests >= 1")
-        if not 0 <= self.store_fraction <= 1:
-            raise ParameterError("store_fraction must be in [0, 1]")
-        if self.mean_think_s <= 0 or self.backoff_s < 0:
-            raise ParameterError("need mean_think_s > 0 and backoff_s >= 0")
-        if self.bootstrap_objects < 1 and self.store_fraction < 1:
-            raise ParameterError("reads need bootstrap_objects >= 1")
-        if self.tenants < 1:
-            raise ParameterError("tenants must be >= 1")
-
-
-def _exponential_think(rng: DeterministicRandom, mean_s: float) -> float:
-    # Inverse-CDF sample; the 1e-12 clamp keeps log() finite.
-    return -mean_s * math.log(max(1.0 - rng.random(), 1e-12))
-
-
-def run_service_load(service, spec: ServiceLoadSpec, seed: int | bytes = 0) -> dict:
-    """Replay a zipfian store/retrieve mix through an archive service.
-
-    *service* is duck-typed (anything with ``offer(Request) -> outcome`` and
-    an ``archive``) to keep this module import-light; normally it is a
-    :class:`repro.service.ArchiveService`.  Clients are closed-loop: each
-    offers a request, thinks for an exponential interval, and backs off when
-    rejected or throttled.  All timing is simulated and every draw comes
-    from one seeded DRBG, so the request stream -- and therefore the
-    service's latency histograms -- replay byte-identically.  Every accepted
-    retrieve is verified against the regenerated payload, making a load run
-    an end-to-end correctness check as well as a measurement.
-    """
-    from repro.service.server import Backpressure, Request  # noqa: PLC0415 -- avoid cycle at import time
-
-    rng = DeterministicRandom(
-        seed if isinstance(seed, bytes) else f"service-load:{seed}"
-    )
-    popularity = ZipfianPopularity(s=spec.zipf_s)
-    sizes: dict[str, int] = {}
-
-    def payload_for(object_id: str, size: int) -> bytes:
-        return DeterministicRandom(b"svc-payload:" + object_id.encode()).bytes(size)
-
-    bytes_stored = 0
-    for k in range(spec.bootstrap_objects):
-        object_id = f"svc-boot-{k:05d}"
-        size = _lognormal_size(rng, spec)
-        service.archive.store(object_id, payload_for(object_id, size))
-        sizes[object_id] = size
-        popularity.add(object_id)
-        bytes_stored += size
-
-    # Closed-loop clients on a simulated timeline: a heap of
-    # (next_ready_s, client) pops in deterministic order (ties break on the
-    # client index).  Start times are staggered so the first wave does not
-    # arrive as one synchronized burst.
-    ready: list[tuple[float, int]] = []
-    for client in range(spec.clients):
-        heapq.heappush(ready, (rng.random() * spec.mean_think_s, client))
-
-    counts = {
-        "ok_store": 0,
-        "ok_retrieve": 0,
-        "rejected_overload": 0,
-        "rejected_quota": 0,
-        "throttle_signals": 0,
-    }
-    bytes_read = 0
-    stores_issued = 0
-    last_arrival_s = 0.0
-    for _ in range(spec.requests):
-        now_s, client = heapq.heappop(ready)
-        last_arrival_s = max(last_arrival_s, now_s)
-        tenant = f"tenant-{client % spec.tenants:02d}"
-        if rng.random() < spec.store_fraction or not len(popularity):
-            object_id = f"svc-{client:02d}-{stores_issued:06d}"
-            stores_issued += 1
-            size = _lognormal_size(rng, spec)
-            request = Request(
-                op="store",
-                object_id=object_id,
-                tenant=tenant,
-                payload=payload_for(object_id, size),
-                arrival_s=now_s,
-            )
-        else:
-            object_id = popularity.sample(rng)
-            request = Request(
-                op="retrieve", object_id=object_id, tenant=tenant, arrival_s=now_s
-            )
-
-        outcome = service.offer(request)
-        if outcome.accepted:
-            if request.op == "store":
-                counts["ok_store"] += 1
-                sizes[object_id] = len(request.payload)
-                popularity.add(object_id)
-                bytes_stored += len(request.payload)
-            else:
-                counts["ok_retrieve"] += 1
-                expected = payload_for(object_id, sizes[object_id])
-                if outcome.data != expected:
-                    raise AssertionError(f"corrupted service read of {object_id}")
-                bytes_read += len(outcome.data)
-        else:
-            counts[outcome.outcome] += 1
-
-        think_s = _exponential_think(rng, spec.mean_think_s)
-        if not outcome.accepted:
-            think_s += spec.backoff_s
-        elif outcome.backpressure is Backpressure.THROTTLE:
-            counts["throttle_signals"] += 1
-            think_s += spec.backoff_s / 2
-        heapq.heappush(ready, (now_s + think_s, client))
-
-    return {
-        "offered": spec.requests,
-        "counts": dict(sorted(counts.items())),
-        "population": len(popularity),
-        "bytes_stored": bytes_stored,
-        "bytes_read": bytes_read,
-        "offered_window_s": last_arrival_s,
-        "offered_rps": (spec.requests / last_arrival_s) if last_arrival_s > 0 else 0.0,
-    }

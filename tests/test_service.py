@@ -14,13 +14,19 @@ workload replay.
 """
 
 import json
+from dataclasses import replace
 
 import pytest
 
 from repro.core.archive import SecureArchive
 from repro.core.policy import CENTURY_SAFE
 from repro.crypto.drbg import DeterministicRandom
-from repro.errors import OverloadError, ParameterError, QuotaExhaustedError
+from repro.errors import (
+    IntegrityError,
+    OverloadError,
+    ParameterError,
+    QuotaExhaustedError,
+)
 from repro.obs import metrics as obs_metrics
 from repro.obs.metrics import use_registry
 from repro.service import (
@@ -33,13 +39,12 @@ from repro.service import (
     TenantQuota,
     TokenBucket,
 )
+from repro.service.load import ServiceLoadSpec, run_service_load
 from repro.storage.node import make_node_fleet
 from repro.storage.workload import (
-    ServiceLoadSpec,
     WorkloadSpec,
     ZipfianPopularity,
     generate_workload,
-    run_service_load,
 )
 @pytest.fixture
 def registry():
@@ -312,6 +317,96 @@ class TestDeterministicReplay:
         served = counts["ok_store"] + counts["ok_retrieve"]
         assert report["requests_total"] == load["offered"]
         assert sum(report["completed"].values()) == served
+
+
+class TestServiceLoadSpec:
+    @pytest.mark.parametrize(
+        ("kwargs", "match"),
+        [
+            ({"clients": 0}, "clients >= 1"),
+            ({"requests": 0}, "clients >= 1"),
+            ({"store_fraction": 1.5}, "store_fraction"),
+            ({"mean_think_s": 0.0}, "mean_think_s"),
+            ({"backoff_s": -1.0}, "backoff_s"),
+            ({"bootstrap_objects": 0}, "bootstrap_objects"),
+            ({"tenants": 0}, "tenants"),
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs, match):
+        with pytest.raises(ParameterError, match=match):
+            ServiceLoadSpec(**kwargs)
+
+    def test_all_store_load_needs_no_bootstrap(self):
+        spec = ServiceLoadSpec(store_fraction=1.0, bootstrap_objects=1)
+        assert spec.store_fraction == 1.0
+
+
+class TestServiceLoadBehavior:
+    def _tiny_service(self, seed=11):
+        # One slow worker, a queue whose THROTTLE band (depths 6-7 with the
+        # default throttle_at=0.75) is reachable before SHED, and a tight
+        # quota: the load generator must exercise its rejection-backoff and
+        # throttle-backoff paths.
+        archive = make_archive(seed)
+        return ArchiveService(
+            archive,
+            ServiceConfig(
+                workers=1,
+                queue_capacity=8,
+                default_quota=TenantQuota(capacity=8, refill_per_s=4.0),
+            ),
+            rng=DeterministicRandom(f"tiny:{seed}"),
+        )
+
+    def test_rejections_and_throttle_signals_feed_backoff(self):
+        with use_registry():
+            service = self._tiny_service()
+            spec = ServiceLoadSpec(
+                clients=8,
+                requests=300,
+                mean_think_s=0.0005,
+                backoff_s=0.01,
+                bootstrap_objects=4,
+                tenants=2,
+            )
+            load = run_service_load(service, spec, seed=11)
+        counts = load["counts"]
+        assert counts["rejected_overload"] + counts["rejected_quota"] > 0
+        assert counts["throttle_signals"] > 0
+        offered = sum(
+            counts[k] for k in ("ok_store", "ok_retrieve", "rejected_overload", "rejected_quota")
+        )
+        assert offered == load["offered"]
+
+    def test_corrupted_read_raises_integrity_error(self):
+        class LyingService:
+            def __init__(self, inner):
+                self._inner = inner
+                self.archive = inner.archive
+
+            def offer(self, request):
+                outcome = self._inner.offer(request)
+                if outcome.accepted and request.op == "retrieve":
+                    outcome = replace(outcome, data=b"\x00" * len(outcome.data))
+                return outcome
+
+        with use_registry():
+            service = LyingService(
+                ArchiveService(
+                    make_archive(5),
+                    ServiceConfig(workers=2, queue_capacity=32),
+                    rng=DeterministicRandom("lying:5"),
+                )
+            )
+            spec = ServiceLoadSpec(
+                clients=2,
+                requests=50,
+                store_fraction=0.0,
+                bootstrap_objects=4,
+                tenants=1,
+            )
+            with pytest.raises(IntegrityError, match="corrupted service read"):
+                run_service_load(service, spec, seed=5)
 
 
 class TestHistogramQuantiles:

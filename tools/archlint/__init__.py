@@ -10,14 +10,22 @@ sets stay bounded; tag verification only resists timing probes if nobody
 "optimizes" it back to ``==``.  archlint turns those house rules into
 machine-checked ones.
 
+v2 adds a whole-program phase after the per-file rules: the import graph is
+checked against the layering DAG declared in pyproject (ARCH009), secret
+material is taint-tracked into observable sinks (ARCH010), and every raise
+is held to the ``repro.errors`` taxonomy (ARCH011).
+
 Layout:
 
 - :mod:`archlint.core`      -- Finding/Checker/Config dataclasses, noqa logic
 - :mod:`archlint.config`    -- ``[tool.archlint]`` pyproject loader
-- :mod:`archlint.engine`    -- file discovery + rule driving + suppression
+- :mod:`archlint.engine`    -- discovery + per-file and whole-program phases
+- :mod:`archlint.graph`     -- import graph + layering (ARCH009)
+- :mod:`archlint.dataflow`  -- secret-taint analysis (ARCH010)
+- :mod:`archlint.cache`     -- content-hash incremental lint cache
 - :mod:`archlint.baseline`  -- optional ratchet file for adopting rules
 - :mod:`archlint.reporters` -- human and ``--format json`` renderers
-- :mod:`archlint.rules`     -- the rule plugins (ARCH001..ARCH006)
+- :mod:`archlint.rules`     -- the rule plugins (ARCH001..ARCH011)
 - :mod:`archlint.cli`       -- argument parsing / ``python -m archlint``
 
 Run ``python -m archlint --list-rules`` for the rule catalogue, or see the
@@ -29,7 +37,7 @@ from archlint.core import Checker, Config, FileContext, Finding, RuleConfig
 from archlint.engine import Report, run_lint
 from archlint.rules import ALL_RULES, RULES_BY_CODE
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "ALL_RULES",

@@ -72,6 +72,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="explicit project root (default: nearest pyproject.toml from cwd)",
     )
     parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-hash incremental cache (.archlint_cache.json)",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue and exit"
     )
     return parser
@@ -105,6 +110,7 @@ def main(argv: list[str] | None = None) -> int:
         paths=args.paths or None,
         select=_parse_codes(args.select),
         ignore=_parse_codes(args.ignore),
+        use_cache=not args.no_cache,
     )
 
     if args.write_baseline:

@@ -21,7 +21,7 @@ from __future__ import annotations
 import tomllib
 from pathlib import Path
 
-from archlint.core import Config, RuleConfig
+from archlint.core import Config, LayerConfig, RuleConfig
 
 
 def find_project_root(start: Path | None = None) -> Path:
@@ -57,6 +57,33 @@ def _rule_config(raw: object, code: str) -> RuleConfig:
     return cfg
 
 
+def _layer_config(raw: object) -> LayerConfig:
+    if not isinstance(raw, dict):
+        raise ValueError("[tool.archlint.layers] must be a table")
+    layers = LayerConfig()
+    if "foundation" in raw:
+        layers.foundation = _str_tuple(raw["foundation"], "layers.foundation")
+    if "facade" in raw:
+        layers.facade = _str_tuple(raw["facade"], "layers.facade")
+    if "src_root" in raw:
+        if not isinstance(raw["src_root"], str):
+            raise ValueError("[tool.archlint.layers] src_root must be a string")
+        layers.src_root = raw["src_root"]
+    dag_raw = raw.get("dag", {})
+    if not isinstance(dag_raw, dict):
+        raise ValueError("[tool.archlint.layers.dag] must be a table")
+    layers.dag = {
+        layer: _str_tuple(deps, f"layers.dag.{layer}")
+        for layer, deps in dag_raw.items()
+    }
+    # Reject a cyclic declaration at load time (exit 2 in the CLI), before
+    # ARCH009 would silently misjudge every edge against a broken closure.
+    from archlint.graph import transitive_closure
+
+    transitive_closure(layers.dag)
+    return layers
+
+
 def load_config(project_root: Path) -> Config:
     """Parse ``[tool.archlint]`` out of *project_root*/pyproject.toml.
 
@@ -85,6 +112,13 @@ def load_config(project_root: Path) -> Config:
         if not isinstance(baseline, str):
             raise ValueError("[tool.archlint] baseline must be a string path")
         config.baseline = baseline
+    if "cache" in section:
+        cache = section["cache"]
+        if not isinstance(cache, str):
+            raise ValueError("[tool.archlint] cache must be a string path")
+        config.cache = cache
+    if "layers" in section:
+        config.layers = _layer_config(section["layers"])
     for code, raw in section.get("rules", {}).items():
         config.rules[code.upper()] = _rule_config(raw, code)
     return config

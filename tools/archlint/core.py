@@ -17,13 +17,21 @@ from typing import Iterable, Iterator
 
 @dataclass(frozen=True, order=True)
 class Finding:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    ``end_line`` is the last physical line of the offending construct; the
+    engine honors a ``# noqa`` on either the first or the last line so
+    multi-line expressions can carry their suppression where the code ends.
+    It is excluded from ordering/equality so the baseline and report sort
+    stay exactly as they were before it existed.
+    """
 
     relpath: str
     line: int
     col: int
     code: str
     message: str
+    end_line: int = field(default=0, compare=False)
 
     @property
     def key(self) -> str:
@@ -63,6 +71,26 @@ class RuleConfig:
 
 
 @dataclass
+class LayerConfig:
+    """The declared architecture layering (``[tool.archlint.layers]``).
+
+    ``dag`` maps a layer package to the layer packages it may import
+    *directly*; the transitive closure is computed by the analyzer, so the
+    declaration stays minimal (``repro.core -> repro.systems`` implies
+    everything systems may reach).  ``foundation`` packages are importable
+    from every layer but may only import other foundation packages.
+    ``facade`` modules (the top-level package ``__init__``) re-export the
+    public API and may import anything.
+    """
+
+    dag: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    foundation: tuple[str, ...] = ()
+    facade: tuple[str, ...] = ()
+    #: Filesystem prefix stripped when mapping file paths to module names.
+    src_root: str = "src"
+
+
+@dataclass
 class Config:
     """Whole-run configuration (see :mod:`archlint.config` for the loader)."""
 
@@ -70,6 +98,10 @@ class Config:
     exclude: tuple[str, ...] = ()
     disable: tuple[str, ...] = ()
     baseline: str | None = None
+    #: Findings/parse cache path (relative to the project root); the engine
+    #: only touches it when run_lint is invoked with use_cache=True.
+    cache: str = ".archlint_cache.json"
+    layers: LayerConfig | None = None
     rules: dict[str, RuleConfig] = field(default_factory=dict)
 
     def rule(self, code: str) -> RuleConfig:
@@ -128,13 +160,130 @@ class Checker:
         self, ctx: FileContext, node: ast.AST | int, message: str
     ) -> Finding:
         if isinstance(node, int):
-            line, col = node, 0
+            line, col, end = node, 0, node
         else:
             line = getattr(node, "lineno", 1)
             col = getattr(node, "col_offset", 0)
+            end = getattr(node, "end_lineno", None) or line
         return Finding(
-            relpath=ctx.relpath, line=line, col=col, code=self.code, message=message
+            relpath=ctx.relpath,
+            line=line,
+            col=col,
+            code=self.code,
+            message=message,
+            end_line=end,
         )
+
+
+class ProgramContext:
+    """Whole-program view handed to :class:`ProgramChecker` rules.
+
+    ``contexts`` maps relpath -> parsed :class:`FileContext` for every file
+    the engine discovered and parsed this run.  Program rules see the whole
+    set and apply their own per-file scope via :meth:`Checker.applies_to`.
+    """
+
+    def __init__(
+        self, project_root: Path, config: Config, contexts: dict[str, FileContext]
+    ) -> None:
+        self.project_root = project_root
+        self.config = config
+        self.contexts = contexts
+
+    def in_scope(self, rule: "Checker", cfg: RuleConfig) -> list[FileContext]:
+        """Contexts the rule's scope/allow config admits, in sorted order."""
+        return [
+            self.contexts[relpath]
+            for relpath in sorted(self.contexts)
+            if rule.applies_to(relpath, cfg)
+        ]
+
+
+class ProgramChecker(Checker):
+    """Base class for whole-program rules (import graph, dataflow...).
+
+    These run in a second phase after every per-file rule, once all files
+    are parsed, because their verdict on one file depends on the others
+    (an import edge is only upward relative to the whole layering DAG; a
+    call summary only exists once the callee's module is parsed).
+    """
+
+    def check(self, ctx: FileContext, cfg: RuleConfig) -> Iterator[Finding]:
+        return iter(())
+
+    def check_program(
+        self, program: ProgramContext, cfg: RuleConfig
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+# -- secret vocabulary ---------------------------------------------------------
+
+#: Default identifier segments that mark a value as secret material.  The
+#: pyproject ``[tool.archlint.rules.ARCH010] vocabulary`` list replaces this.
+DEFAULT_SECRET_VOCABULARY = (
+    "key",
+    "keys",
+    "secret",
+    "secrets",
+    "share",
+    "shares",
+    "plaintext",
+    "seed",
+    "seeds",
+    "material",
+    "payload",
+    "payloads",
+    "keystream",
+    "ikm",
+    "okm",
+    "drbg",
+)
+
+#: Segments marking a name as structural *metadata about* a secret rather
+#: than the material itself (``key_size``, ``share_index``, ``seed_path``).
+METADATA_SEGMENTS = frozenset(
+    {
+        "size",
+        "bytes",
+        "len",
+        "length",
+        "count",
+        "num",
+        "bits",
+        "index",
+        "idx",
+        "indices",
+        "indexes",
+        "offset",
+        "max",
+        "min",
+        "total",
+        "n",
+        "id",
+        "name",
+        "kind",
+        "type",
+        "epoch",
+        "path",
+        "version",
+        "fraction",
+        "spread",
+    }
+)
+
+
+def matches_secret_vocabulary(identifier: str, vocabulary: Iterable[str]) -> bool:
+    """True when *identifier* names secret material under *vocabulary*.
+
+    The identifier is split on underscores; it matches when any segment is a
+    vocabulary word and no segment is a metadata qualifier (so ``round_keys``
+    matches while ``key_size`` and ``share_index`` do not).
+    """
+    segments = {segment for segment in identifier.lower().split("_") if segment}
+    if segments & METADATA_SEGMENTS:
+        return False
+    return bool(segments & set(vocabulary))
 
 
 # -- suppression ---------------------------------------------------------------

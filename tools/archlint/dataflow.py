@@ -1,0 +1,464 @@
+"""ARCH010: secret-taint dataflow -- key material must not reach observable
+channels.
+
+The paper prices "mass leakage" as the dominant archival failure mode, and
+PROPYLA's structural argument is the same: long-term confidentiality needs
+secret-carrying data paths that are provably separated from observable ones.
+This rule implements that separation as an intra-procedural taint analysis
+with one level of cross-function call summaries:
+
+**Sources** -- a value is tainted when
+
+- its identifier matches the secret vocabulary (``key``, ``share``,
+  ``plaintext``, ``seed``, ``round_keys``...; configured via
+  ``[tool.archlint.rules.ARCH010] vocabulary``) and carries no metadata
+  qualifier (``key_size``, ``share_index`` are structural, not material);
+- it is an attribute projection onto a secret field (``self.key``,
+  ``share.payload`` -- but ``share.index`` is public metadata);
+- it is the return value of a designated source function
+  (``source_functions`` config, e.g. keystream generators), or of any
+  project function whose own body returns tainted data (the one-level
+  summary: summaries are computed intra-procedurally for every function in
+  the program, then consulted at call sites -- no fixpoint).
+
+**Sinks** -- taint reaching one of these is a finding:
+
+- logging calls (``logger.warning(...)`` and friends);
+- exception constructors inside ``raise`` (f-strings, ``str()``/``repr()``
+  or any tainted expression in the message);
+- metric label values (keyword arguments of ``inc``/``observe``/
+  ``set_gauge`` -- a secret in a label is both a leak and a cardinality
+  bomb);
+- file writes (``.write()``/``.write_text()``/``.write_bytes()``) outside
+  the storage-node boundary (``write_allow`` config patterns).
+
+**Sanitizers** -- these break taint: ``len()``, ``sha256``/``sha256_hex``/
+``hmac_sha256`` digests, ``constant_time_eq``, ``type()``, comparisons, and
+explicit ``# noqa: ARCH010`` with a justification.
+
+The rule also closes the *repr channel*: a ``@dataclass`` whose field is
+secret-named and bytes-typed gets the generated ``__repr__`` for free, and
+that repr -- share payloads and all -- reaches logs and exception messages
+the moment anyone formats the object.  Such classes must define a redacted
+``__repr__``/``__str__`` (length + digest prefix, never material) or mark
+the field ``repr=False``.
+
+Propagation is deliberately conservative and name-driven: a vocabulary-named
+identifier is always treated as tainted (re-binding ``key = len(key)`` does
+not launder it -- bind sanitized values to differently-named variables,
+which is also the readable thing to do).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from archlint.core import (
+    DEFAULT_SECRET_VOCABULARY,
+    FileContext,
+    Finding,
+    ProgramChecker,
+    ProgramContext,
+    RuleConfig,
+    matches_secret_vocabulary,
+    path_matches,
+)
+
+#: Attribute names of logging-call receivers we treat as loggers.
+_LOG_METHODS = frozenset(
+    {"debug", "info", "warning", "error", "exception", "critical", "log"}
+)
+_LOGGER_NAMES = frozenset({"logger", "log", "logging"})
+
+#: Metrics-registry methods whose keyword arguments are label values.
+_METRIC_METHODS = frozenset({"inc", "observe", "set_gauge"})
+
+#: File-write methods (the storage-node boundary is carved out via config).
+_WRITE_METHODS = frozenset({"write", "write_text", "write_bytes"})
+
+_DEFAULT_SANITIZERS = (
+    "len",
+    "sha256",
+    "sha256_hex",
+    "hmac_sha256",
+    "constant_time_eq",
+    "type",
+    "isinstance",
+    "id",
+    "bool",
+)
+
+
+class _TaintQuery:
+    """Expression-level taint decisions for one function body."""
+
+    def __init__(
+        self,
+        vocabulary: tuple[str, ...],
+        sanitizers: frozenset[str],
+        sources: frozenset[str],
+        summaries: dict[str, bool],
+    ) -> None:
+        self.vocabulary = vocabulary
+        self.sanitizers = sanitizers
+        self.sources = sources
+        self.summaries = summaries
+        self.bound: set[str] = set()
+
+    def matches(self, identifier: str) -> bool:
+        return matches_secret_vocabulary(identifier, self.vocabulary)
+
+    def expr(self, node: ast.expr | None) -> bool:
+        """Is *node* secret-tainted?"""
+        if node is None or isinstance(node, ast.Constant):
+            return False
+        if isinstance(node, ast.Name):
+            return node.id in self.bound or self.matches(node.id)
+        if isinstance(node, ast.Attribute):
+            # Projection decides on the field name: share.payload is material,
+            # share.index is public metadata even though `share` is tainted.
+            return self.matches(node.attr)
+        if isinstance(node, ast.Subscript):
+            return self.expr(node.value)
+        if isinstance(node, ast.Compare):
+            return False  # booleans carry one bit, not material
+        if isinstance(node, ast.Call):
+            return self.call(node)
+        if isinstance(node, ast.JoinedStr):
+            return any(
+                self.expr(part.value)
+                for part in node.values
+                if isinstance(part, ast.FormattedValue)
+            )
+        if isinstance(node, ast.Lambda):
+            return False
+        return any(
+            self.expr(child)
+            for child in ast.iter_child_nodes(node)
+            if isinstance(child, ast.expr)
+        )
+
+    def call(self, node: ast.Call) -> bool:
+        callee = _callee_name(node.func)
+        if callee is not None:
+            if callee in self.sanitizers:
+                return False
+            if callee in self.sources or self.summaries.get(callee, False):
+                return True
+        tainted_args = any(self.expr(arg) for arg in node.args) or any(
+            self.expr(kw.value) for kw in node.keywords
+        )
+        if tainted_args:
+            return True
+        # A method on a tainted receiver returns tainted data (key.hex(),
+        # payload.decode()); a plain call on clean args is clean.
+        if isinstance(node.func, ast.Attribute):
+            return self.expr(node.func.value)
+        return False
+
+
+def _callee_name(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _bind_targets(query: _TaintQuery, target: ast.expr, tainted: bool) -> None:
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            if tainted:
+                query.bound.add(node.id)
+            else:
+                query.bound.discard(node.id)
+
+
+def _bind_loop_target(query: _TaintQuery, node: ast.For | ast.AsyncFor) -> None:
+    """Bind loop targets, keeping mapping keys and enumerate counters clean.
+
+    ``for index, payload in payload_by_share.items()`` taints only the value:
+    keys of a secret-keyed mapping are structural (share indices, node ids).
+    Same for the counter of ``enumerate(shares)``.  ``.keys()`` taints
+    nothing.
+    """
+    tainted = query.expr(node.iter)
+    target = node.target
+    paired = (
+        isinstance(target, ast.Tuple)
+        and len(target.elts) == 2
+        and isinstance(node.iter, ast.Call)
+    )
+    if paired:
+        callee = _callee_name(node.iter.func)
+        if callee in ("items", "enumerate"):
+            _bind_targets(query, target.elts[0], False)
+            _bind_targets(query, target.elts[1], tainted)
+            return
+    if (
+        isinstance(node.iter, ast.Call)
+        and _callee_name(node.iter.func) == "keys"
+    ):
+        tainted = False
+    _bind_targets(query, target, tainted)
+
+
+def _function_returns_taint(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    vocabulary: tuple[str, ...],
+    sanitizers: frozenset[str],
+    sources: frozenset[str],
+) -> bool:
+    """Intra-procedural summary: does *fn* return secret material?"""
+    query = _TaintQuery(vocabulary, sanitizers, sources, summaries={})
+    _seed_parameters(query, fn)
+    for _ in range(2):  # second pass stabilizes loop-carried assignments
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                _propagate_assignment(query, node)
+    return any(
+        query.expr(node.value)
+        for node in ast.walk(fn)
+        if isinstance(node, ast.Return)
+    )
+
+
+def _seed_parameters(
+    query: _TaintQuery, fn: ast.FunctionDef | ast.AsyncFunctionDef
+) -> None:
+    args = fn.args
+    for arg in (
+        *args.posonlyargs,
+        *args.args,
+        *args.kwonlyargs,
+        *filter(None, (args.vararg, args.kwarg)),
+    ):
+        if query.matches(arg.arg):
+            query.bound.add(arg.arg)
+
+
+def _propagate_assignment(
+    query: _TaintQuery, node: ast.Assign | ast.AnnAssign | ast.AugAssign
+) -> None:
+    value = node.value
+    if value is None:
+        return
+    tainted = query.expr(value)
+    targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+    for target in targets:
+        _bind_targets(query, target, tainted)
+
+
+class SecretTaintRule(ProgramChecker):
+    code = "ARCH010"
+    name = "secret-taint"
+    description = (
+        "secret material (key/share/plaintext/seed vocabulary) must not flow "
+        "into logs, exception messages, metric labels, file writes, or "
+        "generated dataclass reprs; sanitize via digest/len or noqa with "
+        "justification"
+    )
+
+    def _settings(self, cfg: RuleConfig):
+        vocabulary = tuple(cfg.options.get("vocabulary", DEFAULT_SECRET_VOCABULARY))
+        sanitizers = frozenset(_DEFAULT_SANITIZERS) | frozenset(
+            cfg.options.get("sanitizers", ())
+        )
+        sources = frozenset(cfg.options.get("source_functions", ()))
+        write_allow = tuple(cfg.options.get("write_allow", ()))
+        return vocabulary, sanitizers, sources, write_allow
+
+    def check_program(
+        self, program: ProgramContext, cfg: RuleConfig
+    ) -> Iterator[Finding]:
+        vocabulary, sanitizers, sources, write_allow = self._settings(cfg)
+        contexts = program.in_scope(self, cfg)
+
+        # One-level call summaries over the whole program: any function whose
+        # body returns tainted data taints its call sites, cross-module, by
+        # (bare) name.  Collisions union conservatively.
+        summaries: dict[str, bool] = {}
+        for ctx in contexts:
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if _function_returns_taint(node, vocabulary, sanitizers, sources):
+                        summaries[node.name] = True
+
+        for ctx in contexts:
+            yield from self._check_file(
+                ctx, vocabulary, sanitizers, sources, summaries, write_allow
+            )
+
+    # -- per-file pass ---------------------------------------------------------
+
+    def _check_file(
+        self,
+        ctx: FileContext,
+        vocabulary: tuple[str, ...],
+        sanitizers: frozenset[str],
+        sources: frozenset[str],
+        summaries: dict[str, bool],
+        write_allow: tuple[str, ...],
+    ) -> Iterator[Finding]:
+        yield from self._check_dataclass_reprs(ctx, vocabulary)
+        functions = [
+            node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for fn in functions:
+            query = _TaintQuery(vocabulary, sanitizers, sources, summaries)
+            _seed_parameters(query, fn)
+            for _ in range(2):
+                for node in ast.walk(fn):
+                    if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                        _propagate_assignment(query, node)
+                    elif isinstance(node, (ast.For, ast.AsyncFor)):
+                        _bind_loop_target(query, node)
+                    elif isinstance(node, (ast.With, ast.AsyncWith)):
+                        for item in node.items:
+                            if item.optional_vars is not None:
+                                _bind_targets(
+                                    query,
+                                    item.optional_vars,
+                                    query.expr(item.context_expr),
+                                )
+            yield from self._check_sinks(ctx, fn, query, write_allow)
+
+    def _check_sinks(
+        self,
+        ctx: FileContext,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        query: _TaintQuery,
+        write_allow: tuple[str, ...],
+    ) -> Iterator[Finding]:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Raise):
+                yield from self._check_raise(ctx, node, query)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node, query, write_allow)
+
+    def _check_raise(
+        self, ctx: FileContext, node: ast.Raise, query: _TaintQuery
+    ) -> Iterator[Finding]:
+        exc = node.exc
+        if not isinstance(exc, ast.Call):
+            return
+        for arg in (*exc.args, *(kw.value for kw in exc.keywords)):
+            if query.expr(arg):
+                name = _callee_name(exc.func) or "exception"
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"secret-tainted value reaches {name}() message; exception "
+                    "strings are an observable channel -- report a length or "
+                    "digest instead",
+                )
+                return
+
+    def _check_call(
+        self,
+        ctx: FileContext,
+        node: ast.Call,
+        query: _TaintQuery,
+        write_allow: tuple[str, ...],
+    ) -> Iterator[Finding]:
+        if not isinstance(node.func, ast.Attribute):
+            return
+        method = node.func.attr
+        receiver = node.func.value
+        if method in _LOG_METHODS and self._is_logger(receiver):
+            for arg in (*node.args, *(kw.value for kw in node.keywords)):
+                if query.expr(arg):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "secret-tainted value reaches a logging call; logs are "
+                        "an observable channel -- log a length or digest instead",
+                    )
+                    return
+        elif method in _METRIC_METHODS:
+            for kw in node.keywords:
+                if kw.arg is not None and query.expr(kw.value):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"secret-tainted value used as metric label "
+                        f"{kw.arg!r}; labels are exported observables",
+                    )
+                    return
+        elif method in _WRITE_METHODS and not path_matches(ctx.relpath, write_allow):
+            for arg in node.args:
+                if query.expr(arg):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "secret-tainted value written to a file outside the "
+                        "storage-node boundary",
+                    )
+                    return
+
+    @staticmethod
+    def _is_logger(receiver: ast.expr) -> bool:
+        if isinstance(receiver, ast.Name):
+            lowered = receiver.id.lower()
+            return lowered in _LOGGER_NAMES or lowered.endswith(("logger", "_log"))
+        if isinstance(receiver, ast.Attribute):
+            lowered = receiver.attr.lower()
+            return lowered in _LOGGER_NAMES or lowered.endswith(("logger", "_log"))
+        return False
+
+    # -- repr channel ----------------------------------------------------------
+
+    def _check_dataclass_reprs(
+        self, ctx: FileContext, vocabulary: tuple[str, ...]
+    ) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef) or not _is_dataclass(node):
+                continue
+            if any(
+                isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and member.name in ("__repr__", "__str__")
+                for member in node.body
+            ):
+                continue
+            for member in node.body:
+                if not isinstance(member, ast.AnnAssign) or not isinstance(
+                    member.target, ast.Name
+                ):
+                    continue
+                field_name = member.target.id
+                if not matches_secret_vocabulary(field_name, vocabulary):
+                    continue
+                if "bytes" not in ast.dump(member.annotation):
+                    continue
+                if _field_repr_disabled(member.value):
+                    continue
+                yield self.finding(
+                    ctx,
+                    member,
+                    f"dataclass field {field_name!r} holds secret bytes and the "
+                    "generated __repr__ prints them; define a redacted "
+                    "__repr__ (length + digest prefix) or mark the field "
+                    "repr=False",
+                )
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = _callee_name(target)
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _field_repr_disabled(value: ast.expr | None) -> bool:
+    """True for ``field(..., repr=False)`` defaults."""
+    if not isinstance(value, ast.Call) or _callee_name(value.func) != "field":
+        return False
+    for kw in value.keywords:
+        if kw.arg == "repr" and isinstance(kw.value, ast.Constant):
+            return kw.value.value is False
+    return False

@@ -2,7 +2,10 @@
 
 One parse per file, shared across every applicable rule; suppression
 (``# noqa``) and baseline filtering happen here, uniformly, so individual
-rules stay pure AST logic.
+rules stay pure AST logic.  Per-file rules run first; rules subclassing
+:class:`ProgramChecker` run in a second whole-program phase once every file
+is parsed.  With ``use_cache=True`` both phases are memoized by content hash
+(see :mod:`archlint.cache`).
 """
 
 from __future__ import annotations
@@ -11,7 +14,17 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from archlint.baseline import load_baseline
-from archlint.core import Checker, Config, FileContext, Finding, is_suppressed, path_matches
+from archlint.cache import LintCache, config_fingerprint, content_hash
+from archlint.core import (
+    Checker,
+    Config,
+    FileContext,
+    Finding,
+    ProgramChecker,
+    ProgramContext,
+    is_suppressed,
+    path_matches,
+)
 
 
 @dataclass
@@ -68,6 +81,16 @@ def _relpath(path: Path, project_root: Path) -> str:
         return path.as_posix()
 
 
+def _noqa_hit(finding: Finding, ctx: FileContext) -> bool:
+    """``# noqa`` is honored on the construct's first *or* last physical line
+    so multi-line calls/defs can carry the suppression where the code ends."""
+    if is_suppressed(finding, ctx.line_text(finding.line)):
+        return True
+    return finding.end_line > finding.line and is_suppressed(
+        finding, ctx.line_text(finding.end_line)
+    )
+
+
 def run_lint(
     project_root: Path,
     config: Config,
@@ -75,8 +98,15 @@ def run_lint(
     paths: list[str] | None = None,
     select: set[str] | None = None,
     ignore: set[str] | None = None,
+    use_cache: bool = False,
 ) -> Report:
-    """Drive *rules* over the configured tree and return a filtered report."""
+    """Drive *rules* over the configured tree and return a filtered report.
+
+    Per-file rules run as each file parses; :class:`ProgramChecker` rules run
+    afterwards over the full parsed set.  Cached and cold runs produce the
+    same report: the cache stores post-suppression findings *and* the
+    suppressed counts, so warm replays are byte-identical.
+    """
     active = []
     for rule in rules:
         if select is not None and rule.code not in select:
@@ -88,31 +118,105 @@ def run_lint(
         if not config.rule(rule.code).enabled:
             continue
         active.append(rule)
+    file_rules = [r for r in active if not isinstance(r, ProgramChecker)]
+    program_rules = [r for r in active if isinstance(r, ProgramChecker)]
 
     report = Report(
         project_root=str(project_root), rules_run=[rule.code for rule in active]
     )
     baseline_keys = load_baseline(project_root, config.baseline)
 
+    cache: LintCache | None = None
+    if use_cache:
+        from archlint import __version__
+
+        fingerprint = config_fingerprint(
+            __version__, [rule.code for rule in active], repr(config)
+        )
+        cache = LintCache(project_root / config.cache, fingerprint)
+
+    contexts: dict[str, FileContext] = {}
+    digests: dict[str, str] = {}
+    pre_baseline: list[Finding] = []
+
     for path in discover_files(project_root, config, paths):
         relpath = _relpath(path, project_root)
         try:
-            ctx = FileContext(path, relpath, path.read_text())
-        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            source = path.read_text()
+        except (UnicodeDecodeError, OSError) as exc:
             report.errors.append((relpath, f"unparseable: {exc}"))
             continue
+        digest = content_hash(source)
+        digests[relpath] = digest
         report.files_checked += 1
-        for rule in active:
+
+        cached = cache.get_file(relpath, digest) if cache else None
+        ctx: FileContext | None = None
+        if cached is None or program_rules:
+            try:
+                ctx = FileContext(path, relpath, source)
+            except SyntaxError as exc:
+                report.files_checked -= 1
+                report.errors.append((relpath, f"unparseable: {exc}"))
+                del digests[relpath]
+                continue
+            contexts[relpath] = ctx
+
+        if cached is not None:
+            cached_findings, cached_suppressed = cached
+            pre_baseline.extend(cached_findings)
+            report.suppressed += cached_suppressed
+            continue
+        assert ctx is not None
+        file_findings: list[Finding] = []
+        file_suppressed = 0
+        for rule in file_rules:
             cfg = config.rule(rule.code)
             if not rule.applies_to(relpath, cfg):
                 continue
             for finding in rule.check(ctx, cfg):
-                if is_suppressed(finding, ctx.line_text(finding.line)):
-                    report.suppressed += 1
-                elif finding.key in baseline_keys:
-                    report.baselined += 1
+                if _noqa_hit(finding, ctx):
+                    file_suppressed += 1
                 else:
-                    report.findings.append(finding)
+                    file_findings.append(finding)
+        pre_baseline.extend(file_findings)
+        report.suppressed += file_suppressed
+        if cache:
+            cache.put_file(relpath, digest, file_findings, file_suppressed)
+
+    # -- whole-program phase ---------------------------------------------------
+    if program_rules and not report.errors:
+        program_key = LintCache.program_key(digests)
+        cached_program = cache.get_program(program_key) if cache else None
+        if cached_program is not None:
+            program_findings, program_suppressed = cached_program
+            pre_baseline.extend(program_findings)
+            report.suppressed += program_suppressed
+        else:
+            program = ProgramContext(project_root, config, contexts)
+            program_findings = []
+            program_suppressed = 0
+            for rule in program_rules:
+                cfg = config.rule(rule.code)
+                for finding in rule.check_program(program, cfg):
+                    ctx = contexts.get(finding.relpath)
+                    if ctx is not None and _noqa_hit(finding, ctx):
+                        program_suppressed += 1
+                    else:
+                        program_findings.append(finding)
+            pre_baseline.extend(program_findings)
+            report.suppressed += program_suppressed
+            if cache:
+                cache.put_program(program_key, program_findings, program_suppressed)
+
+    for finding in pre_baseline:
+        if finding.key in baseline_keys:
+            report.baselined += 1
+        else:
+            report.findings.append(finding)
+
+    if cache:
+        cache.save(set(digests), prune=paths is None)
 
     report.findings.sort()
     return report

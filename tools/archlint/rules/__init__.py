@@ -2,7 +2,9 @@
 
 Adding a rule = write a ``Checker`` subclass in a sibling module and list it
 here; the engine, CLI, reporters, and ``--list-rules`` pick it up from
-``ALL_RULES`` with no further wiring.
+``ALL_RULES`` with no further wiring.  ``ProgramChecker`` subclasses
+(ARCH009-ARCH011) are registered the same way -- the engine routes them to
+the whole-program phase automatically.
 """
 
 from archlint.rules.exceptions import BroadExceptRule
@@ -13,6 +15,9 @@ from archlint.rules.metrics_labels import DynamicMetricLabelRule
 from archlint.rules.defaults import MutableDefaultAndAssertRule
 from archlint.rules.tier_registry import TierRegistryRule
 from archlint.rules.zerocopy import ZeroCopyRule
+from archlint.graph import ImportLayeringRule
+from archlint.dataflow import SecretTaintRule
+from archlint.rules.raises import ErrorTaxonomyRule
 
 ALL_RULES = [
     BroadExceptRule(),
@@ -23,6 +28,9 @@ ALL_RULES = [
     MutableDefaultAndAssertRule(),
     TierRegistryRule(),
     ZeroCopyRule(),
+    ImportLayeringRule(),
+    SecretTaintRule(),
+    ErrorTaxonomyRule(),
 ]
 
 RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}
@@ -38,4 +46,7 @@ __all__ = [
     "MutableDefaultAndAssertRule",
     "TierRegistryRule",
     "ZeroCopyRule",
+    "ImportLayeringRule",
+    "SecretTaintRule",
+    "ErrorTaxonomyRule",
 ]

@@ -1,0 +1,86 @@
+"""ARCH011: every ``raise`` in src/repro must use the repro.errors taxonomy.
+
+PRs 1-5 introduced typed errors (``ReproError`` and friends) precisely so
+callers can catch by failure class across decades of maintenance; the drift
+this rule closes is new code raising stray ``ValueError``/``RuntimeError``
+that no retry policy or chaos test recognizes.
+
+A raise is compliant when the exception class is defined in the taxonomy
+module (``taxonomy_module`` option, default ``repro.errors`` -- discovered
+from the parsed program, never imported), is on the builtin allowlist
+(``allow_builtins`` option, default ``NotImplementedError`` for abstract
+protocol methods), or is a re-raise (bare ``raise``, ``raise err`` of a
+caught/lowercase-named variable, ``raise exc from ...``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from archlint.core import Finding, ProgramChecker, ProgramContext, RuleConfig
+
+_DEFAULT_ALLOW_BUILTINS = ("NotImplementedError", "StopIteration", "KeyboardInterrupt")
+
+
+def taxonomy_classes(program: ProgramContext, module: str) -> frozenset[str]:
+    """Exception class names defined in the taxonomy *module*'s file."""
+    suffix = module.replace(".", "/")
+    names: set[str] = set()
+    for relpath, ctx in program.contexts.items():
+        stem = relpath[:-3] if relpath.endswith(".py") else relpath
+        if not (stem.endswith(suffix) or stem.endswith(suffix + "/__init__")):
+            continue
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef):
+                names.add(node.name)
+    return frozenset(names)
+
+
+class ErrorTaxonomyRule(ProgramChecker):
+    code = "ARCH011"
+    name = "error-taxonomy"
+    description = (
+        "raise statements must use the repro.errors taxonomy (or allowlisted "
+        "builtins) so failure classes stay catchable by retry/chaos policy"
+    )
+
+    def check_program(
+        self, program: ProgramContext, cfg: RuleConfig
+    ) -> Iterator[Finding]:
+        module = cfg.options.get("taxonomy_module", "repro.errors")
+        allowed = frozenset(
+            cfg.options.get("allow_builtins", _DEFAULT_ALLOW_BUILTINS)
+        )
+        taxonomy = taxonomy_classes(program, module)
+        for ctx in program.in_scope(self, cfg):
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, ast.Raise):
+                    continue
+                name = _raised_class(node)
+                if name is None or name in taxonomy or name in allowed:
+                    continue
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"raise of {name!r} bypasses the {module} taxonomy; use a "
+                    "typed ReproError subclass (or allowlist the builtin)",
+                )
+
+
+def _raised_class(node: ast.Raise) -> str | None:
+    """Class name being raised, or None for re-raises we never flag."""
+    exc = node.exc
+    if exc is None:  # bare `raise` inside an except block
+        return None
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Attribute):
+        return exc.attr
+    if isinstance(exc, ast.Name):
+        # `raise err` re-raises a caught exception object; class references
+        # are CamelCase by convention, variables lowercase.
+        if exc.id[:1].islower():
+            return None
+        return exc.id
+    return None

@@ -51,11 +51,8 @@ from repro.storage.tiering import (  # noqa: E402
     TierMigrator,
     make_tiered_fleet,
 )
-from repro.storage.workload import (  # noqa: E402
-    ServiceLoadSpec,
-    ZipfianPopularity,
-    run_service_load,
-)
+from repro.service.load import ServiceLoadSpec, run_service_load  # noqa: E402
+from repro.storage.workload import ZipfianPopularity  # noqa: E402
 
 OUTPUT = REPO / "BENCH_service.json"
 
