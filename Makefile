@@ -4,8 +4,8 @@
 export PYTHONPATH := src
 
 .PHONY: install test test-chaos test-tiering bench bench-json bench-service \
-	bench-ratchet artifacts examples all clean lint lint-graph \
-	lint-exceptions lint-imports coverage-storage
+	bench-ratchet artifacts examples all clean lint lint-graph lint-threads \
+	lint-exceptions lint-imports coverage-storage racecheck
 
 install:
 	python setup.py develop
@@ -30,11 +30,12 @@ test-tiering:
 coverage-storage:
 	python tools/storage_coverage.py
 
-# Static analysis: the full archlint rule set (ARCH001..ARCH011 -- broad
+# Static analysis: the full archlint rule set (ARCH001..ARCH013 -- broad
 # excepts, dead imports, nondeterminism, non-constant-time secret compares,
 # dynamic metric labels, mutable defaults / asserts, tier-registry bypass,
 # zero-copy round-trips, import layering, secret-taint dataflow, error
-# taxonomy) over every configured root, emitting the machine-readable
+# taxonomy, lock discipline, frozen plans) over every configured root,
+# emitting the machine-readable
 # archlint_report.json at the repo root.  Incremental via the content-hash
 # cache (.archlint_cache.json, gitignored); pass --no-cache to force a
 # cold run.  Policy lives in [tool.archlint] in pyproject.toml.
@@ -48,6 +49,21 @@ lint:
 # against the committed archlint_baseline.json ratchet.
 lint-graph:
 	PYTHONPATH=tools:$(PYTHONPATH) python -m archlint --select ARCH009,ARCH010,ARCH011 src/repro
+
+# Concurrency safety only: ARCH012 (thread-reachability + lock discipline
+# over shared mutable state, with the GIL-atomic allowlist from
+# [tool.archlint.concurrency]) and ARCH013 (every lru_cache'd plan/table
+# returns read-only arrays; no caller mutates one) over the library.
+lint-threads:
+	PYTHONPATH=tools:$(PYTHONPATH) python -m archlint --select ARCH012,ARCH013 src/repro
+
+# Dynamic counterpart of lint-threads: barrier-synchronized seeded stress
+# over the kernel, the plan/key caches, and the metrics registry, asserting
+# byte-identical outputs at workers in {1,2,8} and exact metric counts; its
+# coverage tables are cross-checked against ARCH012's static inventory so
+# the two views cannot drift.
+racecheck:
+	python tools/racecheck.py
 
 # Back-compat aliases for the two pre-archlint gates (the grep-based broad
 # except check and the retired tools/lint_imports.py shim); both run as
@@ -90,7 +106,7 @@ examples:
 		python $$script || exit 1; \
 	done
 
-all: install lint lint-graph test test-tiering bench bench-json bench-ratchet artifacts
+all: install lint lint-graph lint-threads test test-tiering racecheck bench bench-json bench-ratchet artifacts
 
 clean:
 	rm -rf build src/repro.egg-info .pytest_cache

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import os
 import re
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import nullcontext
@@ -63,7 +64,20 @@ class MaintenanceReport:
 
 
 class SecureArchive(ArchivalSystem):
-    """Policy-driven secure archive."""
+    """Policy-driven secure archive.
+
+    **Client concurrency.**  Public operations serialize on a per-archive
+    re-entrant lock: parallelism lives *inside* an operation (batch encode
+    fan-out, kernel sharding), never across operations -- the archive rng,
+    placement state, receipts, and timestamp chain must be consumed in a
+    deterministic order or two identically seeded archives would diverge.
+    Concurrent clients therefore see their calls executed in *some*
+    sequential order, each call atomic, and the retrieved plaintexts are
+    byte-identical to a sequential run (share bytes depend on rng
+    interleaving across clients, plaintexts never do).  The lock is
+    re-entrant because the composite operations (``store_large`` /
+    ``retrieve_large``) call other public operations while holding it.
+    """
 
     name = "SecureArchive"
     citation = "(this work)"
@@ -77,6 +91,9 @@ class SecureArchive(ArchivalSystem):
     def __init__(self, policy: ArchivePolicy, nodes, rng):
         self.policy = policy
         self._scheme = self._build_scheme(policy)
+        # Serializes the public client surface (see the class docstring);
+        # taken by every store/retrieve/maintenance entry point.
+        self._client_lock = threading.RLock()
         super().__init__(nodes, rng)
         self.chain = TimestampChain()
         self.authority = TimestampAuthority(
@@ -165,7 +182,7 @@ class SecureArchive(ArchivalSystem):
 
     def store(self, object_id: str, data: bytes) -> StoreReceipt:
         self._reject_segment_id(object_id)
-        with span("archive.store", object_id=object_id):
+        with self._client_lock, span("archive.store", object_id=object_id):
             return self._store(object_id, data)
 
     def _store(self, object_id: str, data: bytes, split=None) -> StoreReceipt:
@@ -216,7 +233,7 @@ class SecureArchive(ArchivalSystem):
         return self._record(receipt)
 
     def retrieve(self, object_id: str) -> bytes:
-        with span("archive.retrieve", object_id=object_id):
+        with self._client_lock, span("archive.retrieve", object_id=object_id):
             _metrics.inc("archive_ops_total", op="retrieve")
             receipt = self.receipt(object_id)
             # Degraded read: stop at the scheme's decode threshold; shares
@@ -275,7 +292,8 @@ class SecureArchive(ArchivalSystem):
         """
         for object_id, _ in items:
             self._reject_segment_id(object_id)
-        return self._store_batch(items)
+        with self._client_lock:
+            return self._store_batch(items)
 
     def _store_batch(
         self, items: Sequence[tuple[str, bytes]]
@@ -323,7 +341,7 @@ class SecureArchive(ArchivalSystem):
         """
         object_ids = list(object_ids)
         start = time.perf_counter()
-        with span("archive.retrieve_batch", count=len(object_ids)):
+        with self._client_lock, span("archive.retrieve_batch", count=len(object_ids)):
             fetched_by_id = []
             for object_id in object_ids:
                 _metrics.inc("archive_ops_total", op="retrieve")
@@ -376,33 +394,35 @@ class SecureArchive(ArchivalSystem):
         # Segments are memoryview slices: the encoders view them through
         # np.frombuffer, so a multi-GiB ingest never duplicates the input.
         view = memoryview(data)
-        with span("archive.store_large", object_id=object_id, segments=count):
-            _metrics.inc("archive_ops_total", op="store_large")
-            receipts = self._store_batch(
-                [
-                    (
-                        f"{object_id}/seg-{k}",
-                        view[k * segment_bytes : (k + 1) * segment_bytes],
-                    )
-                    for k in range(count)
-                ]
-            )
-        self._manifests[object_id] = {
-            "segments": count,
-            "segment_bytes": segment_bytes,
-            "total_length": len(data),
-        }
-        return receipts
+        with self._client_lock:
+            with span("archive.store_large", object_id=object_id, segments=count):
+                _metrics.inc("archive_ops_total", op="store_large")
+                receipts = self._store_batch(
+                    [
+                        (
+                            f"{object_id}/seg-{k}",
+                            view[k * segment_bytes : (k + 1) * segment_bytes],
+                        )
+                        for k in range(count)
+                    ]
+                )
+            self._manifests[object_id] = {
+                "segments": count,
+                "segment_bytes": segment_bytes,
+                "total_length": len(data),
+            }
+            return receipts
 
     def retrieve_large(self, object_id: str) -> bytes:
-        try:
-            manifest = self._manifests[object_id]
-        except KeyError:
-            raise ObjectNotFoundError(f"no large object {object_id!r}") from None
-        with span("archive.retrieve_large", object_id=object_id):
-            parts = self.retrieve_batch(
-                [f"{object_id}/seg-{k}" for k in range(manifest["segments"])]
-            )
+        with self._client_lock:
+            try:
+                manifest = self._manifests[object_id]
+            except KeyError:
+                raise ObjectNotFoundError(f"no large object {object_id!r}") from None
+            with span("archive.retrieve_large", object_id=object_id):
+                parts = self.retrieve_batch(
+                    [f"{object_id}/seg-{k}" for k in range(manifest["segments"])]
+                )
         data = b"".join(parts)
         if len(data) != manifest["total_length"]:
             raise DecodingError(
@@ -420,27 +440,29 @@ class SecureArchive(ArchivalSystem):
         policy mandates retention, accidental (or adversarial) deletion
         must fail closed.
         """
-        self.receipt(object_id)  # must exist
-        if until_epoch < self.epoch:
-            raise ParameterError("retention cannot end in the past")
-        current = self._retention.get(object_id, -1)
-        self._retention[object_id] = max(current, until_epoch)
+        with self._client_lock:
+            self.receipt(object_id)  # must exist
+            if until_epoch < self.epoch:
+                raise ParameterError("retention cannot end in the past")
+            current = self._retention.get(object_id, -1)
+            self._retention[object_id] = max(current, until_epoch)
 
     def delete(self, object_id: str) -> None:
         """Remove an object -- unless a retention lock forbids it."""
-        receipt = self.receipt(object_id)
-        held_until = self._retention.get(object_id)
-        if held_until is not None and self.epoch < held_until:
-            raise RetentionLockedError(
-                f"{object_id} is retained until epoch {held_until} "
-                f"(now {self.epoch})"
-            )
-        self.placement_policy.delete(receipt.placement)
-        del self._receipts[object_id]
-        self._plaintext_bytes -= receipt.original_length
-        self._retention.pop(object_id, None)
-        if self.tiering is not None:
-            self.tiering.forget(object_id)
+        with self._client_lock:
+            receipt = self.receipt(object_id)
+            held_until = self._retention.get(object_id)
+            if held_until is not None and self.epoch < held_until:
+                raise RetentionLockedError(
+                    f"{object_id} is retained until epoch {held_until} "
+                    f"(now {self.epoch})"
+                )
+            self.placement_policy.delete(receipt.placement)
+            del self._receipts[object_id]
+            self._plaintext_bytes -= receipt.original_length
+            self._retention.pop(object_id, None)
+            if self.tiering is not None:
+                self.tiering.forget(object_id)
 
     # -- maintenance ---------------------------------------------------------------------
 
@@ -473,6 +495,10 @@ class SecureArchive(ArchivalSystem):
         (renewal *and* migration) run with the access tracker suspended so
         background traffic never counts as user demand.
         """
+        with self._client_lock:
+            return self._advance_epoch()
+
+    def _advance_epoch(self) -> MaintenanceReport:
         self.epoch += 1
         with span("archive.advance_epoch", epoch=self.epoch):
             _metrics.inc("archive_ops_total", op="advance_epoch")

@@ -20,6 +20,7 @@ at-rest cipher of the commercial-cloud baseline in Table 1.
 
 from __future__ import annotations
 
+import threading
 from functools import lru_cache
 
 import numpy as np
@@ -311,10 +312,23 @@ def aes_ctr_xor(key: bytes, nonce: bytes, data: bytes, initial_counter: int = 0)
     return out.tobytes()  # noqa: ARCH008 -- bytes API boundary
 
 
+#: Serializes key-schedule cache maintenance; see the kernel's
+#: ``_MAINTENANCE_LOCK`` for the contract (lookups stay lock-free, clears
+#: are atomic per-cache, the lock keeps two sweeps from interleaving).
+_KEY_CACHE_LOCK = threading.Lock()
+
+
 def clear_key_caches() -> None:
-    """Drop cached AES key schedules (for cold-path benchmarking)."""
-    _round_key_words.cache_clear()
-    _expand_key.cache_clear()
+    """Drop cached AES key schedules (for cold-path benchmarking).
+
+    Safe while encrypting threads are in flight: schedules are immutable
+    (frozen ndarrays) and pure functions of the key, so a racing encryption
+    either keeps the schedule it already resolved or rebuilds an identical
+    one.  The lock serializes whole sweeps so both caches clear as a unit.
+    """
+    with _KEY_CACHE_LOCK:
+        _round_key_words.cache_clear()
+        _expand_key.cache_clear()
 
 
 class AesCtrCipher:

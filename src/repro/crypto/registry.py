@@ -21,6 +21,7 @@ hardness assumption and the timeline refuses to break them -- that asymmetry
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field
 
 from repro.errors import AdversaryError, ParameterError
@@ -67,21 +68,30 @@ class PrimitiveInfo:
 
 
 class PrimitiveRegistry:
-    """Name -> :class:`PrimitiveInfo` catalogue."""
+    """Name -> :class:`PrimitiveInfo` catalogue.
+
+    Registration normally happens at import time, but the global registry is
+    readable from kernel worker threads and plugins may register lazily, so
+    ``register`` runs its whole compare-and-insert under a lock: the
+    duplicate check and the insert must be one critical section or two
+    racing registrations of the same name could both pass the check.
+    """
 
     def __init__(self) -> None:
         self._primitives: dict[str, PrimitiveInfo] = {}
+        self._lock = threading.Lock()
 
     def register(self, info: PrimitiveInfo) -> PrimitiveInfo:
-        existing = self._primitives.get(info.name)
-        if existing is not None:
-            if existing != info:
-                raise ParameterError(
-                    f"primitive {info.name!r} already registered with different metadata"
-                )
-            return existing
-        self._primitives[info.name] = info
-        return info
+        with self._lock:
+            existing = self._primitives.get(info.name)
+            if existing is not None:
+                if existing != info:
+                    raise ParameterError(
+                        f"primitive {info.name!r} already registered with different metadata"
+                    )
+                return existing
+            self._primitives[info.name] = info
+            return info
 
     def get(self, name: str) -> PrimitiveInfo:
         try:

@@ -413,13 +413,36 @@ _PLAN_FUNCTIONS = {
     "packed_mul_tables": _packed_tables,
 }
 
+#: Serializes cache maintenance (clear/info) against itself.  Plan *lookups*
+#: stay lock-free: CPython's lru_cache wrapper is thread-safe at the C level,
+#: and a shard that raced a clear simply rebuilds its plan -- the plans are
+#: pure functions of their keys, so any rebuild is byte-identical.  The lock
+#: exists so two maintenance calls can't interleave a half-cleared view, and
+#: so ``plan_cache_info`` reports one consistent cut of the statistics.
+_MAINTENANCE_LOCK = threading.Lock()
+
 
 def plan_cache_info() -> dict[str, object]:
-    """Hit/miss statistics for every plan cache (tests and diagnostics)."""
-    return {name: fn.cache_info()._asdict() for name, fn in _PLAN_FUNCTIONS.items()}
+    """Hit/miss statistics for every plan cache (tests and diagnostics).
+
+    Safe while shards are in flight: taken under the maintenance lock so it
+    never interleaves with a ``clear_plan_caches`` half-way through its
+    sweep (which would report some caches cleared and some not, a view no
+    sequential execution could produce).
+    """
+    with _MAINTENANCE_LOCK:
+        return {name: fn.cache_info()._asdict() for name, fn in _PLAN_FUNCTIONS.items()}
 
 
 def clear_plan_caches() -> None:
-    """Drop every cached plan (test isolation; never needed for correctness)."""
-    for fn in _PLAN_FUNCTIONS.values():
-        fn.cache_clear()
+    """Drop every cached plan (test isolation; never needed for correctness).
+
+    Safe while shards are in flight: each ``cache_clear`` is atomic inside
+    CPython's lru_cache, in-flight shards keep the (immutable) plan arrays
+    they already hold, and any concurrent miss rebuilds an identical plan.
+    The maintenance lock only serializes this sweep against other
+    maintenance calls so ``plan_cache_info`` never sees a torn clear.
+    """
+    with _MAINTENANCE_LOCK:
+        for fn in _PLAN_FUNCTIONS.values():
+            fn.cache_clear()

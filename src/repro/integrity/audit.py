@@ -19,6 +19,7 @@ auditing k random objects catches a fraction-f corruption with probability
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Protocol
 
 from repro.crypto.drbg import DeterministicRandom
 from repro.crypto.hmac_ import constant_time_eq
@@ -26,7 +27,29 @@ from repro.crypto.sha256 import sha256, sha256_hex
 from repro.errors import IntegrityError, ParameterError
 from repro.integrity.merkle import MerkleProof, MerkleTree
 from repro.obs import metrics as _metrics
-from repro.storage.node import StorageNode
+
+
+class AuditableNode(Protocol):
+    """What the auditor needs from a storage node.
+
+    A structural protocol rather than an import of
+    ``repro.storage.node.StorageNode``: the layering DAG says integrity may
+    not depend on storage (both sit above secretsharing as siblings), and
+    the auditor genuinely needs only this four-member surface -- anything
+    that can list, hand back, and raw-read objects is auditable, including
+    the test doubles and adversarial responders the suite drives.  This
+    replaced the last baselined ARCH009 edge (integrity.audit ->
+    storage.node); the baseline is empty now and must stay that way.
+    """
+
+    @property
+    def node_id(self) -> str: ...
+
+    def object_ids(self) -> Iterable[str]: ...
+
+    def get(self, object_id: str) -> bytes: ...
+
+    def raw_bytes(self, object_id: str) -> bytes: ...
 
 
 def _leaf(object_id: str, digest_hex: str) -> bytes:
@@ -74,7 +97,7 @@ class AuditReport:
 class StorageAuditor:
     """Issues commitments, challenges, and verdicts over storage nodes."""
 
-    def commit_inventory(self, node: StorageNode, epoch: int = 0) -> InventoryCommitment:
+    def commit_inventory(self, node: AuditableNode, epoch: int = 0) -> InventoryCommitment:
         object_ids = tuple(node.object_ids())
         if not object_ids:
             raise ParameterError(f"node {node.node_id} holds nothing to commit")
@@ -103,7 +126,7 @@ class StorageAuditor:
 
     @staticmethod
     def respond(
-        node: StorageNode,
+        node: AuditableNode,
         commitment: InventoryCommitment,
         challenge: AuditChallenge,
         nonce: bytes,
@@ -129,7 +152,7 @@ class StorageAuditor:
 
     def audit(
         self,
-        node: StorageNode,
+        node: AuditableNode,
         commitment: InventoryCommitment,
         rng: DeterministicRandom,
         challenges: int = 8,
@@ -222,7 +245,7 @@ class CachedTreeResponder:
     sampling regime of :func:`detection_probability`.
     """
 
-    def __init__(self, node: StorageNode, commitment: InventoryCommitment):
+    def __init__(self, node: AuditableNode, commitment: InventoryCommitment):
         self.node = node
         self.commitment = commitment
         self._digests = {

@@ -47,35 +47,53 @@ __all__ = [
 
 
 class Counter:
-    """A monotonically increasing count (events, bytes, shares...)."""
+    """A monotonically increasing count (events, bytes, shares...).
 
-    __slots__ = ("value",)
+    ``inc`` is a read-modify-write (``self.value += amount`` is a LOAD,
+    an ADD, and a STORE the interpreter may interleave), and counters are
+    bumped from kernel/batch worker threads -- so it runs under a
+    per-counter lock.  Uncontended acquisition is tens of nanoseconds;
+    a lost increment is an observability lie that lasts forever.
+    """
+
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int | float = 1) -> None:
         if amount < 0:
             raise ParameterError("counters only go up")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
-    """A value that can go up and down (objects held, nodes online...)."""
+    """A value that can go up and down (objects held, nodes online...).
 
-    __slots__ = ("value",)
+    ``set`` is a single STORE_ATTR of an immutable float -- last-writer-wins
+    is the documented gauge semantics, so it stays lock-free (allowlisted as
+    GIL-atomic in ``[tool.archlint.concurrency]``).  ``inc``/``dec`` are
+    read-modify-writes and take the per-gauge lock.
+    """
+
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         self.value = value
 
     def inc(self, amount: float = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
 
 def exponential_buckets(start: float, factor: float, count: int) -> tuple[float, ...]:
@@ -94,9 +112,15 @@ DEFAULT_BUCKETS = exponential_buckets(1e-6, 4.0, 12)
 
 
 class Histogram:
-    """Distribution sketch: exponential buckets plus count/sum/min/max."""
+    """Distribution sketch: exponential buckets plus count/sum/min/max.
 
-    __slots__ = ("bounds", "bucket_counts", "count", "sum", "min", "max")
+    ``observe`` updates five fields that must stay mutually consistent
+    (``sum/count`` is the mean; bucket totals must equal ``count``), so the
+    whole update runs under a per-histogram lock -- there is no GIL-atomic
+    story for a five-field invariant.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "sum", "min", "max", "_lock")
 
     def __init__(self, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
         if not bounds or list(bounds) != sorted(bounds):
@@ -108,15 +132,17 @@ class Histogram:
         self.sum = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.bucket_counts[bisect_left(self.bounds, value)] += 1
-        self.count += 1
-        self.sum += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        with self._lock:
+            self.bucket_counts[bisect_left(self.bounds, value)] += 1
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
 
     @property
     def mean(self) -> float:
@@ -218,30 +244,41 @@ class MetricsRegistry:
         name -> ``{count, sum, mean, min, max, buckets}`` where ``buckets``
         is a list of ``[upper_bound, count]`` pairs (only non-empty buckets,
         ``None`` bound for the overflow bucket).
+
+        Safe to call while worker threads record: the registry lock pins the
+        metric dicts (a racing first-use ``setdefault`` would otherwise
+        resize them mid-iteration), and each histogram is read under its own
+        lock so count/sum/buckets are one consistent cut, never a torn view
+        where the buckets have an observation the sum hasn't.
         """
+        with self._lock:
+            counter_items = list(self._counters.items())
+            gauge_items = list(self._gauges.items())
+            histogram_items = list(self._histograms.items())
         counters = {
             _render_name(name, labels): metric.value
-            for (name, labels), metric in self._counters.items()
+            for (name, labels), metric in counter_items
         }
         gauges = {
             _render_name(name, labels): metric.value
-            for (name, labels), metric in self._gauges.items()
+            for (name, labels), metric in gauge_items
         }
         histograms = {}
-        for (name, labels), metric in self._histograms.items():
+        for (name, labels), metric in histogram_items:
             bounds = list(metric.bounds) + [None]
-            histograms[_render_name(name, labels)] = {
-                "count": metric.count,
-                "sum": metric.sum,
-                "mean": metric.mean,
-                "min": metric.min if metric.count else None,
-                "max": metric.max if metric.count else None,
-                "buckets": [
-                    [bounds[i], c]
-                    for i, c in enumerate(metric.bucket_counts)
-                    if c
-                ],
-            }
+            with metric._lock:
+                histograms[_render_name(name, labels)] = {
+                    "count": metric.count,
+                    "sum": metric.sum,
+                    "mean": metric.mean,
+                    "min": metric.min if metric.count else None,
+                    "max": metric.max if metric.count else None,
+                    "buckets": [
+                        [bounds[i], c]
+                        for i, c in enumerate(metric.bucket_counts)
+                        if c
+                    ],
+                }
         return {
             "counters": dict(sorted(counters.items())),
             "gauges": dict(sorted(gauges.items())),

@@ -1,0 +1,494 @@
+"""Tests for archlint's concurrency rules (ARCH012/ARCH013).
+
+Snippet projects driven through the real engine: lock-discipline triggers,
+lock/noqa/allowlist escapes, check-then-act, frozen-plan verdicts and
+caller-side mutation, plus the :func:`archlint.concurrency.analyze` API the
+racecheck harness cross-checks against and the ``[tool.archlint.concurrency]``
+loader validation.
+"""
+
+from __future__ import annotations
+
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from archlint.concurrency import analyze  # noqa: E402 - path bootstrap above
+from archlint.config import load_config  # noqa: E402
+from archlint.core import Config, FileContext  # noqa: E402
+from archlint.engine import run_lint  # noqa: E402
+from archlint.rules import ALL_RULES  # noqa: E402
+
+
+def lint_files(
+    tmp_path: Path,
+    files: dict[str, str],
+    code: str,
+    concurrency: dict | None = None,
+):
+    """Run one concurrency rule over a scratch project rooted at src/."""
+    for relpath, source in files.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+    config = Config(roots=(".",))
+    if concurrency is not None:
+        config.concurrency = concurrency
+    return run_lint(tmp_path, config, ALL_RULES, select={code})
+
+
+def build_analysis(files: dict[str, str]):
+    contexts = {
+        relpath: FileContext(
+            Path(relpath), relpath, textwrap.dedent(source)
+        )
+        for relpath, source in files.items()
+    }
+    return analyze(contexts, "src")
+
+
+# Shared fixture: a worker submitted to a pool, writing a module dict.
+POOL_WRITE = """
+    import threading
+
+    CACHE = {}
+    _LOCK = threading.Lock()
+
+    def worker(key):
+        {write}
+
+    def run(pool):
+        pool.submit(worker, "k")
+"""
+
+
+def pool_write(write: str) -> dict[str, str]:
+    return {"src/pkg/mod.py": POOL_WRITE.replace("{write}", write)}
+
+
+class TestArch012LockDiscipline:
+    def test_unlocked_write_from_worker_triggers(self, tmp_path):
+        report = lint_files(tmp_path, pool_write("CACHE[key] = 1"), "ARCH012")
+        assert len(report.findings) == 1
+        assert "unsynchronized write" in report.findings[0].message
+        assert "pkg.mod.CACHE" in report.findings[0].message
+
+    def test_write_under_lock_passes(self, tmp_path):
+        files = pool_write("with _LOCK:\n            CACHE[key] = 1")
+        assert lint_files(tmp_path, files, "ARCH012").ok
+
+    def test_noqa_on_the_write_line(self, tmp_path):
+        files = pool_write("CACHE[key] = 1  # noqa: ARCH012 -- sanctioned")
+        report = lint_files(tmp_path, files, "ARCH012")
+        assert report.ok and report.suppressed == 1
+
+    def test_atomic_allowlist_exempts_the_function(self, tmp_path):
+        report = lint_files(
+            tmp_path,
+            pool_write("CACHE[key] = 1"),
+            "ARCH012",
+            concurrency={
+                "atomic": ["pkg.mod.worker -- one STORE_SUBSCR, last-writer-wins"]
+            },
+        )
+        assert report.ok
+
+    def test_maintenance_write_to_worker_shared_state_triggers(self, tmp_path):
+        # The worker only READS the dict; an unlocked write from plain
+        # maintenance code still races against those reads.
+        files = {
+            "src/pkg/mod.py": """
+                CACHE = {}
+
+                def worker(key):
+                    return CACHE.get(key)
+
+                def run(pool):
+                    pool.submit(worker, "k")
+
+                def evict():
+                    CACHE.clear()
+            """
+        }
+        report = lint_files(tmp_path, files, "ARCH012")
+        assert len(report.findings) == 1
+        assert "pkg.mod.CACHE" in report.findings[0].message
+
+    def test_state_never_worker_reachable_is_ignored(self, tmp_path):
+        # OTHER is module state, but no worker-reachable code touches it, so
+        # unlocked writes to it are ordinary single-threaded code.
+        files = {
+            "src/pkg/mod.py": """
+                OTHER = {}
+
+                def worker(key):
+                    return key
+
+                def run(pool):
+                    pool.submit(worker, "k")
+
+                def note(key):
+                    OTHER[key] = 1
+            """
+        }
+        assert lint_files(tmp_path, files, "ARCH012").ok
+
+    def test_thread_target_is_an_entry_point(self, tmp_path):
+        files = {
+            "src/pkg/mod.py": """
+                import threading
+
+                SEEN = []
+
+                def worker():
+                    SEEN.append(1)
+
+                def run():
+                    threading.Thread(target=worker).start()
+            """
+        }
+        report = lint_files(tmp_path, files, "ARCH012")
+        assert len(report.findings) == 1
+        assert "pkg.mod.SEEN" in report.findings[0].message
+
+    def test_check_then_act_triggers(self, tmp_path):
+        files = pool_write(
+            "if CACHE.get(key) is None:\n"
+            "            with _LOCK:\n"
+            "                CACHE[key] = 1"
+        )
+        report = lint_files(tmp_path, files, "ARCH012")
+        assert len(report.findings) == 1
+        assert "check-then-act" in report.findings[0].message
+
+    def test_locked_setdefault_passes(self, tmp_path):
+        files = pool_write("with _LOCK:\n            CACHE.setdefault(key, 1)")
+        assert lint_files(tmp_path, files, "ARCH012").ok
+
+    def test_unlocked_cache_clear_on_worker_lru_triggers(self, tmp_path):
+        files = {
+            "src/pkg/mod.py": """
+                from functools import lru_cache
+
+                @lru_cache(maxsize=None)
+                def plan(n):
+                    return n * 2
+
+                def worker(n):
+                    return plan(n)
+
+                def run(pool):
+                    pool.submit(worker, 3)
+
+                def reset():
+                    plan.cache_clear()
+            """
+        }
+        report = lint_files(tmp_path, files, "ARCH012")
+        assert len(report.findings) == 1
+        assert "pkg.mod.plan" in report.findings[0].message
+
+    def test_locked_cache_clear_passes(self, tmp_path):
+        files = {
+            "src/pkg/mod.py": """
+                import threading
+                from functools import lru_cache
+
+                _LOCK = threading.Lock()
+
+                @lru_cache(maxsize=None)
+                def plan(n):
+                    return n * 2
+
+                def worker(n):
+                    return plan(n)
+
+                def run(pool):
+                    pool.submit(worker, 3)
+
+                def reset():
+                    with _LOCK:
+                        plan.cache_clear()
+            """
+        }
+        assert lint_files(tmp_path, files, "ARCH012").ok
+
+
+class TestArch013FrozenPlan:
+    def test_writable_cached_array_triggers(self, tmp_path):
+        files = {
+            "src/pkg/plans.py": """
+                from functools import lru_cache
+                import numpy as np
+
+                @lru_cache(maxsize=None)
+                def plan(n):
+                    table = np.arange(n)
+                    return table
+            """
+        }
+        report = lint_files(tmp_path, files, "ARCH013")
+        assert len(report.findings) == 1
+        assert "may return a writable array" in report.findings[0].message
+
+    def test_setflags_before_return_passes(self, tmp_path):
+        files = {
+            "src/pkg/plans.py": """
+                from functools import lru_cache
+                import numpy as np
+
+                @lru_cache(maxsize=None)
+                def plan(n):
+                    table = np.arange(n)
+                    table.setflags(write=False)
+                    return table
+            """
+        }
+        assert lint_files(tmp_path, files, "ARCH013").ok
+
+    def test_view_of_frozen_array_passes(self, tmp_path):
+        files = {
+            "src/pkg/plans.py": """
+                from functools import lru_cache
+                import numpy as np
+
+                @lru_cache(maxsize=None)
+                def plan(n):
+                    table = np.arange(n)
+                    table.setflags(write=False)
+                    return table.reshape(1, -1)
+            """
+        }
+        assert lint_files(tmp_path, files, "ARCH013").ok
+
+    def test_freezer_helper_passes(self, tmp_path):
+        files = {
+            "src/pkg/plans.py": """
+                from functools import lru_cache
+                import numpy as np
+
+                def _freeze(arr):
+                    arr.setflags(write=False)
+                    return arr
+
+                @lru_cache(maxsize=None)
+                def plan(n):
+                    return _freeze(np.arange(n))
+            """
+        }
+        assert lint_files(tmp_path, files, "ARCH013").ok
+
+    def test_nonarray_return_passes(self, tmp_path):
+        files = {
+            "src/pkg/plans.py": """
+                from functools import lru_cache
+
+                @lru_cache(maxsize=None)
+                def widths(n):
+                    return tuple(int(i) for i in range(n))
+            """
+        }
+        assert lint_files(tmp_path, files, "ARCH013").ok
+
+    def test_caller_mutating_cached_plan_triggers(self, tmp_path):
+        files = {
+            "src/pkg/plans.py": """
+                from functools import lru_cache
+                import numpy as np
+
+                @lru_cache(maxsize=None)
+                def plan(n):
+                    table = np.arange(n)
+                    table.setflags(write=False)
+                    return table
+
+                def corrupt(n):
+                    p = plan(n)
+                    p[0] = 9
+                    return p
+            """
+        }
+        report = lint_files(tmp_path, files, "ARCH013")
+        assert len(report.findings) == 1
+        assert "cached plan array" in report.findings[0].message
+
+    def test_mutation_through_provider_wrapper_triggers(self, tmp_path):
+        # get_plan is a thin wrapper around the cached builder; aliasing the
+        # plan through it must not launder the caller-side mutation.
+        files = {
+            "src/pkg/plans.py": """
+                from functools import lru_cache
+                import numpy as np
+
+                @lru_cache(maxsize=None)
+                def _plan(n):
+                    table = np.arange(n)
+                    table.setflags(write=False)
+                    return table
+
+                def get_plan(n):
+                    return _plan(n)
+
+                def corrupt(n):
+                    p = get_plan(n)
+                    p += 1
+                    return p
+            """
+        }
+        report = lint_files(tmp_path, files, "ARCH013")
+        assert len(report.findings) == 1
+        assert "cached plan array" in report.findings[0].message
+
+    def test_caller_copy_then_mutate_passes(self, tmp_path):
+        files = {
+            "src/pkg/plans.py": """
+                from functools import lru_cache
+                import numpy as np
+
+                @lru_cache(maxsize=None)
+                def plan(n):
+                    table = np.arange(n)
+                    table.setflags(write=False)
+                    return table
+
+                def scratch(n):
+                    p = np.copy(plan(n))
+                    p[0] = 9
+                    return p
+            """
+        }
+        assert lint_files(tmp_path, files, "ARCH013").ok
+
+    def test_noqa_on_caller_mutation_line(self, tmp_path):
+        files = {
+            "src/pkg/plans.py": """
+                from functools import lru_cache
+                import numpy as np
+
+                @lru_cache(maxsize=None)
+                def plan(n):
+                    table = np.arange(n)
+                    table.setflags(write=False)
+                    return table
+
+                def corrupt(n):
+                    p = plan(n)
+                    p[0] = 9  # noqa: ARCH013 -- deliberate corruption fixture
+                    return p
+            """
+        }
+        report = lint_files(tmp_path, files, "ARCH013")
+        assert report.ok and report.suppressed == 1
+
+
+class TestAnalyzeApi:
+    """The analyze() surface racecheck cross-checks against."""
+
+    FILES = {
+        "src/pkg/mod.py": """
+            import threading
+            from functools import lru_cache
+
+            CACHE = {}
+            _LOCK = threading.Lock()
+
+            class Registry:
+                def __init__(self):
+                    self.items = {}
+
+            REGISTRY = Registry()
+
+            @lru_cache(maxsize=None)
+            def plan(n):
+                return n
+
+            def _block(n):
+                CACHE[n] = plan(n)
+
+            def _other(n):
+                return n
+
+            def _run_sharded(block_fn, pool):
+                pool.submit(block_fn, 1)
+
+            def encode(pool, packed):
+                block_fn = _block if packed else _other
+                _run_sharded(block_fn, pool)
+        """
+    }
+
+    def test_inventory_kinds(self):
+        analysis = build_analysis(self.FILES)
+        kinds = {s.qualname: s.kind for s in analysis.inventory()}
+        assert kinds["pkg.mod.CACHE"] == "container"
+        assert kinds["pkg.mod.REGISTRY"] == "singleton"
+        assert kinds["pkg.mod.plan"] == "lru-cache"
+        assert "pkg.mod._LOCK" not in kinds  # sync primitives are not state
+
+    def test_funnel_and_alias_resolution(self):
+        # encode() hands a conditional alias to _run_sharded, which submits
+        # it: both branches must become entry points through the funnel.
+        analysis = build_analysis(self.FILES)
+        entries = {info.qualname for info in analysis.entry_points}
+        assert "pkg.mod._block" in entries
+        assert "pkg.mod._other" in entries
+
+    def test_thread_shared_verdicts(self):
+        analysis = build_analysis(self.FILES)
+        assert "pkg.mod.CACHE" in analysis.thread_shared
+        assert "pkg.mod.plan" in analysis.thread_shared
+        shared_in = {s.qualname for s in analysis.thread_shared_in("pkg.mod")}
+        assert "pkg.mod.CACHE" in shared_in
+
+
+class TestConcurrencyConfigLoader:
+    def _load(self, tmp_path: Path, body: str) -> Config:
+        (tmp_path / "pyproject.toml").write_text(textwrap.dedent(body))
+        return load_config(tmp_path)
+
+    def test_valid_table_loads(self, tmp_path):
+        config = self._load(
+            tmp_path,
+            """
+            [tool.archlint.concurrency]
+            atomic = ["pkg.mod.worker -- one STORE, last-writer-wins"]
+            lock_names = ["guard"]
+            """,
+        )
+        assert config.concurrency["atomic"] == [
+            "pkg.mod.worker -- one STORE, last-writer-wins"
+        ]
+        assert config.concurrency["lock_names"] == ["guard"]
+
+    def test_atomic_entry_without_reason_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="qualified.name -- reason"):
+            self._load(
+                tmp_path,
+                """
+                [tool.archlint.concurrency]
+                atomic = ["pkg.mod.worker"]
+                """,
+            )
+
+    def test_unknown_key_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown key"):
+            self._load(
+                tmp_path,
+                """
+                [tool.archlint.concurrency]
+                locks = ["x"]
+                """,
+            )
+
+    def test_concurrency_feeds_cache_fingerprint(self):
+        # Editing the allowlist must invalidate cached lint verdicts: the
+        # table is a dataclass field, so it lands in repr(config).
+        a = Config(roots=(".",))
+        b = Config(roots=(".",))
+        b.concurrency = {"atomic": ["pkg.mod.worker -- reason"]}
+        assert repr(a) != repr(b)

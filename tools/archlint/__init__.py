@@ -15,18 +15,24 @@ checked against the layering DAG declared in pyproject (ARCH009), secret
 material is taint-tracked into observable sinks (ARCH010), and every raise
 is held to the ``repro.errors`` taxonomy (ARCH011).
 
+v2.1 adds concurrency safety: thread-reachability + lock discipline over
+shared mutable state (ARCH012) and the frozen-plan invariant for cached
+tables (ARCH013), sharing one analysis with the ``tools/racecheck.py``
+dynamic stress harness so the static and runtime views cannot drift.
+
 Layout:
 
-- :mod:`archlint.core`      -- Finding/Checker/Config dataclasses, noqa logic
-- :mod:`archlint.config`    -- ``[tool.archlint]`` pyproject loader
-- :mod:`archlint.engine`    -- discovery + per-file and whole-program phases
-- :mod:`archlint.graph`     -- import graph + layering (ARCH009)
-- :mod:`archlint.dataflow`  -- secret-taint analysis (ARCH010)
-- :mod:`archlint.cache`     -- content-hash incremental lint cache
-- :mod:`archlint.baseline`  -- optional ratchet file for adopting rules
-- :mod:`archlint.reporters` -- human and ``--format json`` renderers
-- :mod:`archlint.rules`     -- the rule plugins (ARCH001..ARCH011)
-- :mod:`archlint.cli`       -- argument parsing / ``python -m archlint``
+- :mod:`archlint.core`        -- Finding/Checker/Config dataclasses, noqa logic
+- :mod:`archlint.config`      -- ``[tool.archlint]`` pyproject loader
+- :mod:`archlint.engine`      -- discovery + per-file and whole-program phases
+- :mod:`archlint.graph`       -- import graph + layering (ARCH009)
+- :mod:`archlint.dataflow`    -- secret-taint analysis (ARCH010)
+- :mod:`archlint.concurrency` -- lock discipline + frozen plans (ARCH012/013)
+- :mod:`archlint.cache`       -- content-hash incremental lint cache
+- :mod:`archlint.baseline`    -- optional ratchet file for adopting rules
+- :mod:`archlint.reporters`   -- human and ``--format json`` renderers
+- :mod:`archlint.rules`       -- the rule plugins (ARCH001..ARCH013)
+- :mod:`archlint.cli`         -- argument parsing / ``python -m archlint``
 
 Run ``python -m archlint --list-rules`` for the rule catalogue, or see the
 "Static analysis" sections of README.md and DESIGN.md for the rationale
@@ -37,7 +43,7 @@ from archlint.core import Checker, Config, FileContext, Finding, RuleConfig
 from archlint.engine import Report, run_lint
 from archlint.rules import ALL_RULES, RULES_BY_CODE
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
 __all__ = [
     "ALL_RULES",

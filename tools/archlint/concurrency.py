@@ -1,0 +1,1175 @@
+"""ARCH012/ARCH013: concurrency safety for the multi-threaded hot path.
+
+Since the kernel went multi-core (payload-axis sharding under
+``REPRO_KERNEL_WORKERS``) and batch ingest fans encodes out on a thread
+pool, a silent data race in a shared plan cache or metrics singleton can
+corrupt shares or snapshots in exactly the decades-long, rarely-audited
+setting the paper warns about.  These two whole-program rules make the
+concurrency contract machine-checked:
+
+**ARCH012 (lock discipline).**  Builds a *thread-reachability* set: every
+callable handed to a worker pool (``pool.submit(fn, ...)``,
+``pool.map(lambda: ...)``, ``threading.Thread(target=...)``) is an entry
+point, resolved through local aliases (``block_fn = _packed_block if packed
+else _gather_block``) and one level of parameter funneling (``_run_sharded``
+receives the callable and submits it).  From the entries a conservative
+bare-name call graph closes over everything worker threads may execute.
+Separately, an inventory of *shared mutable state* is built: module-level
+containers and singletons, names rebound via ``global``, ``lru_cache``
+internals, and the instance state of classes whose instances hang off those
+singletons (``MetricsRegistry`` owns every ``Counter``).  State touched
+from worker context is **thread-shared**; from then on, *every* unguarded
+write to it -- from worker or maintenance code alike -- is a finding unless
+it sits under a ``with <lock>:`` block or its enclosing function is
+declared GIL-atomic (with a justification) in ``[tool.archlint.concurrency]
+atomic``.  The rule also flags the non-atomic check-then-act shape: an
+unlocked ``.get``/``in`` probe followed by a locked plain subscript store
+(re-check inside the lock, or use ``setdefault``).
+
+**ARCH013 (frozen-plan escape).**  The documented plan-cache invariant is
+that every cached plan/table is returned read-only (DESIGN.md
+"Performance"): a cache hit shared across worker threads must be immutable
+or a hit can corrupt an output.  The rule statically verifies it: every
+``lru_cache``-decorated function must return arrays frozen via
+``setflags(write=False)`` / ``.flags.writeable = False`` -- directly, via a
+freezer helper (``_freeze``), via another frozen cached function, or as a
+read-only derived view (``.view``/``.reshape``/slices of frozen arrays stay
+read-only) -- or provably return no array at all (tuples of ``int(...)``).
+On the caller side, any code that binds a cached plan and then mutates it
+(subscript store, in-place ``+=``, ``setflags``) is a finding: copy before
+mutating.
+
+Shared machinery: :func:`analyze` exposes the inventory, the entry points,
+the reachable set, and the thread-shared verdicts so ``tools/racecheck.py``
+can cross-check its *dynamic* stress coverage against the *static* view --
+new shared state fails the harness until it is exercised, so the two views
+cannot drift.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from archlint.core import (
+    FileContext,
+    Finding,
+    ProgramChecker,
+    ProgramContext,
+    RuleConfig,
+)
+from archlint.graph import module_name_for
+
+#: Methods that mutate their receiver in place.
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "clear",
+        "extend",
+        "remove",
+        "discard",
+        "insert",
+        "sort",
+        "reverse",
+        "cache_clear",
+    }
+)
+
+#: Synchronization primitives are coordination, not data: they never appear
+#: in the shared-state inventory.
+_SYNC_CONSTRUCTORS = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore", "Event", "Barrier", "local"}
+)
+
+#: Mutable-container constructors for the module-state inventory.
+_CONTAINER_CONSTRUCTORS = frozenset({"dict", "list", "set", "defaultdict", "OrderedDict", "deque"})
+
+#: Constructors/builtins whose results carry no ndarray (ARCH013's
+#: provably-no-array escape hatch).
+_NONARRAY_CALLS = frozenset(
+    {"int", "float", "str", "bool", "bytes", "len", "frozenset", "range", "sorted", "min", "max", "sum"}
+)
+
+#: Derived views of a read-only ndarray are themselves read-only.
+_VIEW_METHODS = frozenset({"view", "reshape", "transpose", "ravel", "squeeze"})
+
+#: Methods that mutate an ndarray in place (caller-side ARCH013 check).
+_ARRAY_MUTATORS = frozenset({"setflags", "fill", "sort", "put", "itemset", "resize", "partition"})
+
+#: Methods never treated as thread entry submission even though they are
+#: named like one (str.split et al. are resolved by bare name elsewhere).
+_SUBMIT_METHODS = frozenset({"submit"})
+_MAP_METHODS = frozenset({"map"})
+
+_INIT_METHODS = frozenset({"__init__", "__new__", "__post_init__", "__init_subclass__"})
+
+
+def _terminal_name(expr: ast.expr) -> str | None:
+    """Rightmost identifier of a Name/Attribute/Call chain."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Call):
+        return _terminal_name(expr.func)
+    return None
+
+
+def _is_lockish(expr: ast.expr, extra: tuple[str, ...]) -> bool:
+    """Does a ``with`` context expression look like a lock acquisition?"""
+    name = _terminal_name(expr)
+    if name is None:
+        return False
+    lowered = name.lower()
+    return "lock" in lowered or lowered in {e.lower() for e in extra}
+
+
+def _decorator_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    names = set()
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = _terminal_name(target)
+        if name:
+            names.add(name)
+    return names
+
+
+@dataclass(frozen=True)
+class SharedState:
+    """One inventory entry: a nameable piece of cross-thread mutable state."""
+
+    qualname: str  # e.g. repro.obs.metrics._REGISTRY
+    module: str
+    name: str  # bare name within the module
+    kind: str  # container | singleton | global | lru-cache
+    relpath: str
+    lineno: int
+
+
+@dataclass
+class FuncInfo:
+    """One function/method (or worker lambda) in the analyzed program."""
+
+    module: str
+    qual: str  # "fn", "Class.method", or "<lambda:LINE>"
+    node: ast.AST  # FunctionDef | AsyncFunctionDef | Lambda
+    class_name: str | None
+    ctx: FileContext
+
+    @property
+    def qualname(self) -> str:
+        return f"{self.module}.{self.qual}"
+
+
+@dataclass
+class ConcurrencyAnalysis:
+    """The whole-program concurrency view shared by ARCH012 and racecheck."""
+
+    modules: dict[str, FileContext] = field(default_factory=dict)
+    #: module -> {bare name -> SharedState}
+    module_state: dict[str, dict[str, SharedState]] = field(default_factory=dict)
+    functions: list[FuncInfo] = field(default_factory=list)
+    #: bare name -> FuncInfos (functions and methods alike, conservative)
+    by_bare_name: dict[str, list[FuncInfo]] = field(default_factory=dict)
+    #: classes whose instances are module-level singletons (transitively)
+    shared_classes: set[str] = field(default_factory=set)
+    entry_points: list[FuncInfo] = field(default_factory=list)
+    reachable: set[int] = field(default_factory=set)  # id(FuncInfo)
+    reachable_funcs: list[FuncInfo] = field(default_factory=list)
+    #: qualnames of state touched from worker context
+    thread_shared: set[str] = field(default_factory=set)
+    #: class names (bare) whose instance state is worker-shared
+    thread_shared_classes: set[str] = field(default_factory=set)
+    #: module -> import alias -> target module name
+    import_aliases: dict[str, dict[str, str]] = field(default_factory=dict)
+    #: FuncInfo id -> SharedState for lru_cache-decorated functions
+    lru_state: dict[int, SharedState] = field(default_factory=dict)
+
+    def inventory(self) -> list[SharedState]:
+        return sorted(
+            (state for states in self.module_state.values() for state in states.values()),
+            key=lambda s: s.qualname,
+        )
+
+    def thread_shared_in(self, module: str) -> list[SharedState]:
+        return [
+            state
+            for state in self.inventory()
+            if state.module == module and state.qualname in self.thread_shared
+        ]
+
+
+def analyze(
+    contexts: dict[str, FileContext] | list[FileContext],
+    src_root: str = "src",
+) -> ConcurrencyAnalysis:
+    """Build the concurrency view of *contexts* (relpath -> FileContext)."""
+    if isinstance(contexts, list):
+        contexts = {ctx.relpath: ctx for ctx in contexts}
+    a = ConcurrencyAnalysis()
+    for relpath in sorted(contexts):
+        name = module_name_for(relpath, src_root)
+        if name is not None:
+            a.modules[name] = contexts[relpath]
+
+    class_index: dict[str, list[tuple[str, ast.ClassDef]]] = {}
+    for module, ctx in a.modules.items():
+        a.import_aliases[module] = _collect_import_aliases(ctx.tree)
+        a.module_state[module] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                class_index.setdefault(node.name, []).append((module, node))
+        _collect_functions(a, module, ctx)
+
+    for module, ctx in a.modules.items():
+        _collect_module_state(a, module, ctx, class_index)
+
+    _compute_shared_classes(a, class_index)
+    _collect_entry_points(a)
+    _compute_reachability(a)
+    _compute_thread_shared(a)
+    return a
+
+
+# -- construction --------------------------------------------------------------
+
+
+def _collect_import_aliases(tree: ast.Module) -> dict[str, str]:
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def _collect_functions(a: ConcurrencyAnalysis, module: str, ctx: FileContext) -> None:
+    def visit(node: ast.AST, class_name: str | None) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{class_name}.{child.name}" if class_name else child.name
+                info = FuncInfo(module, qual, child, class_name, ctx)
+                a.functions.append(info)
+                a.by_bare_name.setdefault(child.name, []).append(info)
+                if "lru_cache" in _decorator_names(child) or "cache" in _decorator_names(child):
+                    a.lru_state[id(info)] = SharedState(
+                        qualname=f"{module}.{child.name}",
+                        module=module,
+                        name=child.name,
+                        kind="lru-cache",
+                        relpath=ctx.relpath,
+                        lineno=child.lineno,
+                    )
+                visit(child, class_name)
+            elif isinstance(child, ast.ClassDef):
+                visit(child, child.name)
+            else:
+                visit(child, class_name)
+
+    visit(ctx.tree, None)
+    for info in a.functions:
+        if info.module == module and id(info) in a.lru_state:
+            a.module_state[module][info.node.name] = a.lru_state[id(info)]
+
+
+def _collect_module_state(
+    a: ConcurrencyAnalysis,
+    module: str,
+    ctx: FileContext,
+    class_index: dict[str, list[tuple[str, ast.ClassDef]]],
+) -> None:
+    states = a.module_state[module]
+
+    def add(name: str, kind: str, lineno: int) -> None:
+        if name == "__all__" or name in states:
+            return
+        states[name] = SharedState(
+            qualname=f"{module}.{name}",
+            module=module,
+            name=name,
+            kind=kind,
+            relpath=ctx.relpath,
+            lineno=lineno,
+        )
+
+    for node in ctx.tree.body:
+        targets: list[str] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            targets = [node.target.id]
+            value = node.value
+        if not targets or value is None:
+            continue
+        kind: str | None = None
+        if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.SetComp)):
+            kind = "container"
+        elif isinstance(value, ast.Call):
+            callee = _terminal_name(value.func)
+            if callee in _SYNC_CONSTRUCTORS:
+                kind = None
+            elif callee in _CONTAINER_CONSTRUCTORS:
+                kind = "container"
+            elif callee in class_index:
+                kind = "singleton"
+        if kind:
+            for name in targets:
+                add(name, kind, node.lineno)
+
+    # Names rebound through `global` anywhere in the module are shared
+    # module state even when their initializer is an immutable scalar.
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Global):
+            for name in node.names:
+                add(name, "global", node.lineno)
+
+
+def _compute_shared_classes(
+    a: ConcurrencyAnalysis, class_index: dict[str, list[tuple[str, ast.ClassDef]]]
+) -> None:
+    """Classes instantiated at module level, closed over instantiations made
+    inside shared-class methods (the registry builds every Counter)."""
+    shared: set[str] = set()
+    for module, ctx in a.modules.items():
+        for node in ctx.tree.body:
+            value = None
+            if isinstance(node, ast.Assign):
+                value = node.value
+            elif isinstance(node, ast.AnnAssign):
+                value = node.value
+            if isinstance(value, ast.Call):
+                callee = _terminal_name(value.func)
+                if callee in class_index and callee not in _SYNC_CONSTRUCTORS:
+                    shared.add(callee)
+    changed = True
+    while changed:
+        changed = False
+        for info in a.functions:
+            if info.class_name not in shared:
+                continue
+            for node in ast.walk(info.node):
+                if isinstance(node, ast.Call):
+                    callee = _terminal_name(node.func)
+                    if callee in class_index and callee not in shared:
+                        shared.add(callee)
+                        changed = True
+    a.shared_classes = shared
+
+
+# -- thread entry points -------------------------------------------------------
+
+
+def _local_callable_map(fn: ast.AST) -> dict[str, set[str]]:
+    """Local name -> candidate function bare names, via simple assignments
+    (including conditional ``x = f if cond else g`` forms)."""
+
+    def candidates(expr: ast.expr) -> set[str]:
+        if isinstance(expr, ast.Name):
+            return {expr.id}
+        if isinstance(expr, ast.Attribute):
+            return {expr.attr}
+        if isinstance(expr, ast.IfExp):
+            return candidates(expr.body) | candidates(expr.orelse)
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            out: set[str] = set()
+            for elt in expr.elts:
+                out |= candidates(elt)
+            return out
+        return set()
+
+    mapping: dict[str, set[str]] = {}
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            found = candidates(node.value)
+            if not found:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    mapping.setdefault(target.id, set()).update(found)
+    return mapping
+
+
+def _param_names(fn: ast.AST) -> list[str]:
+    if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        args = fn.args
+        return [arg.arg for arg in (*args.posonlyargs, *args.args)]
+    return []
+
+
+def _collect_entry_points(a: ConcurrencyAnalysis) -> None:
+    """Callables handed to worker pools, resolved through local aliases and
+    one level of parameter funneling."""
+    entries: list[FuncInfo] = []
+    seen: set[int] = set()
+    #: (funnel function bare name, parameter name, call-site positional index)
+    funnels: list[tuple[str, str, int]] = []
+
+    def add_funcs(names: set[str]) -> None:
+        for name in names:
+            for info in a.by_bare_name.get(name, []):
+                if id(info) not in seen:
+                    seen.add(id(info))
+                    entries.append(info)
+
+    def resolve(expr: ast.expr, owner: FuncInfo) -> None:
+        if isinstance(expr, ast.Lambda):
+            info = FuncInfo(
+                owner.module, f"<lambda:{expr.lineno}>", expr, owner.class_name, owner.ctx
+            )
+            if id(info) not in seen:
+                seen.add(id(info))
+                entries.append(info)
+            return
+        local_map = _local_callable_map(owner.node)
+        params = _param_names(owner.node)
+        # Methods receive `self` first; call sites (`obj.fn(...)`) don't
+        # pass it positionally, so the recorded index is shifted by one.
+        shift = 1 if owner.class_name is not None else 0
+
+        def funnel(name: str) -> None:
+            funnels.append((_bare(owner), name, params.index(name) - shift))
+
+        if isinstance(expr, ast.Name):
+            if expr.id in params:
+                funnel(expr.id)
+                return
+            resolved: set[str] = set()
+            for name in local_map.get(expr.id, {expr.id}):
+                if name in params:
+                    funnel(name)
+                else:
+                    resolved.add(name)
+            add_funcs(resolved)
+        elif isinstance(expr, ast.Attribute):
+            add_funcs({expr.attr})
+
+    def _bare(info: FuncInfo) -> str:
+        node = info.node
+        return node.name if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) else info.qual
+
+    for info in a.functions:
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            target: ast.expr | None = None
+            if isinstance(node.func, ast.Attribute):
+                if node.func.attr in _SUBMIT_METHODS and node.args:
+                    target = node.args[0]
+                elif node.func.attr in _MAP_METHODS and node.args:
+                    receiver = _terminal_name(node.func.value) or ""
+                    if any(tag in receiver.lower() for tag in ("pool", "executor")):
+                        target = node.args[0]
+            callee = _terminal_name(node.func)
+            if callee == "Thread":
+                for kw in node.keywords:
+                    if kw.arg == "target":
+                        target = kw.value
+            if target is not None:
+                resolve(target, info)
+
+    # One level of funneling: call sites of a funnel function contribute the
+    # argument they pass in the callable position.
+    for fname, param, index in funnels:
+        for info in a.functions:
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                if _terminal_name(node.func) != fname:
+                    continue
+                arg: ast.expr | None = None
+                if 0 <= index < len(node.args):
+                    arg = node.args[index]
+                for kw in node.keywords:
+                    if kw.arg == param:
+                        arg = kw.value
+                if arg is not None:
+                    resolve(arg, info)
+
+    a.entry_points = entries
+
+
+# -- reachability --------------------------------------------------------------
+
+
+def _compute_reachability(a: ConcurrencyAnalysis) -> None:
+    module_funcs: dict[str, set[str]] = {}
+    for info in a.functions:
+        if info.class_name is None and isinstance(
+            info.node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            module_funcs.setdefault(info.module, set()).add(info.node.name)
+
+    worklist = list(a.entry_points)
+    reachable: set[int] = {id(info) for info in worklist}
+    reachable_funcs: list[FuncInfo] = list(worklist)
+
+    def push(name: str) -> None:
+        for info in a.by_bare_name.get(name, []):
+            if id(info) not in reachable:
+                reachable.add(id(info))
+                reachable_funcs.append(info)
+                worklist.append(info)
+
+    while worklist:
+        info = worklist.pop()
+        own_funcs = module_funcs.get(info.module, set())
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Call):
+                callee = _terminal_name(node.func)
+                if callee:
+                    push(callee)
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                # A bare reference to a sibling module function is a callable
+                # escaping into worker context (strategy tables, callbacks).
+                if node.id in own_funcs:
+                    push(node.id)
+
+    a.reachable = reachable
+    a.reachable_funcs = reachable_funcs
+
+
+def _state_for(
+    a: ConcurrencyAnalysis, info: FuncInfo, expr: ast.expr
+) -> SharedState | None:
+    """Resolve *expr* (a receiver or assignment base) to module state."""
+    if isinstance(expr, ast.Name):
+        return a.module_state.get(info.module, {}).get(expr.id)
+    if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+        alias = a.import_aliases.get(info.module, {}).get(expr.value.id)
+        if alias is not None and alias in a.module_state:
+            return a.module_state[alias].get(expr.attr)
+    return None
+
+
+def _compute_thread_shared(a: ConcurrencyAnalysis) -> None:
+    shared: set[str] = set()
+    shared_classes: set[str] = set()
+    for info in a.reachable_funcs:
+        if info.class_name and info.class_name in a.shared_classes:
+            shared_classes.add(info.class_name)
+        if id(info) in a.lru_state:
+            shared.add(a.lru_state[id(info)].qualname)
+        for node in ast.walk(info.node):
+            state = None
+            if isinstance(node, (ast.Name, ast.Attribute)):
+                state = _state_for(a, info, node)
+            elif isinstance(node, ast.Call):
+                state = _state_for(a, info, node.func)
+                if state is None and isinstance(node.func, ast.Attribute):
+                    state = _state_for(a, info, node.func.value)
+            if state is not None:
+                shared.add(state.qualname)
+    # Once one method of a shared class runs on workers, every instance
+    # reachable from the singleton graph is cross-thread state.
+    a.thread_shared = shared
+    a.thread_shared_classes = shared_classes
+
+
+# -- ARCH012 -------------------------------------------------------------------
+
+
+@dataclass
+class _Write:
+    node: ast.AST
+    desc: str
+    locked: bool
+    plain_store: bool  # a bare `x[k] = v` (for check-then-act)
+    state: SharedState | None
+
+
+def _parse_atomic(entries: object) -> dict[str, str]:
+    """``"qualified.name -- reason"`` entries -> {qualified.name: reason}."""
+    table: dict[str, str] = {}
+    if not isinstance(entries, (list, tuple)):
+        return table
+    for entry in entries:
+        if not isinstance(entry, str) or " -- " not in entry:
+            continue
+        name, reason = entry.split(" -- ", 1)
+        if name.strip() and reason.strip():
+            table[name.strip()] = reason.strip()
+    return table
+
+
+class LockDisciplineRule(ProgramChecker):
+    code = "ARCH012"
+    name = "lock-discipline"
+    description = (
+        "state shared with kernel/batch worker threads (module containers, "
+        "singletons, globals, lru_cache internals) may only be written under "
+        "a lock or by functions allowlisted as GIL-atomic in "
+        "[tool.archlint.concurrency]; unlocked check-then-act is flagged too"
+    )
+
+    def check_program(
+        self, program: ProgramContext, cfg: RuleConfig
+    ) -> Iterator[Finding]:
+        contexts = {ctx.relpath: ctx for ctx in program.in_scope(self, cfg)}
+        if not contexts:
+            return
+        src_root = (
+            program.config.layers.src_root if program.config.layers else "src"
+        )
+        concurrency = getattr(program.config, "concurrency", {}) or {}
+        atomic = _parse_atomic(concurrency.get("atomic", ()))
+        lock_names = tuple(concurrency.get("lock_names", ()))
+        analysis = analyze(contexts, src_root)
+
+        for info in sorted(
+            analysis.functions, key=lambda i: (i.ctx.relpath, i.node.lineno)
+        ):
+            if info.ctx.relpath not in contexts:
+                continue
+            yield from self._check_function(analysis, info, atomic, lock_names)
+
+    def _check_function(
+        self,
+        a: ConcurrencyAnalysis,
+        info: FuncInfo,
+        atomic: dict[str, str],
+        lock_names: tuple[str, ...],
+    ) -> Iterator[Finding]:
+        if info.qualname in atomic:
+            return
+        writes: list[_Write] = []
+        unlocked_probes: set[str] = set()  # state qualnames read-probed sans lock
+        globals_declared: set[str] = set()
+        in_shared_class_method = (
+            info.class_name in a.thread_shared_classes
+            and isinstance(info.node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and info.node.name not in _INIT_METHODS
+        )
+        self_name = _self_param(info)
+
+        def visit(node: ast.AST, locked: bool) -> None:
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                now_locked = locked or any(
+                    _is_lockish(item.context_expr, lock_names) for item in node.items
+                )
+                for child in node.body:
+                    visit(child, now_locked)
+                return
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)) and node is not info.node:
+                return  # nested defs analyzed as their own FuncInfo
+            self._scan_node(
+                a, info, node, locked, writes, unlocked_probes,
+                globals_declared, in_shared_class_method, self_name,
+            )
+            for child in ast.iter_child_nodes(node):
+                visit(child, locked)
+
+        body = (
+            info.node.body
+            if isinstance(info.node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            else [info.node.body]
+        )
+        for stmt in body:
+            if isinstance(stmt, ast.stmt):
+                visit(stmt, False)
+            else:  # lambda body expression
+                self._scan_node(
+                    a, info, stmt, False, writes, unlocked_probes,
+                    globals_declared, in_shared_class_method, self_name,
+                )
+
+        for write in writes:
+            if write.locked:
+                if (
+                    write.plain_store
+                    and write.state is not None
+                    and write.state.qualname in unlocked_probes
+                ):
+                    yield self.finding(
+                        info.ctx,
+                        write.node,
+                        f"non-atomic check-then-act on thread-shared "
+                        f"'{write.desc}': the unlocked read probe and this "
+                        "locked store are two critical sections -- re-check "
+                        "inside the lock or use setdefault",
+                    )
+                continue
+            yield self.finding(
+                info.ctx,
+                write.node,
+                f"unsynchronized write to thread-shared '{write.desc}' "
+                f"(reachable from worker threads); guard it with a lock "
+                "or allowlist the enclosing function as GIL-atomic in "
+                "[tool.archlint.concurrency] with a justification",
+            )
+
+    def _scan_node(
+        self,
+        a: ConcurrencyAnalysis,
+        info: FuncInfo,
+        node: ast.AST,
+        locked: bool,
+        writes: list[_Write],
+        unlocked_probes: set[str],
+        globals_declared: set[str],
+        in_shared_class_method: bool,
+        self_name: str | None,
+    ) -> None:
+        def shared(state: SharedState | None) -> SharedState | None:
+            if state is not None and state.qualname in a.thread_shared:
+                return state
+            return None
+
+        if isinstance(node, ast.Global):
+            globals_declared.update(node.names)
+            return
+
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id in globals_declared:
+                    state = shared(a.module_state.get(info.module, {}).get(target.id))
+                    if state is not None:
+                        writes.append(_Write(node, state.qualname, locked, False, state))
+                elif isinstance(target, (ast.Subscript, ast.Attribute)):
+                    state = shared(_state_for(a, info, target.value))
+                    if state is not None:
+                        plain = isinstance(target, ast.Subscript) and isinstance(
+                            node, ast.Assign
+                        )
+                        writes.append(_Write(node, state.qualname, locked, plain, state))
+                    elif (
+                        in_shared_class_method
+                        and self_name is not None
+                        and _is_self_attr(target, self_name)
+                    ):
+                        attr = target.attr if isinstance(target, ast.Attribute) else (
+                            target.value.attr if isinstance(target.value, ast.Attribute) else "?"
+                        )
+                        writes.append(
+                            _Write(
+                                node,
+                                f"{info.module}.{info.class_name}.{attr}",
+                                locked,
+                                False,
+                                None,
+                            )
+                        )
+            return
+
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            method = node.func.attr
+            receiver = node.func.value
+            if method in MUTATOR_METHODS:
+                state = shared(_state_for(a, info, receiver))
+                if state is not None:
+                    writes.append(_Write(node, state.qualname, locked, False, state))
+                elif method == "cache_clear":
+                    # `for fn in CACHES.values(): fn.cache_clear()` -- the
+                    # receiver is a loop variable; attribute any unresolved
+                    # cache_clear to the module's thread-shared lru caches.
+                    lru = [
+                        s
+                        for s in a.module_state.get(info.module, {}).values()
+                        if s.kind == "lru-cache" and s.qualname in a.thread_shared
+                    ]
+                    if lru:
+                        names = ", ".join(sorted(s.name for s in lru))
+                        writes.append(_Write(node, f"{info.module} lru caches ({names})", locked, False, None))
+                elif (
+                    in_shared_class_method
+                    and self_name is not None
+                    and isinstance(receiver, ast.Attribute)
+                    and isinstance(receiver.value, ast.Name)
+                    and receiver.value.id == self_name
+                    and method != "cache_clear"
+                ):
+                    writes.append(
+                        _Write(
+                            node,
+                            f"{info.module}.{info.class_name}.{receiver.attr}",
+                            locked,
+                            False,
+                            None,
+                        )
+                    )
+            elif method == "get" and not locked:
+                state = shared(_state_for(a, info, receiver))
+                if state is not None:
+                    unlocked_probes.add(state.qualname)
+            return
+
+        if isinstance(node, ast.Compare) and not locked:
+            for op, comparator in zip(node.ops, node.comparators):
+                if isinstance(op, (ast.In, ast.NotIn)):
+                    state = shared(_state_for(a, info, comparator))
+                    if state is not None:
+                        unlocked_probes.add(state.qualname)
+
+
+def _self_param(info: FuncInfo) -> str | None:
+    if info.class_name is None:
+        return None
+    if not isinstance(info.node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return None
+    if "staticmethod" in _decorator_names(info.node):
+        return None
+    params = _param_names(info.node)
+    return params[0] if params else None
+
+
+def _is_self_attr(target: ast.expr, self_name: str) -> bool:
+    """``self.x`` or ``self.x[k]`` targets."""
+    if isinstance(target, ast.Attribute):
+        return isinstance(target.value, ast.Name) and target.value.id == self_name
+    if isinstance(target, ast.Subscript):
+        return _is_self_attr(target.value, self_name)
+    return False
+
+
+# -- ARCH013 -------------------------------------------------------------------
+
+
+class FrozenPlanRule(ProgramChecker):
+    code = "ARCH013"
+    name = "frozen-plan"
+    description = (
+        "lru_cache'd plan/table builders must return read-only arrays "
+        "(setflags(write=False), a freezer helper, or a derived view of a "
+        "frozen array), and no caller may mutate a cached plan in place"
+    )
+
+    def check_program(
+        self, program: ProgramContext, cfg: RuleConfig
+    ) -> Iterator[Finding]:
+        contexts = program.in_scope(self, cfg)
+        if not contexts:
+            return
+
+        cached: list[tuple[FileContext, ast.FunctionDef | ast.AsyncFunctionDef]] = []
+        freezers: set[str] = set()
+        for ctx in contexts:
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                decorators = _decorator_names(node)
+                if "lru_cache" in decorators or "cache" in decorators:
+                    cached.append((ctx, node))
+                if _is_freezer(node):
+                    freezers.add(node.name)
+
+        frozen_cached: set[str] = set()
+        # Fixpoint: cached builders may compose other cached builders.
+        for _ in range(len(cached) + 1):
+            changed = False
+            for _, fn in cached:
+                if fn.name in frozen_cached:
+                    continue
+                if self._returns_frozen(fn, freezers, frozen_cached):
+                    frozen_cached.add(fn.name)
+                    changed = True
+            if not changed:
+                break
+
+        for ctx, fn in cached:
+            if fn.name in frozen_cached:
+                continue
+            offending = self._offending_return(fn, freezers, frozen_cached)
+            yield self.finding(
+                ctx,
+                offending if offending is not None else fn,
+                f"lru_cache'd '{fn.name}' may return a writable array: freeze "
+                "it with setflags(write=False) (or a freezer helper / frozen "
+                "view) before returning -- cached plans are shared across "
+                "threads",
+            )
+
+        providers = self._plan_providers(contexts, frozen_cached)
+        for ctx in contexts:
+            yield from self._check_callers(ctx, providers)
+
+    # -- frozen-return judgment ------------------------------------------------
+
+    def _returns_frozen(
+        self,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        freezers: set[str],
+        frozen_cached: set[str],
+    ) -> bool:
+        return self._offending_return(fn, freezers, frozen_cached) is None
+
+    def _offending_return(
+        self,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        freezers: set[str],
+        frozen_cached: set[str],
+    ) -> ast.Return | None:
+        frozen_names = _frozen_locals(fn)
+        frozen_lists = _frozen_collections(fn, freezers, frozen_cached, frozen_names)
+
+        def frozen(expr: ast.expr) -> bool:
+            if isinstance(expr, ast.Name):
+                return expr.id in frozen_names
+            if isinstance(expr, (ast.Tuple, ast.List)):
+                return all(frozen(elt) for elt in expr.elts)
+            if isinstance(expr, ast.Subscript):
+                return frozen(expr.value)
+            if isinstance(expr, ast.Call):
+                callee = _terminal_name(expr.func)
+                if callee in freezers or callee in frozen_cached:
+                    return True
+                if callee in ("tuple", "list") and len(expr.args) == 1:
+                    arg = expr.args[0]
+                    if isinstance(arg, ast.Name) and arg.id in frozen_lists:
+                        return True
+                    return frozen(arg)
+                if (
+                    isinstance(expr.func, ast.Attribute)
+                    and expr.func.attr in _VIEW_METHODS
+                ):
+                    return frozen(expr.func.value)
+            return False
+
+        def nonarray(expr: ast.expr) -> bool:
+            if expr is None or isinstance(expr, ast.Constant):
+                return True
+            if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+                return all(nonarray(elt) for elt in expr.elts)
+            if isinstance(expr, (ast.Compare, ast.BoolOp, ast.JoinedStr)):
+                return True
+            if isinstance(expr, ast.Call):
+                callee = _terminal_name(expr.func)
+                if callee in _NONARRAY_CALLS:
+                    return True
+                if callee in ("tuple", "list", "set", "dict") and len(expr.args) == 1:
+                    arg = expr.args[0]
+                    if isinstance(arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+                        return nonarray(arg.elt)
+                    return nonarray(arg)
+            if isinstance(expr, (ast.GeneratorExp, ast.ListComp)):
+                return nonarray(expr.elt)
+            return False
+
+        # Propagate: locals assigned from frozen expressions are frozen.
+        for _ in range(2):
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Assign) and frozen(node.value):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            frozen_names.add(target.id)
+
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Return) and node.value is not None:
+                if not frozen(node.value) and not nonarray(node.value):
+                    return node
+        return None
+
+    # -- caller-side mutation check --------------------------------------------
+
+    def _plan_providers(
+        self, contexts: list[FileContext], frozen_cached: set[str]
+    ) -> set[str]:
+        """Frozen cached builders plus their thin public wrappers."""
+        providers = set(frozen_cached)
+        changed = True
+        while changed:
+            changed = False
+            for ctx in contexts:
+                for node in ast.walk(ctx.tree):
+                    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        continue
+                    if node.name in providers:
+                        continue
+                    for ret in ast.walk(node):
+                        if (
+                            isinstance(ret, ast.Return)
+                            and isinstance(ret.value, ast.Call)
+                            and _terminal_name(ret.value.func) in providers
+                        ):
+                            providers.add(node.name)
+                            changed = True
+                            break
+        return providers
+
+    def _check_callers(
+        self, ctx: FileContext, providers: set[str]
+    ) -> Iterator[Finding]:
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if fn.name in providers:
+                continue
+            plans: set[str] = set()
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Assign):
+                    value = node.value
+                    is_plan = (
+                        isinstance(value, ast.Call)
+                        and _terminal_name(value.func) in providers
+                    ) or (
+                        # views/slices of a plan stay tracked
+                        isinstance(value, ast.Subscript)
+                        and isinstance(value.value, ast.Name)
+                        and value.value.id in plans
+                    ) or (
+                        isinstance(value, ast.Call)
+                        and isinstance(value.func, ast.Attribute)
+                        and value.func.attr in _VIEW_METHODS
+                        and isinstance(value.func.value, ast.Name)
+                        and value.func.value.id in plans
+                    )
+                    if is_plan:
+                        for target in node.targets:
+                            if isinstance(target, ast.Name):
+                                plans.add(target.id)
+            if not plans:
+                continue
+            for node in ast.walk(fn):
+                bad: str | None = None
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Subscript)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id in plans
+                        ):
+                            bad = target.value.id
+                elif isinstance(node, ast.AugAssign):
+                    if isinstance(node.target, ast.Name) and node.target.id in plans:
+                        bad = node.target.id
+                    elif (
+                        isinstance(node.target, ast.Subscript)
+                        and isinstance(node.target.value, ast.Name)
+                        and node.target.value.id in plans
+                    ):
+                        bad = node.target.value.id
+                elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                    if (
+                        node.func.attr in _ARRAY_MUTATORS
+                        and isinstance(node.func.value, ast.Name)
+                        and node.func.value.id in plans
+                    ):
+                        bad = node.func.value.id
+                if bad is not None:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"'{bad}' holds a cached plan array (frozen, shared "
+                        "across threads); mutating it in place would corrupt "
+                        "every concurrent user -- np.copy() it first",
+                    )
+
+
+def _frozen_collections(
+    fn: ast.AST,
+    freezers: set[str],
+    frozen_cached: set[str],
+    frozen_names: set[str],
+) -> set[str]:
+    """Locals built as ``xs = []`` where every ``xs.append(...)`` argument is
+    itself frozen (``tables.append(_freeze(t))`` -> ``tuple(tables)`` is a
+    tuple of read-only arrays)."""
+
+    def frozen(expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Name):
+            return expr.id in frozen_names
+        if isinstance(expr, ast.Subscript):
+            return frozen(expr.value)
+        if isinstance(expr, ast.Call):
+            callee = _terminal_name(expr.func)
+            if callee in freezers or callee in frozen_cached:
+                return True
+            if isinstance(expr.func, ast.Attribute) and expr.func.attr in _VIEW_METHODS:
+                return frozen(expr.func.value)
+        return False
+
+    candidates: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign) and isinstance(node.value, (ast.List, ast.Tuple)):
+            if not node.value.elts:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        candidates.add(target.id)
+    out: set[str] = set()
+    for name in candidates:
+        appends = [
+            node
+            for node in ast.walk(fn)
+            if isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "append"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == name
+        ]
+        if appends and all(len(call.args) == 1 and frozen(call.args[0]) for call in appends):
+            out.add(name)
+    return out
+
+
+def _is_freezer(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """Does *fn* freeze a local array and return it?"""
+    frozen = _frozen_locals(fn)
+    if not frozen:
+        return False
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Return) and isinstance(node.value, ast.Name):
+            if node.value.id in frozen:
+                return True
+    return False
+
+
+def _frozen_locals(fn: ast.AST) -> set[str]:
+    """Local names frozen via ``x.setflags(write=False)`` or
+    ``x.flags.writeable = False``."""
+    frozen: set[str] = set()
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "setflags"
+            and isinstance(node.func.value, ast.Name)
+        ):
+            for kw in node.keywords:
+                if (
+                    kw.arg == "write"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is False
+                ):
+                    frozen.add(node.func.value.id)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr == "writeable"
+                    and isinstance(target.value, ast.Attribute)
+                    and target.value.attr == "flags"
+                    and isinstance(target.value.value, ast.Name)
+                    and isinstance(node.value, ast.Constant)
+                    and node.value.value is False
+                ):
+                    frozen.add(target.value.value.id)
+    return frozen
+
+
+__all__ = [
+    "ConcurrencyAnalysis",
+    "FrozenPlanRule",
+    "FuncInfo",
+    "LockDisciplineRule",
+    "MUTATOR_METHODS",
+    "SharedState",
+    "analyze",
+]

@@ -84,6 +84,35 @@ def _layer_config(raw: object) -> LayerConfig:
     return layers
 
 
+def _concurrency_config(raw: object) -> dict:
+    """Validate ``[tool.archlint.concurrency]``.
+
+    Every ``atomic`` entry must carry a justification (``"qualified.name --
+    reason"``): an allowlist without reasons rots into a mute list.  Rejecting
+    malformed entries at load time (CLI exit 2) keeps ARCH012 from silently
+    ignoring a typo'd exemption and flagging code someone believed excused.
+    """
+    if not isinstance(raw, dict):
+        raise ValueError("[tool.archlint.concurrency] must be a table")
+    table: dict = {}
+    if "atomic" in raw:
+        entries = _str_tuple(raw["atomic"], "concurrency.atomic")
+        for entry in entries:
+            name, sep, reason = entry.partition(" -- ")
+            if not sep or not name.strip() or not reason.strip():
+                raise ValueError(
+                    "[tool.archlint.concurrency] atomic entries must be "
+                    f"'qualified.name -- reason' (got {entry!r})"
+                )
+        table["atomic"] = list(entries)
+    if "lock_names" in raw:
+        table["lock_names"] = list(_str_tuple(raw["lock_names"], "concurrency.lock_names"))
+    for key in raw:
+        if key not in ("atomic", "lock_names"):
+            raise ValueError(f"[tool.archlint.concurrency] unknown key {key!r}")
+    return table
+
+
 def load_config(project_root: Path) -> Config:
     """Parse ``[tool.archlint]`` out of *project_root*/pyproject.toml.
 
@@ -119,6 +148,8 @@ def load_config(project_root: Path) -> Config:
         config.cache = cache
     if "layers" in section:
         config.layers = _layer_config(section["layers"])
+    if "concurrency" in section:
+        config.concurrency = _concurrency_config(section["concurrency"])
     for code, raw in section.get("rules", {}).items():
         config.rules[code.upper()] = _rule_config(raw, code)
     return config

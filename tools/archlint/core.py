@@ -103,6 +103,15 @@ class Config:
     cache: str = ".archlint_cache.json"
     layers: LayerConfig | None = None
     rules: dict[str, RuleConfig] = field(default_factory=dict)
+    #: ``[tool.archlint.concurrency]``: the GIL-atomic allowlist consumed by
+    #: ARCH012 (``atomic`` entries are ``"qualified.name -- reason"`` strings;
+    #: ``lock_names`` extends what counts as a lock in ``with`` blocks).
+    #: Lives on Config (not RuleConfig.options) because the racecheck harness
+    #: reads the same table -- it is a program-wide concurrency contract, not
+    #: a rule knob.  As a dataclass field it also feeds ``repr(config)`` and
+    #: therefore the lint-cache fingerprint: editing the allowlist invalidates
+    #: cached verdicts.
+    concurrency: dict = field(default_factory=dict)
 
     def rule(self, code: str) -> RuleConfig:
         return self.rules.setdefault(code, RuleConfig())

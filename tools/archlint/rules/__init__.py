@@ -18,6 +18,7 @@ from archlint.rules.zerocopy import ZeroCopyRule
 from archlint.graph import ImportLayeringRule
 from archlint.dataflow import SecretTaintRule
 from archlint.rules.raises import ErrorTaxonomyRule
+from archlint.concurrency import FrozenPlanRule, LockDisciplineRule
 
 ALL_RULES = [
     BroadExceptRule(),
@@ -31,6 +32,8 @@ ALL_RULES = [
     ImportLayeringRule(),
     SecretTaintRule(),
     ErrorTaxonomyRule(),
+    LockDisciplineRule(),
+    FrozenPlanRule(),
 ]
 
 RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}
@@ -49,4 +52,6 @@ __all__ = [
     "ImportLayeringRule",
     "SecretTaintRule",
     "ErrorTaxonomyRule",
+    "LockDisciplineRule",
+    "FrozenPlanRule",
 ]
